@@ -1,0 +1,65 @@
+"""Ablation D4: the BlockAware staleness threshold.
+
+Sweeps the t_c - t_l threshold around the paper's 600 s default and
+measures, on a healthy full-hash-rate network plus two eclipsed
+victims: the victim detection rate and the false-alert rate on healthy
+nodes.  Lower thresholds detect faster but alarm on ordinary interval
+variance (block times are exponential).
+"""
+
+import pytest
+
+from repro.countermeasures.blockaware import BlockAware, BlockAwareConfig
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+from repro.reporting.tables import format_table
+
+THRESHOLDS = (300.0, 600.0, 1200.0, 2400.0)
+VICTIMS = (25, 26)
+HEALTHY = tuple(range(20))
+DURATION = 8 * 3600
+
+
+def evaluate(threshold: float, seed: int = 6):
+    net = Network(
+        NetworkConfig(num_nodes=30, seed=seed, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+    net.add_pool("honest", 1.0, node_id=1)
+    net.eclipse(list(VICTIMS))
+    config = BlockAwareConfig(threshold=threshold, check_interval=60.0)
+    monitor = BlockAware(net, config)
+    monitor.start()
+    net.run_for(DURATION)
+    detection = monitor.detection_rate(list(VICTIMS))
+    healthy_checks = len(HEALTHY) * (DURATION / config.check_interval)
+    false_alerts = sum(
+        1 for alert in monitor.alerts if alert.node_id in HEALTHY
+    )
+    return detection, false_alerts / healthy_checks
+
+
+def run_ablation():
+    return {threshold: evaluate(threshold) for threshold in THRESHOLDS}
+
+
+def test_ablation_blockaware(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["Threshold (s)", "Victim detection", "False-alert rate"],
+            [
+                (int(t), f"{results[t][0]:.2f}", f"{results[t][1]:.4f}")
+                for t in THRESHOLDS
+            ],
+            title="Ablation D4: BlockAware threshold",
+        )
+    )
+    # The paper's 600 s threshold detects every eclipsed victim.
+    assert results[600.0][0] == 1.0
+    # False alerts shrink as the threshold grows.
+    rates = [results[t][1] for t in THRESHOLDS]
+    assert rates[0] >= rates[-1]
+    # At 4 block intervals, the healthy network is near-silent.
+    assert results[2400.0][1] < 0.02

@@ -1,0 +1,55 @@
+"""Ablation D5: outbound peer count vs propagation.
+
+§V-D notes a "permissible client modification" is raising the peer
+count, which "help[s] the spread of malicious blocks".  This ablation
+sweeps the outbound budget and measures block coverage at a fixed
+deadline: more peers, faster spread — for honest and malicious blocks
+alike.
+"""
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.netsim.latency import DiffusionLatency
+from repro.netsim.network import Network, NetworkConfig
+from repro.reporting.tables import format_table
+
+PEER_COUNTS = (2, 4, 8, 16)
+NUM_NODES = 250
+DEADLINE = 12.0  # seconds of simulated time
+
+
+def coverage_at_deadline(outbound: int, seed: int = 9) -> float:
+    net = Network(
+        NetworkConfig(
+            num_nodes=NUM_NODES,
+            seed=seed,
+            failure_rate=0.1,
+            outbound_peers=outbound,
+        ),
+        latency=DiffusionLatency(rate=0.8),
+    )
+    block = Block.create(net.genesis.hash, 1, 0, 0.0)
+    net.node(0).accept_block(block)
+    net.run_for(DEADLINE)
+    return sum(1 for node in net.nodes.values() if node.height == 1) / NUM_NODES
+
+
+def run_ablation():
+    return {peers: coverage_at_deadline(peers) for peers in PEER_COUNTS}
+
+
+def test_ablation_peers(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["Outbound peers", f"Coverage at t={DEADLINE:.0f}s"],
+            [(peers, f"{results[peers]:.3f}") for peers in PEER_COUNTS],
+            title="Ablation D5: peer count vs propagation",
+        )
+    )
+    assert results[16] >= results[2]
+    assert results[8] > results[2]
+    # The default 8 peers already reaches most of the network.
+    assert results[8] >= 0.6

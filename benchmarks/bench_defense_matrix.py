@@ -1,0 +1,117 @@
+"""Defense matrix: each §V attack against its §VI countermeasure.
+
+One timed scenario per (attack, defense) pair, measuring impact with
+the defense off and on.  The assertions encode the paper's §VI claims:
+
+- route purging undoes the spatial hijack's capture;
+- BlockAware recovers temporal-attack victims;
+- stratum distribution multiplies the mining-isolation cost.
+"""
+
+import pytest
+
+from repro.attacks.spatial import SpatialAttack
+from repro.attacks.temporal import TemporalAttack
+from repro.countermeasures.blockaware import BlockAware, BlockAwareConfig
+from repro.countermeasures.routing import RouteGuard
+from repro.countermeasures.stratum import StratumDistribution
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+from repro.reporting.tables import format_table
+from repro.topology.builder import build_paper_topology
+
+
+def spatial_vs_routeguard():
+    """Captured-node fraction before and after a route-guard pass."""
+    topo = build_paper_topology(seed=13, scale=0.2)
+    table = topo.build_routing_table()
+    attack = SpatialAttack(
+        topo, attacker_asn=666, target_asn=24940, target_fraction=0.95
+    )
+    result = attack.execute(table=table)
+    captured_before = result.metric("captured_fraction")
+    RouteGuard(topo).purge_and_promote(table)
+    pool = topo.pool(24940)
+    still_captured = sum(
+        1
+        for node_id in topo.nodes_in_as(24940)
+        if table.origin_of(pool.node_ip(node_id)) == 666
+    ) / max(len(topo.nodes_in_as(24940)), 1)
+    return captured_before, still_captured
+
+
+def temporal_vs_blockaware():
+    """Misled-victim count at attack peak and after BlockAware."""
+    net = Network(
+        NetworkConfig(num_nodes=40, seed=23, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+    net.add_pool("honest", 0.7, node_id=1)
+    net.eclipse([30, 31, 32])
+    net.run_for(6 * 3600)
+    attack = TemporalAttack(net, attacker_node=0, hash_share=0.30, min_lag=1)
+    victims = attack.launch()
+    net.run_for(6 * 3600)
+    misled_before = len(
+        [v for v in victims if net.node(v).tree.counterfeit_on_main() > 0]
+    )
+    attack.stop()
+    net.heal(victims)
+    monitor = BlockAware(
+        net, BlockAwareConfig(probe_random_nodes=3), node_ids=list(victims)
+    )
+    monitor.start()
+    net.run_for(4 * 3600)
+    misled_after = len(
+        [v for v in victims if net.node(v).tree.counterfeit_on_main() > 0]
+    )
+    return misled_before, misled_after
+
+
+def isolation_vs_distribution():
+    """ASes to hijack for 60% of hash power, centralized vs spread."""
+    comparison = StratumDistribution(spread=4).cost_comparison(target_share=0.60)
+    return comparison["baseline"], comparison["redistributed"]
+
+
+def run_matrix():
+    return {
+        "spatial/route-guard": spatial_vs_routeguard(),
+        "temporal/blockaware": temporal_vs_blockaware(),
+        "mining/stratum-spread": isolation_vs_distribution(),
+    }
+
+
+def test_defense_matrix(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print()
+    rows = [
+        (
+            "spatial hijack / route guard",
+            f"{results['spatial/route-guard'][0]:.1%} captured",
+            f"{results['spatial/route-guard'][1]:.1%} captured",
+        ),
+        (
+            "temporal feed / BlockAware",
+            f"{results['temporal/blockaware'][0]} misled",
+            f"{results['temporal/blockaware'][1]} misled",
+        ),
+        (
+            "mining isolation / stratum spread",
+            f"{results['mining/stratum-spread'][0]} ASes to 60%",
+            f"{results['mining/stratum-spread'][1]} ASes to 60%",
+        ),
+    ]
+    print(
+        format_table(
+            ["Attack / defense", "Without defense", "With defense"],
+            rows,
+            title="Defense matrix (paper §VI)",
+        )
+    )
+    captured_before, captured_after = results["spatial/route-guard"]
+    assert captured_before >= 0.9 and captured_after == 0.0
+    misled_before, misled_after = results["temporal/blockaware"]
+    assert misled_before >= 1 and misled_after == 0
+    cost_before, cost_after = results["mining/stratum-spread"]
+    assert cost_after > cost_before * 3

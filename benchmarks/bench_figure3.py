@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 3 (CDF of nodes over ASes and orgs)."""
+
+import pytest
+
+
+def test_figure3(run_artifact):
+    result = run_artifact("figure3")
+    assert abs(result.metrics["as_coverage_30pct"] - 8) <= 1
+    assert result.metrics["as_coverage_50pct"] == 24
+    assert abs(result.metrics["org_coverage_50pct"] - 21) <= 2
+    # Organizations dominate ASes at every tabulated rank.
+    for _, as_cdf, org_cdf in result.rows:
+        assert float(org_cdf) >= float(as_cdf) - 1e-9

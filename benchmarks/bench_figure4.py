@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (hijack cost curves, top-5 ASes)."""
+
+import pytest
+
+
+def test_figure4(run_artifact):
+    result = run_artifact("figure4")
+    # AS24940: 95% of 1,030 nodes within ~15 prefixes.
+    assert result.metrics["as24940_prefixes_for_95pct"] <= 25
+    # AS16509 resists: >140 prefixes for 95% despite fewer nodes.
+    assert result.metrics["as16509_prefixes_for_95pct"] > 140
+    # Prefix pool sizes pinned to the figure's legend.
+    assert result.metrics["as24940_total_prefixes"] == 51
+    assert result.metrics["as16509_total_prefixes"] == 2969
+    # "For 8 ASes, 80% nodes can be isolated by hijacking 20 prefixes" —
+    # among the plotted five, all but Amazon reach 80% within 20.
+    assert result.metrics["ases_with_80pct_within_20_hijacks"] >= 4
+    # Curves are monotone.
+    for name, series in result.series.items():
+        assert list(series) == sorted(series)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (temporal consensus bands)."""
+
+import pytest
+
+
+def test_figure6(run_artifact):
+    result = run_artifact("figure6")
+    # ~half the network stays synchronized over the long run.
+    assert 0.45 <= result.metrics["mean_synced_fraction"] <= 0.80
+    # ~10% of nodes are forever behind.
+    assert result.metrics["forever_behind_fraction"] == pytest.approx(0.10, abs=0.04)
+    # Pruning spikes reach ~90% of the network between blocks.
+    assert result.metrics["peak_behind_fraction_c"] >= 0.85
+    # The one-day panel (b) shows spikes: max yellow+purple well above mean.
+    import numpy as np
+
+    yellow = np.array(result.series["b_behind_1"])
+    purple = np.array(result.series["b_behind_2_4"])
+    spikes = yellow + purple
+    assert spikes.max() > 3 * max(spikes.mean(), 1.0)

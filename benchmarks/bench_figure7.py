@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7 (grid simulation of the temporal attack)."""
+
+import pytest
+
+
+def test_figure7(run_artifact):
+    result = run_artifact("figure7")
+    # Fork B visibly captures part of the grid (paper: ~1/6)...
+    assert 0.02 <= result.metrics["fork_b_peak_fraction"] <= 0.60
+    # ...and the longer chain A overwhelms it by the horizon.
+    assert result.metrics["final_chain_a_fraction"] >= 0.90
+    # The span-ratio law gives the paper's 3-second step at 10k nodes.
+    assert result.metrics["tdelay_10k_nodes_seconds"] == pytest.approx(3.0)
+    assert result.metrics["attacker_hash_share"] == pytest.approx(0.30)

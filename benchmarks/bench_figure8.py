@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (spatial+temporal day view)."""
+
+import pytest
+
+
+def test_figure8(run_artifact):
+    result = run_artifact("figure8")
+    # The strike moment: synced count dips far below its mean, and the
+    # lagging population dominates at that instant (paper: synced falls
+    # toward ~3,000 of ~11,000 while 2-4-behind climbs to ~6,000).
+    assert result.metrics["strike_synced_count"] == result.metrics["min_synced_count"]
+    assert result.metrics["strike_lagging_count"] > result.metrics["strike_synced_count"]
+    # Top-5 ASes host ~a quarter of synced node-time (paper: 28%).
+    assert result.metrics["top5_spatial_coverage"] == pytest.approx(0.28, abs=0.07)
+    # Figure 8(b/c): per-AS synced series present for five ASes.
+    as_series = [name for name in result.series if name.startswith("AS")]
+    assert len(as_series) == 5

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (node characteristics by address type)."""
+
+import pytest
+
+
+def test_table1(run_artifact):
+    result = run_artifact("table1")
+    # Counts pinned to §IV-C.
+    assert result.metrics["IPv4_count"] == 12_737
+    assert result.metrics["IPv6_count"] == 579
+    assert result.metrics["TOR_count"] == 319
+    # Tor's link-speed anomaly (17x IPv4) reproduces in direction and
+    # rough magnitude (heavy-tailed sampling: wide tolerance).
+    assert result.metrics["TOR_speed_mean"] > 4 * result.metrics["IPv4_speed_mean"]
+    assert result.metrics["IPv4_speed_mean"] == pytest.approx(25.04, rel=0.6)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table II (top-10 ASes and organizations)."""
+
+import pytest
+
+
+def test_table2(run_artifact):
+    result = run_artifact("table2")
+    assert result.metrics["top_as_nodes"] == 1030
+    assert result.metrics["top_as_pct"] == pytest.approx(7.54, abs=0.1)
+    assert result.metrics["top_org_nodes"] == 1030
+    assert result.metrics["amazon_org_nodes"] == 756
+    # Row order matches the paper's AS column.
+    as_column = [row[0] for row in result.rows]
+    assert as_column[:5] == ["AS24940", "AS16276", "AS37963", "AS16509", "AS14061"]

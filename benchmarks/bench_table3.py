@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table III (centralization change 2017 -> 2018)."""
+
+import pytest
+
+
+def test_table3(run_artifact):
+    result = run_artifact("table3")
+    assert result.metrics["measured_50"] == 24
+    assert abs(result.metrics["measured_30"] - 8) <= 1
+    # C = (N1 - N2)*100/N1: 52% at the 50% level (paper), ~38-46% at 30%.
+    assert result.metrics["change_50"] == pytest.approx(52.0, abs=1.0)
+    assert 30.0 <= result.metrics["change_30"] <= 50.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table IV (mining pools / stratum mapping)."""
+
+import pytest
+
+
+def test_table4(run_artifact):
+    result = run_artifact("table4")
+    # 65.7% of hash rate through the studied pools, three organizations.
+    assert result.metrics["covered_share"] == pytest.approx(0.657)
+    assert result.metrics["asns_for_65pct"] == 3
+    # AliBaba group views >= 59.4% of mining data.
+    assert result.metrics["dominant_group_share"] >= 0.594
+    pool_names = [row[0] for row in result.rows]
+    assert pool_names[:5] == ["BTC.com", "Antpool", "ViaBTC", "BTC.TOP", "F2Pool"]

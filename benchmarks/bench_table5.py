@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table V (maximum vulnerable nodes per window).
+
+Shape targets (see EXPERIMENTS.md): the 5-minute headline (~62.7% of
+nodes >= 1 block behind), monotone decrease in T, monotone decrease in
+the lag threshold, and the ~10% deep tail at large T.
+"""
+
+import pytest
+
+
+def test_table5(run_artifact):
+    result = run_artifact("table5")
+    headline = result.metrics["headline_5min_fraction"]
+    assert headline == pytest.approx(0.627, abs=0.08)
+
+    # Monotone in T for the >= 1 block column.
+    t_values = [row[0] for row in result.rows]
+    ge1_counts = [result.metrics[f"T{t}_ge1"] for t in t_values if f"T{t}_ge1" in result.metrics]
+    assert ge1_counts == sorted(ge1_counts, reverse=True)
+
+    # Deep tail converges toward the stuck population (~10%).
+    last_t = t_values[-1]
+    tail = result.metrics[f"T{last_t}_ge1"] / 10_020
+    assert tail == pytest.approx(0.10, abs=0.06)

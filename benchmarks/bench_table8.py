@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table VIII (software version census)."""
+
+import pytest
+
+
+def test_table8(run_artifact):
+    result = run_artifact("table8")
+    assert result.metrics["distinct_versions"] == 288
+    assert result.metrics["dominant_share"] == pytest.approx(0.3628, abs=0.005)
+    for rank, paper_share in ((1, 0.3628), (2, 0.2752), (3, 0.0501), (4, 0.0467)):
+        assert result.metrics[f"rank{rank}_share"] == pytest.approx(
+            paper_share, abs=0.005
+        )
+    versions = [row[1] for row in result.rows]
+    assert versions[0] == "B. Core v0.16.0"
+    assert versions[1] == "B. Core v0.15.1"

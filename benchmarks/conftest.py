@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures at
+full scale, times it with pytest-benchmark, prints the artifact next to
+the paper's reference numbers, and asserts the reproduction's shape
+targets (see DESIGN.md §4).  Absolute timings are informational; the
+assertions are the reproduction audit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture()
+def run_artifact(benchmark):
+    """Run one experiment under the benchmark timer and print it."""
+
+    def _run(experiment_id: str, seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"seed": seed, "fast": False},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        paper_pairs = [
+            (key[: -len("_paper")], value)
+            for key, value in result.metrics.items()
+            if key.endswith("_paper")
+        ]
+        if paper_pairs:
+            print("paper-vs-measured:")
+            for key, paper_value in sorted(paper_pairs):
+                measured = result.metrics.get(key)
+                if measured is None:
+                    continue
+                print(f"  {key}: paper={paper_value:g} measured={measured:g}")
+        return result
+
+    return _run

@@ -1,0 +1,5 @@
+"""Legacy setup shim: environments without the `wheel` package cannot do
+PEP 660 editable installs; `python setup.py develop` still works."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "Partitioning Attacks on Bitcoin: Colliding
+Space, Time, and Logic" (Saad, Cook, Nguyen, Thai, Mohaisen; ICDCS 2019).
+
+The library is organized by substrate:
+
+- :mod:`repro.topology` — Internet topology: organizations, ASes, BGP
+  prefixes, routing and hijacks, calibrated to the paper's 2018
+  measurements;
+- :mod:`repro.blockchain` — blocks, transactions, UTXO, forks, PoW
+  timing;
+- :mod:`repro.netsim` — the event-driven Bitcoin P2P simulator plus the
+  paper's grid simulator (Figure 7);
+- :mod:`repro.crawler` — the simulated Bitnodes measurement layer;
+- :mod:`repro.datagen` — synthetic data calibrated to every published
+  statistic;
+- :mod:`repro.analysis` — the computations behind every table/figure;
+- :mod:`repro.attacks` — spatial, temporal, spatio-temporal, and
+  logical partitioning attacks;
+- :mod:`repro.countermeasures` — BlockAware, stratum distribution,
+  route purging;
+- :mod:`repro.experiments` — one regenerator per paper artifact.
+
+Quickstart::
+
+    from repro import build_paper_topology, PopulationGenerator
+    topo = build_paper_topology(seed=7)
+    snapshot = PopulationGenerator(topo, seed=7).generate()
+    print(snapshot.summary())
+"""
+
+from .attacks import (
+    Adversary,
+    AdversaryType,
+    AdversaryView,
+    AttackOutcome,
+    AttackResult,
+    LogicalAttack,
+    NationStateBlock,
+    SpatialAttack,
+    SpatioTemporalAttack,
+    StratumIsolation,
+    TemporalAttack,
+    TemporalAttackPlan,
+)
+from .countermeasures import (
+    BlockAware,
+    BlockAwareConfig,
+    RouteGuard,
+    StratumDistribution,
+)
+from .crawler import BitnodesCrawler, ConsensusTimeSeries, NetworkSnapshot, NodeRecord
+from .datagen import (
+    ConsensusDynamicsGenerator,
+    ConsensusModelParams,
+    PopulationGenerator,
+)
+from .netsim import (
+    GridConfig,
+    GridSimulator,
+    Network,
+    NetworkConfig,
+    span_ratio_delay,
+)
+from .rng import RngStreams
+from .scenarios import Scenario, paper_network
+from .topology import Topology, build_paper_topology
+from .types import BITCOIN_BLOCK_INTERVAL, AddressType, LagBand
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "AdversaryType",
+    "AdversaryView",
+    "AttackOutcome",
+    "AttackResult",
+    "LogicalAttack",
+    "NationStateBlock",
+    "SpatialAttack",
+    "SpatioTemporalAttack",
+    "StratumIsolation",
+    "TemporalAttack",
+    "TemporalAttackPlan",
+    "BlockAware",
+    "BlockAwareConfig",
+    "RouteGuard",
+    "StratumDistribution",
+    "BitnodesCrawler",
+    "ConsensusTimeSeries",
+    "NetworkSnapshot",
+    "NodeRecord",
+    "ConsensusDynamicsGenerator",
+    "ConsensusModelParams",
+    "PopulationGenerator",
+    "GridConfig",
+    "GridSimulator",
+    "Network",
+    "NetworkConfig",
+    "span_ratio_delay",
+    "RngStreams",
+    "Scenario",
+    "paper_network",
+    "Topology",
+    "build_paper_topology",
+    "BITCOIN_BLOCK_INTERVAL",
+    "AddressType",
+    "LagBand",
+    "__version__",
+]

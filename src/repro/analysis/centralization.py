@@ -1,0 +1,104 @@
+"""Centralization analyses: Table II, Table III, and Figure 3.
+
+Works over any ``entity -> node count`` mapping, so the same functions
+serve AS-level and organization-level views (the paper computes both
+and finds organizations the tighter of the two).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple, TypeVar
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "top_entities",
+    "coverage_count",
+    "cdf_points",
+    "CentralizationChange",
+    "centralization_change",
+]
+
+K = TypeVar("K", bound=Hashable)
+
+
+def top_entities(counts: Dict[K, int], k: int = 10) -> List[Tuple[K, int, float]]:
+    """Top-k entities with node counts and percentage share (Table II).
+
+    Ties break on the entity key's string form for determinism.
+    """
+    if not counts:
+        raise AnalysisError("empty counts")
+    total = sum(counts.values())
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))[:k]
+    return [(key, count, 100.0 * count / total) for key, count in ranked]
+
+
+def coverage_count(counts: Dict[K, int], fraction: float) -> int:
+    """Smallest number of entities hosting >= ``fraction`` of all nodes.
+
+    The paper's "8 ASes host 30%", "24 ASes host 50%" statistic.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise AnalysisError("fraction must be in (0, 1]", fraction=fraction)
+    if not counts:
+        raise AnalysisError("empty counts")
+    total = sum(counts.values())
+    target = fraction * total
+    cumulative = 0
+    for rank, (_, count) in enumerate(
+        sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))), start=1
+    ):
+        cumulative += count
+        if cumulative >= target:
+            return rank
+    return len(counts)  # pragma: no cover - fraction <= 1 always reached
+
+
+def cdf_points(counts: Dict[K, int]) -> List[Tuple[int, float]]:
+    """Figure 3: cumulative node fraction vs entity rank.
+
+    Returns ``(rank, cumulative_fraction)`` for every rank from 1 to
+    the number of entities, sorted by descending node count.
+    """
+    if not counts:
+        raise AnalysisError("empty counts")
+    total = sum(counts.values())
+    ordered = sorted(counts.values(), reverse=True)
+    return [
+        (rank, cumulative / total)
+        for rank, cumulative in enumerate(itertools.accumulate(ordered), start=1)
+    ]
+
+
+@dataclass(frozen=True)
+class CentralizationChange:
+    """Table III row: entity counts for one coverage level, two years."""
+
+    coverage: float
+    entities_before: int
+    entities_after: int
+
+    @property
+    def change_pct(self) -> float:
+        """The paper's C = (N1 - N2) * 100 / N1."""
+        if self.entities_before == 0:
+            raise AnalysisError("baseline count is zero")
+        return (
+            (self.entities_before - self.entities_after)
+            * 100.0
+            / self.entities_before
+        )
+
+
+def centralization_change(
+    before: int, after: int, coverage: float
+) -> CentralizationChange:
+    """Build a Table III row from two years' coverage counts."""
+    if before <= 0 or after <= 0:
+        raise AnalysisError("counts must be positive", before=before, after=after)
+    return CentralizationChange(
+        coverage=coverage, entities_before=before, entities_after=after
+    )

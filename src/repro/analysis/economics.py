@@ -1,0 +1,124 @@
+"""The paper's asymmetric-vulnerability economics (§V-B implications).
+
+    "With a market capitalization of o(10^11) USD and network
+    configuration of o(10^4) nodes, each full node is worth o(10^7)
+    USD.  However, the cost of disrupting the network is far less than
+    the value being impacted, which makes Bitcoin an economically
+    attractive target."
+
+This module quantifies that asymmetry for each attack family: value at
+risk per node, the attacker's effort in its native unit (prefixes,
+hash-hours, exploits), and the resulting leverage ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..attacks.results import AttackResult
+from ..errors import AnalysisError
+
+__all__ = ["EconomicModel", "AttackEconomics"]
+
+#: Market capitalization at the paper's writing (USD).
+PAPER_MARKET_CAP = 110e9
+
+#: Reachable full nodes in the paper's snapshot.
+PAPER_NODE_COUNT = 13_635
+
+
+@dataclass(frozen=True)
+class AttackEconomics:
+    """Economic summary of one attack execution.
+
+    Attributes:
+        value_at_risk: USD value represented by the victims.
+        attack_cost: Estimated attacker outlay (USD).
+        leverage: value_at_risk / attack_cost — the paper's asymmetry.
+    """
+
+    value_at_risk: float
+    attack_cost: float
+
+    @property
+    def leverage(self) -> float:
+        if self.attack_cost <= 0:
+            raise AnalysisError("attack cost must be positive")
+        return self.value_at_risk / self.attack_cost
+
+
+@dataclass(frozen=True)
+class EconomicModel:
+    """Unit-cost assumptions for pricing attacks.
+
+    Defaults are deliberately conservative order-of-magnitude figures;
+    every analysis exposes them as parameters so sensitivity sweeps are
+    one loop away.
+
+    Attributes:
+        market_cap: Network value (USD).
+        node_count: Reachable full nodes sharing that value.
+        cost_per_prefix_hijack: Operating cost of announcing and
+            sustaining one bogus prefix (USD).
+        cost_per_hash_share_hour: Cost of renting 1% of the network
+            hash rate for one hour (USD).
+        cost_per_exploit: Development/acquisition cost of one usable
+            client exploit (USD).
+    """
+
+    market_cap: float = PAPER_MARKET_CAP
+    node_count: int = PAPER_NODE_COUNT
+    cost_per_prefix_hijack: float = 5_000.0
+    cost_per_hash_share_hour: float = 20_000.0
+    cost_per_exploit: float = 100_000.0
+
+    @property
+    def value_per_node(self) -> float:
+        """The paper's o(10^7) USD per full node."""
+        if self.node_count <= 0:
+            raise AnalysisError("node count must be positive")
+        return self.market_cap / self.node_count
+
+    # ------------------------------------------------------------------
+    def price_spatial(self, result: AttackResult) -> AttackEconomics:
+        """Price a BGP hijack: effort = prefixes announced."""
+        if result.attack not in ("spatial", "nation_state_block", "stratum_isolation"):
+            raise AnalysisError("not a spatial-family result", attack=result.attack)
+        cost = max(result.effort, 1.0) * self.cost_per_prefix_hijack
+        return AttackEconomics(
+            value_at_risk=result.num_victims * self.value_per_node,
+            attack_cost=cost,
+        )
+
+    def price_temporal(
+        self, result: AttackResult, duration_hours: float, hash_share: float
+    ) -> AttackEconomics:
+        """Price a counterfeit-feeding attack: effort = rented hash."""
+        if result.attack not in ("temporal", "double_spend", "spatiotemporal"):
+            raise AnalysisError("not a temporal-family result", attack=result.attack)
+        if duration_hours <= 0 or not 0 < hash_share < 1:
+            raise AnalysisError("invalid duration or share")
+        cost = hash_share * 100 * self.cost_per_hash_share_hour * duration_hours
+        return AttackEconomics(
+            value_at_risk=result.num_victims * self.value_per_node,
+            attack_cost=cost,
+        )
+
+    def price_logical(self, result: AttackResult) -> AttackEconomics:
+        """Price a CVE-based partition: effort = exploits used."""
+        if result.attack != "logical_crash":
+            raise AnalysisError("not a logical result", attack=result.attack)
+        cost = max(result.effort, 1.0) * self.cost_per_exploit
+        return AttackEconomics(
+            value_at_risk=result.num_victims * self.value_per_node,
+            attack_cost=cost,
+        )
+
+    def asymmetry_report(self) -> Dict[str, float]:
+        """The §V-B headline numbers."""
+        return {
+            "market_cap": self.market_cap,
+            "node_count": float(self.node_count),
+            "value_per_node": self.value_per_node,
+        }

@@ -1,0 +1,101 @@
+"""Figure 4: BGP hijack cost curves per AS.
+
+For a target AS, the attacker's greedy strategy hijacks the AS's most
+populated prefixes first; the curve maps the number of hijacked
+prefixes to the fraction of the AS's Bitcoin nodes captured.  The
+paper's findings reproduced here: AS24940's 1,030 nodes fall with ~15
+prefixes while AS16509 needs >140 despite hosting fewer nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..topology.prefix import Prefix, PrefixPool
+
+__all__ = ["HijackCurve", "hijack_curve", "prefixes_for_fraction"]
+
+
+@dataclass(frozen=True)
+class HijackCurve:
+    """The hijack cost curve of one AS.
+
+    Attributes:
+        asn: Target AS.
+        total_prefixes: Prefixes the AS announces (Figure 4 legend).
+        total_nodes: Bitcoin nodes the AS hosts.
+        points: ``(hijacked_prefix_count, captured_fraction)`` pairs,
+            greedy order, starting at (0, 0.0).
+    """
+
+    asn: int
+    total_prefixes: int
+    total_nodes: int
+    points: Tuple[Tuple[int, float], ...]
+
+    def fraction_at(self, num_hijacks: int) -> float:
+        """Captured node fraction after ``num_hijacks`` hijacks."""
+        if num_hijacks < 0:
+            raise AnalysisError("hijack count negative", num=num_hijacks)
+        index = min(num_hijacks, len(self.points) - 1)
+        return self.points[index][1]
+
+    def hijacks_for(self, fraction: float) -> Optional[int]:
+        """Fewest hijacks capturing >= ``fraction`` (None if impossible)."""
+        if not 0.0 < fraction <= 1.0:
+            raise AnalysisError("fraction must be in (0,1]", fraction=fraction)
+        for count, captured in self.points:
+            if captured >= fraction:
+                return count
+        return None
+
+    @property
+    def cost_per_node_at_80pct(self) -> Optional[float]:
+        """Prefixes per captured node at 80% coverage — the paper's
+        effort-vs-advantage comparison between AS24940 and AS16509."""
+        k = self.hijacks_for(0.80)
+        if k is None or self.total_nodes == 0:
+            return None
+        return k / (0.80 * self.total_nodes)
+
+
+def hijack_curve(pool: PrefixPool) -> HijackCurve:
+    """Greedy hijack cost curve for an AS's prefix pool."""
+    counts = pool.node_counts()
+    total_nodes = pool.num_nodes
+    if total_nodes == 0:
+        raise AnalysisError("AS hosts no nodes", asn=pool.asn)
+    fractions = [0.0]
+    for cumulative in itertools.accumulate(count for _, count in counts):
+        fractions.append(cumulative / total_nodes)
+    points = tuple((k, fraction) for k, fraction in enumerate(fractions))
+    return HijackCurve(
+        asn=pool.asn,
+        total_prefixes=pool.num_prefixes,
+        total_nodes=total_nodes,
+        points=points,
+    )
+
+
+def prefixes_for_fraction(pool: PrefixPool, fraction: float) -> List[Prefix]:
+    """The actual prefixes the greedy attacker hijacks for ``fraction``.
+
+    This is what :class:`~repro.attacks.spatial.SpatialAttack` announces.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise AnalysisError("fraction must be in (0,1]", fraction=fraction)
+    counts = pool.node_counts()
+    total = pool.num_nodes
+    if total == 0:
+        raise AnalysisError("AS hosts no nodes", asn=pool.asn)
+    chosen: List[Prefix] = []
+    captured = 0
+    for prefix, count in counts:
+        if captured >= fraction * total:
+            break
+        chosen.append(prefix)
+        captured += count
+    return chosen

@@ -1,0 +1,99 @@
+"""Table IV: mining pools mapped to stratum ASes and organizations.
+
+Joins the pool dataset (:mod:`repro.datagen.pools`) with the topology's
+AS -> organization ownership to reproduce the paper's findings: the
+top-5 pools (65.7% of hash rate) route through 3 organizations, and the
+AliBaba group alone views >= 59.4% of mining data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..datagen.pools import (
+    MINING_POOLS,
+    MiningPoolRecord,
+    group_shares,
+    pool_asn_shares,
+    top_pool_coverage,
+)
+from ..errors import AnalysisError
+from ..topology.topology import Topology
+
+__all__ = ["PoolMapping", "map_pools"]
+
+
+@dataclass(frozen=True)
+class PoolMapping:
+    """The Table IV join result.
+
+    Attributes:
+        rows: (pool name, hash share, stratum ASNs, org names) per pool.
+        asn_shares: Hash share transiting each stratum AS.
+        group_shares_: Hash share viewed by each corporate group.
+        covered_share: Aggregate share of the studied pools (0.657).
+    """
+
+    rows: Tuple[Tuple[str, float, Tuple[int, ...], Tuple[str, ...]], ...]
+    asn_shares: Dict[int, float]
+    group_shares_: Dict[str, float]
+    covered_share: float
+
+    def top_asns_for_share(self, share: float) -> List[int]:
+        """Fewest ASes whose hijack isolates >= ``share`` of hash rate."""
+        if not 0.0 < share <= 1.0:
+            raise AnalysisError("share must be in (0,1]", share=share)
+        chosen: List[int] = []
+        captured = 0.0
+        for asn, asn_share in sorted(
+            self.asn_shares.items(), key=lambda kv: -kv[1]
+        ):
+            chosen.append(asn)
+            captured += asn_share
+            if captured >= share:
+                return chosen
+        raise AnalysisError(
+            "mapped pools cannot reach requested share",
+            requested=share,
+            available=captured,
+        )
+
+    @property
+    def dominant_group(self) -> Tuple[str, float]:
+        """The organization group with the largest hash-rate view."""
+        group, share = max(self.group_shares_.items(), key=lambda kv: kv[1])
+        return group, share
+
+
+def map_pools(
+    topology: Optional[Topology] = None,
+    pools: Tuple[MiningPoolRecord, ...] = MINING_POOLS,
+) -> PoolMapping:
+    """Build the Table IV mapping.
+
+    When a topology is supplied, each stratum ASN is validated against
+    it and organization names are read from the topology's registry
+    (the cross-validation step the paper performed against the Digital
+    Envoy dataset); otherwise the dataset's own names are used.
+    """
+    rows = []
+    for pool in pools:
+        org_names = pool.org_names
+        if topology is not None:
+            resolved = []
+            for asn, fallback in zip(pool.stratum_asns, pool.org_names):
+                asys = topology.ases.find(asn)
+                if asys is None:
+                    raise AnalysisError(
+                        "stratum AS missing from topology", asn=asn, pool=pool.name
+                    )
+                resolved.append(topology.orgs.get(asys.org_id).name)
+            org_names = tuple(resolved)
+        rows.append((pool.name, pool.hash_share, pool.stratum_asns, org_names))
+    return PoolMapping(
+        rows=tuple(rows),
+        asn_shares=pool_asn_shares(),
+        group_shares_=group_shares(),
+        covered_share=top_pool_coverage(),
+    )

@@ -1,0 +1,85 @@
+"""Table VII / Figure 8: synced nodes joined with their hosting ASes.
+
+Figure 8(a) re-plots the Figure 6(b) day as three line series (synced,
+1 behind, 2-4 behind); 8(b) and 8(c) break the synced series down by
+the top hosting ASes, and Table VII ranks those ASes over the full day.
+The spatio-temporal attacker uses this join to decide which ASes to
+hijack (synced nodes) and which nodes to feed counterfeit blocks
+(lagging nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..crawler.timeseries import ConsensusTimeSeries
+from ..errors import AnalysisError
+from ..topology.topology import Topology
+from ..types import LagBand
+
+__all__ = ["SyncedAsRow", "synced_as_table", "synced_band_lines"]
+
+
+def synced_band_lines(
+    series: ConsensusTimeSeries,
+) -> Dict[str, np.ndarray]:
+    """Figure 8(a): the three line series of the one-day snapshot."""
+    bands = series.band_count_series()
+    return {
+        "synced": bands[LagBand.SYNCED],
+        "behind_1": bands[LagBand.BEHIND_1],
+        "behind_2_4": bands[LagBand.BEHIND_2_4],
+    }
+
+
+@dataclass(frozen=True)
+class SyncedAsRow:
+    """Table VII row.
+
+    Attributes:
+        asn: AS number.
+        org_name: Hosting organization display name.
+        mean_synced_nodes: Average synced-node count over the day.
+        percentage: Share of all synced node-samples the AS hosts.
+    """
+
+    asn: int
+    org_name: str
+    mean_synced_nodes: int
+    percentage: float
+
+
+def synced_as_table(
+    series: ConsensusTimeSeries,
+    topology: Optional[Topology] = None,
+    k: int = 5,
+) -> List[SyncedAsRow]:
+    """Rank the top-k ASes by synced nodes hosted over the series."""
+    if series.node_asns is None:
+        raise AnalysisError("series lacks per-node ASN mapping")
+    synced = series.lags == 0
+    total_synced_samples = int(synced.sum())
+    if total_synced_samples == 0:
+        raise AnalysisError("series has no synced samples")
+    rows: List[SyncedAsRow] = []
+    totals: Dict[int, int] = {}
+    for asn in np.unique(series.node_asns):
+        totals[int(asn)] = int(synced[:, series.node_asns == asn].sum())
+    for asn, total in sorted(totals.items(), key=lambda kv: -kv[1])[:k]:
+        org_name = f"AS{asn}"
+        if topology is not None:
+            asys = topology.ases.find(asn)
+            if asys is not None:
+                org_name = topology.orgs.get(asys.org_id).name
+        rows.append(
+            SyncedAsRow(
+                asn=asn,
+                org_name=org_name,
+                mean_synced_nodes=total // series.num_samples,
+                percentage=100.0 * total / total_synced_samples,
+            )
+        )
+    return rows

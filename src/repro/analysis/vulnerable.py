@@ -1,0 +1,105 @@
+"""Table V: the sustained-lag window optimization.
+
+The paper formalizes the temporal attack's target selection as: *given
+a timing constraint T, find the maximum number of vulnerable nodes
+whose lagging time L(t) is at least T*, where L(t) is the time a node
+needs to catch up once it lags at time t (§V-B).  A node has L(t) >= T
+exactly when it stays >= b blocks behind throughout [t, t + T), so the
+optimum is a max over sliding windows of the per-node sustained-lag
+indicator — computed here with a cumulative-sum trick in O(samples x
+nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..crawler.timeseries import ConsensusTimeSeries
+from ..errors import AnalysisError
+
+__all__ = ["VulnerableWindows", "max_vulnerable_nodes", "vulnerable_table"]
+
+#: The paper's Table V axes.
+DEFAULT_T_MINUTES: Tuple[int, ...] = (5, 10, 15, 20, 25, 30, 40, 70, 200)
+DEFAULT_LAG_THRESHOLDS: Tuple[int, ...] = (1, 2, 5)
+
+
+@dataclass(frozen=True)
+class VulnerableWindows:
+    """One Table V cell, with the witness window.
+
+    Attributes:
+        t_minutes: The timing constraint T.
+        lag_threshold: Minimum blocks behind (1, 2, or 5).
+        max_nodes: Maximum concurrently-vulnerable node count.
+        at_time: Window start time achieving the maximum.
+        total_nodes: Population size (for the percentage column).
+    """
+
+    t_minutes: int
+    lag_threshold: int
+    max_nodes: int
+    at_time: float
+    total_nodes: int
+
+    @property
+    def percentage(self) -> float:
+        return 100.0 * self.max_nodes / self.total_nodes if self.total_nodes else 0.0
+
+
+def max_vulnerable_nodes(
+    series: ConsensusTimeSeries,
+    lag_threshold: int,
+    t_minutes: int,
+) -> VulnerableWindows:
+    """Maximum number of nodes lagging >= ``lag_threshold`` blocks for
+    at least ``t_minutes`` minutes, over all window placements.
+
+    Requires the series' sampling interval to divide the window evenly;
+    the window length in samples is ``round(T / interval)``.
+    """
+    if lag_threshold < 1:
+        raise AnalysisError("lag threshold must be >= 1", value=lag_threshold)
+    if t_minutes <= 0:
+        raise AnalysisError("window must be positive", minutes=t_minutes)
+    if series.num_samples < 2:
+        raise AnalysisError("series too short")
+    interval = float(series.times[1] - series.times[0])
+    window = max(1, round(t_minutes * 60.0 / interval))
+    if window > series.num_samples:
+        raise AnalysisError(
+            "window longer than series",
+            window_samples=window,
+            samples=series.num_samples,
+        )
+    behind = (series.lags >= lag_threshold).astype(np.int32)
+    # Sliding-window "all true" via cumulative sums: a node sustains the
+    # lag over a window iff the window's sum equals the window length.
+    csum = np.vstack(
+        [np.zeros((1, behind.shape[1]), dtype=np.int32), np.cumsum(behind, axis=0)]
+    )
+    window_sums = csum[window:] - csum[:-window]
+    sustained_counts = (window_sums == window).sum(axis=1)
+    best = int(np.argmax(sustained_counts))
+    return VulnerableWindows(
+        t_minutes=t_minutes,
+        lag_threshold=lag_threshold,
+        max_nodes=int(sustained_counts[best]),
+        at_time=float(series.times[best]),
+        total_nodes=series.num_nodes,
+    )
+
+
+def vulnerable_table(
+    series: ConsensusTimeSeries,
+    t_values: Sequence[int] = DEFAULT_T_MINUTES,
+    lag_thresholds: Sequence[int] = DEFAULT_LAG_THRESHOLDS,
+) -> Dict[int, List[VulnerableWindows]]:
+    """Full Table V: rows per T, one cell per lag threshold."""
+    return {
+        t: [max_vulnerable_nodes(series, b, t) for b in lag_thresholds]
+        for t in t_values
+    }

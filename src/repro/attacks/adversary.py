@@ -1,0 +1,132 @@
+"""The threat model (paper §III): adversary types, capabilities, view.
+
+The paper assumes different adversaries per attack family — a
+malicious AS/ISP or nation-state for spatial partitioning, a mining
+pool for temporal partitioning, a software developer for logical
+partitioning — each with a *consistent view of the network* equivalent
+to what Bitnodes exposes.  :class:`AdversaryView` packages exactly the
+four information items §III enumerates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.centralization import top_entities
+from ..crawler.snapshot import NetworkSnapshot
+from ..crawler.timeseries import ConsensusTimeSeries
+from ..errors import AttackError
+
+__all__ = ["AdversaryType", "Capability", "Adversary", "AdversaryView"]
+
+
+class Capability(enum.Enum):
+    """Atomic adversarial capabilities from §III."""
+
+    BGP_ANNOUNCE = "bgp_announce"  # forge routing announcements
+    POLICY_ENFORCEMENT = "policy_enforcement"  # block traffic by decree
+    MINING = "mining"  # produce (counterfeit) blocks
+    CRAWLING = "crawling"  # consistent Bitnodes-like view
+    SOFTWARE_DISTRIBUTION = "software_distribution"  # ship client mods
+
+
+class AdversaryType(enum.Enum):
+    """The adversary archetypes of the threat model."""
+
+    MALICIOUS_AS = "malicious_as"
+    ISP_ORGANIZATION = "isp_organization"
+    NATION_STATE = "nation_state"
+    MINING_POOL = "mining_pool"
+    SOFTWARE_DEVELOPER = "software_developer"
+
+    @property
+    def capabilities(self) -> Tuple[Capability, ...]:
+        crawl = Capability.CRAWLING  # every adversary can crawl (§III)
+        return {
+            AdversaryType.MALICIOUS_AS: (Capability.BGP_ANNOUNCE, crawl),
+            AdversaryType.ISP_ORGANIZATION: (
+                Capability.BGP_ANNOUNCE,
+                Capability.POLICY_ENFORCEMENT,
+                crawl,
+            ),
+            AdversaryType.NATION_STATE: (Capability.POLICY_ENFORCEMENT, crawl),
+            AdversaryType.MINING_POOL: (Capability.MINING, crawl),
+            AdversaryType.SOFTWARE_DEVELOPER: (
+                Capability.SOFTWARE_DISTRIBUTION,
+                crawl,
+            ),
+        }[self]
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """A concrete adversary instance.
+
+    Attributes:
+        kind: Archetype (decides capabilities).
+        asn: Attacking AS (for BGP-capable adversaries).
+        hash_share: Hash-rate fraction (for mining pools; the paper's
+            simulated temporal attacker holds 0.30).
+        country: Jurisdiction (for nation-states).
+    """
+
+    kind: AdversaryType
+    asn: Optional[int] = None
+    hash_share: float = 0.0
+    country: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hash_share < 1.0:
+            raise AttackError("hash share must be in [0,1)", share=self.hash_share)
+        if self.can(Capability.BGP_ANNOUNCE) and self.asn is None:
+            raise AttackError("BGP-capable adversary needs an ASN", kind=self.kind)
+        if self.kind is AdversaryType.MINING_POOL and self.hash_share <= 0.0:
+            raise AttackError("mining adversary needs hash share")
+        if self.kind is AdversaryType.NATION_STATE and not self.country:
+            raise AttackError("nation-state adversary needs a country")
+
+    def can(self, capability: Capability) -> bool:
+        return capability in self.kind.capabilities
+
+
+@dataclass
+class AdversaryView:
+    """The §III "adversarial view": what the attacker knows.
+
+    1. Top ASes/organizations hosting nodes and their distribution;
+    2. the temporal spread of block information (the lag series);
+    3. vulnerable nodes (location, uptime, latency, consensus state);
+    4. vulnerable network entities (prefix pools, hosting patterns).
+
+    Built from crawler products only — the adversary sees nothing a
+    real Bitnodes consumer could not.
+    """
+
+    snapshot: NetworkSnapshot
+    series: Optional[ConsensusTimeSeries] = None
+
+    def top_ases(self, k: int = 10) -> List[Tuple[int, int, float]]:
+        return top_entities(self.snapshot.nodes_per_as(), k)
+
+    def top_orgs(self, k: int = 10) -> List[Tuple[str, int, float]]:
+        return top_entities(self.snapshot.nodes_per_org(), k)
+
+    def vulnerable_nodes(self, min_lag: int = 1, max_lag: int = 5) -> List[int]:
+        """Nodes currently ``min_lag``..``max_lag`` blocks behind — the
+        §III target set ("1-5 blocks behind")."""
+        return [
+            record.node_id
+            for record in self.snapshot.records
+            if record.up and min_lag <= record.block_idx <= max_lag
+        ]
+
+    def synced_nodes(self) -> List[int]:
+        return [record.node_id for record in self.snapshot.synced_nodes()]
+
+    def nodes_in_as(self, asn: int) -> List[int]:
+        return [r.node_id for r in self.snapshot.records if r.asn == asn]
+
+    def lag_of(self, node_id: int) -> int:
+        return self.snapshot.get(node_id).block_idx

@@ -1,0 +1,126 @@
+"""Eclipse attack by peer-table poisoning (§V-A implications).
+
+The paper lists eclipse attacks (Heilman et al.) among the attacks
+spatial partitioning "facilitates".  Beyond the routing-level eclipse
+(:meth:`Network.eclipse`), this module implements the protocol-level
+variant: the adversary floods a victim's address manager with its own
+sybil addresses (``addr`` gossip) until the victim's peer table is
+attacker-dominated, then monopolizes its view without touching BGP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import AttackError
+from ..netsim.messages import AddrMsg
+from ..netsim.network import Network
+from ..types import Seconds
+from .results import AttackOutcome, AttackResult
+
+__all__ = ["EclipseAttack"]
+
+
+@dataclass
+class EclipseAttack:
+    """Peer-table takeover of one victim via addr flooding.
+
+    Parameters:
+        network: The running network.
+        victim: Node id to eclipse.
+        sybil_ids: Attacker-controlled node ids used to fill the
+            victim's peer table ("it is inexpensive to setup new
+            nodes", §V-B).
+        takeover_fraction: Attack succeeds when at least this share of
+            the victim's peers are sybils.
+    """
+
+    network: Network
+    victim: int
+    sybil_ids: Sequence[int]
+    takeover_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.victim not in self.network.nodes:
+            raise AttackError("unknown victim", node=self.victim)
+        missing = [s for s in self.sybil_ids if s not in self.network.nodes]
+        if missing:
+            raise AttackError("unknown sybil ids", ids=missing)
+        if self.victim in set(self.sybil_ids):
+            raise AttackError("victim cannot be its own sybil")
+        if not 0.0 < self.takeover_fraction <= 1.0:
+            raise AttackError("takeover fraction in (0,1]")
+
+    # ------------------------------------------------------------------
+    def sybil_share(self) -> float:
+        """Current fraction of the victim's peers that are sybils."""
+        peers = self.network.node(self.victim).peers
+        if not peers:
+            return 0.0
+        sybils = set(self.sybil_ids)
+        return sum(1 for p in peers if p in sybils) / len(peers)
+
+    def execute(self, duration: Seconds = 3600.0) -> AttackResult:
+        """Flood addr gossip, displace honest peers, measure takeover.
+
+        The displacement models restart-based eclipse: a real attacker
+        waits for (or forces) a victim restart so the poisoned address
+        manager drives reconnection; here the honest links are dropped
+        as the sybil connections come up, one per addr round.
+        """
+        net = self.network
+        victim_node = net.node(self.victim)
+        sybils = list(self.sybil_ids)
+        net.attacker_ids.update(sybils)
+        # Sybils are the adversary's nodes: they hold connections open
+        # but withhold inventory from the victim, starving its view.
+        for sybil in sybils:
+            net.node(sybil).suppress_inv_to.add(self.victim)
+
+        rounds = max(1, len(sybils))
+        interval = duration / rounds
+        for index, sybil in enumerate(sybils):
+            net.sim.schedule(
+                index * interval,
+                lambda s=sybil: self._poison_round(s),
+            )
+        net.run_for(duration)
+
+        share = self.sybil_share()
+        if share >= self.takeover_fraction:
+            # Monopolized: the remaining honest links go dark (the
+            # sybils simply never relay, so we cut them for fidelity).
+            for peer in list(victim_node.peers):
+                if peer not in set(sybils):
+                    net.disconnect(self.victim, peer)
+            outcome = AttackOutcome.SUCCESS
+        elif share > 0:
+            outcome = AttackOutcome.PARTIAL
+        else:
+            outcome = AttackOutcome.FAILED
+        return AttackResult(
+            attack="eclipse",
+            outcome=outcome,
+            victims=(self.victim,) if share > 0 else (),
+            effort=float(len(sybils)),
+            metrics={
+                "sybil_share": self.sybil_share(),
+                "victim_peers": float(len(victim_node.peers)),
+            },
+        )
+
+    def _poison_round(self, sybil: int) -> None:
+        """One addr-flood round: advertise the sybil, displace a peer."""
+        net = self.network
+        victim_node = net.node(self.victim)
+        sybil_set = set(self.sybil_ids)
+        # The sybil advertises itself to the victim.
+        net.node(sybil).send(self.victim, AddrMsg(addresses=(sybil,)))
+        if sybil not in victim_node.peers:
+            net.connect(self.victim, sybil)
+        # Displace one honest peer (restart-based table churn).
+        for peer in list(victim_node.peers):
+            if peer not in sybil_set:
+                net.disconnect(self.victim, peer)
+                break

@@ -1,0 +1,143 @@
+"""The 51% attack enabled by partitioning (§V-A implications).
+
+    "By isolating a majority of the network's hash power, the attacker
+    can launch the 51% attack on Bitcoin which will grant him a
+    permanent control over the blockchain."
+
+The attack composes the spatial machinery: stratum isolation removes
+competing hash power until the adversary's share of the *remaining*
+power exceeds one half, at which point its chain outruns the honest
+remnant indefinitely.  The module plans the isolation, executes it on
+a simulation, and measures chain control over a horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.poolmap import PoolMapping, map_pools
+from ..errors import AttackError
+from ..netsim.network import Network
+from ..types import Seconds
+from .results import AttackOutcome, AttackResult
+
+__all__ = ["MajorityAttack"]
+
+
+@dataclass
+class MajorityAttack:
+    """Gain >50% of the *effective* hash rate by isolating competitors.
+
+    Parameters:
+        network: Simulation whose pools include the attacker's.
+        attacker_pool_name: The adversary's pool (already mining).
+        mapping: Stratum-AS mapping used to plan the isolation
+            (defaults to the Table IV dataset).
+    """
+
+    network: Network
+    attacker_pool_name: str
+    mapping: PoolMapping = field(default_factory=map_pools)
+
+    def __post_init__(self) -> None:
+        if self._attacker_pool() is None:
+            raise AttackError("attacker pool not found", name=self.attacker_pool_name)
+
+    def _attacker_pool(self):
+        for pool in self.network.pools:
+            if pool.name == self.attacker_pool_name:
+                return pool
+        return None
+
+    # ------------------------------------------------------------------
+    def effective_share(self) -> float:
+        """Attacker's share of the currently-active hash rate."""
+        attacker = self._attacker_pool()
+        total = self.network.total_hash_share(active_only=True)
+        if total <= 0 or not attacker.active:
+            return 0.0
+        return attacker.hash_share / total
+
+    def plan(self) -> List[int]:
+        """Fewest stratum ASes to hijack for a majority.
+
+        Competing pools are removed greedily by their stratum-AS hash
+        weight until the attacker's effective share exceeds 0.5.
+        """
+        attacker = self._attacker_pool()
+        active = [
+            pool
+            for pool in self.network.pools
+            if pool is not attacker and pool.active
+        ]
+        remaining = sum(pool.hash_share for pool in active)
+        # AS -> share of *this network's* competing pools behind it.
+        # The attacker's own stratum AS is untouchable: hijacking it
+        # would sever the attacker's hash power too.
+        as_weight: Dict[int, float] = {}
+        for pool in active:
+            if pool.stratum.asn == attacker.stratum.asn:
+                continue
+            as_weight[pool.stratum.asn] = (
+                as_weight.get(pool.stratum.asn, 0.0) + pool.hash_share
+            )
+        chosen: List[int] = []
+        share = attacker.hash_share
+        for asn, weight in sorted(as_weight.items(), key=lambda kv: -kv[1]):
+            if share / (share + remaining) > 0.5:
+                break
+            chosen.append(asn)
+            remaining -= weight
+        if share / max(share + remaining, 1e-12) <= 0.5:
+            raise AttackError(
+                "cannot reach majority by stratum isolation",
+                attacker_share=share,
+            )
+        return chosen
+
+    def execute(self, horizon: Seconds = 24 * 3600) -> AttackResult:
+        """Isolate competitors, run, and measure chain control.
+
+        Chain control = fraction of main-chain blocks (mined after the
+        isolation) produced by the attacker, observed at the attacker's
+        node.
+        """
+        attacker = self._attacker_pool()
+        target_asns = set(self.plan())
+        stopped = 0
+        for pool in self.network.pools:
+            if pool is not attacker and pool.stratum.asn in target_asns:
+                pool.stratum.reachable = False
+                stopped += 1
+
+        node = self.network.node(attacker.node_id)
+        height_before = node.height
+        self.network.run_for(horizon)
+
+        chain = node.tree.main_chain()
+        new_blocks = [b for b in chain if b.height > height_before]
+        attacker_blocks = [
+            b for b in new_blocks if b.header.miner_id == attacker.pool_id
+        ]
+        control = (
+            len(attacker_blocks) / len(new_blocks) if new_blocks else 0.0
+        )
+        return AttackResult(
+            attack="majority",
+            outcome=(
+                AttackOutcome.SUCCESS
+                if control > 0.5
+                else AttackOutcome.PARTIAL
+                if control > 0.0
+                else AttackOutcome.FAILED
+            ),
+            victims=(),
+            effort=float(len(target_asns)),
+            metrics={
+                "effective_share": self.effective_share(),
+                "chain_control": control,
+                "stopped_pools": float(stopped),
+                "new_blocks": float(len(new_blocks)),
+            },
+        )

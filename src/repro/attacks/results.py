@@ -1,0 +1,44 @@
+"""Common result schema for attack executions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["AttackOutcome", "AttackResult"]
+
+
+class AttackOutcome(enum.Enum):
+    """Coarse outcome classification."""
+
+    SUCCESS = "success"
+    PARTIAL = "partial"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """What an attack execution achieved.
+
+    Attributes:
+        attack: Attack family name (``"spatial"``, ``"temporal"``...).
+        outcome: Coarse classification.
+        victims: Node ids isolated / misled.
+        effort: The attack's cost metric (hijacked prefixes for spatial
+            attacks, seconds of feeding for temporal ones).
+        metrics: Attack-specific numbers (fractions, heights, shares).
+    """
+
+    attack: str
+    outcome: AttackOutcome
+    victims: Tuple[int, ...]
+    effort: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_victims(self) -> int:
+        return len(self.victims)
+
+    def metric(self, name: str, default: float = 0.0) -> float:
+        return self.metrics.get(name, default)

@@ -1,0 +1,42 @@
+"""Blockchain substrate: blocks, transactions, UTXO set, fork handling.
+
+The temporal attacks in the paper revolve around nodes holding
+*different* chain views: lagging nodes accept an attacker's counterfeit
+branch, and recovery requires a reorganization that reverses the
+attacker's transactions ("a major update on the set of all UTXOs at
+each node", §V-B).  This package provides the pieces needed to model
+that faithfully:
+
+- :mod:`repro.blockchain.block` — hash-linked blocks and headers;
+- :mod:`repro.blockchain.tx` — transactions and the UTXO set with
+  double-spend detection and reorg-safe apply/revert;
+- :mod:`repro.blockchain.chain` — the block tree with fork tracking,
+  best-chain selection, and reorg computation;
+- :mod:`repro.blockchain.pow` — the proof-of-work timing model
+  (exponential block intervals proportional to hash share);
+- :mod:`repro.blockchain.fork` — fork lifecycle bookkeeping.
+"""
+
+from .block import Block, BlockHeader, GENESIS_HASH, genesis_block
+from .chain import BlockTree, ReorgEvent
+from .fork import Fork, ForkTracker
+from .pow import MiningModel, DifficultySchedule
+from .tx import Transaction, TxInput, TxOutput, UtxoSet, OutPoint
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "GENESIS_HASH",
+    "genesis_block",
+    "BlockTree",
+    "ReorgEvent",
+    "Fork",
+    "ForkTracker",
+    "MiningModel",
+    "DifficultySchedule",
+    "Transaction",
+    "TxInput",
+    "TxOutput",
+    "OutPoint",
+    "UtxoSet",
+]

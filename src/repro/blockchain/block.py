@@ -1,0 +1,173 @@
+"""Blocks and block headers with cryptographic hash linking.
+
+Blocks are immutable once constructed; the block hash commits to the
+parent hash, height, miner, timestamp, and the merkle root of the
+transaction list, so any tampering (e.g. an attacker rewriting history
+for isolated nodes) changes identities and is detectable — exactly the
+property the paper's simulator relied on with its "MD5 hash linked
+chain of values" internal error check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..errors import InvalidBlockError
+from .tx import Transaction
+
+__all__ = ["BlockHeader", "Block", "GENESIS_HASH", "genesis_block", "merkle_root"]
+
+#: Parent hash of the genesis block.
+GENESIS_HASH = "0" * 16
+
+
+def _hash_payload(payload: str) -> str:
+    """64-bit hex digest, as in the paper's simulator.
+
+    The paper's R simulator maintained "a 64-bit MD5 hash linked chain";
+    we keep the 64-bit width (16 hex chars) but derive it from SHA-256
+    for better mixing.  Width is an internal detail: collisions at 2^32
+    birthday bound are irrelevant at simulation scales (~1e6 blocks).
+    """
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def merkle_root(txids: Sequence[str]) -> str:
+    """Merkle root of a transaction-id list (Bitcoin-style pairing).
+
+    Empty lists hash to a fixed sentinel; odd levels duplicate the last
+    entry, as Bitcoin does.
+    """
+    if not txids:
+        return _hash_payload("empty-merkle")
+    level = list(txids)
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [
+            _hash_payload(level[i] + level[i + 1]) for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """The committed part of a block.
+
+    Attributes:
+        parent_hash: Hash of the parent block (``GENESIS_HASH`` for the
+            genesis block).
+        height: Distance from genesis (genesis = 0).
+        miner_id: Identifier of the miner/pool that produced the block.
+        timestamp: Simulation time (seconds) the block was found.
+        merkle: Merkle root of the block's transactions.
+        counterfeit: True for blocks forged by an attacker to mislead
+            lagging nodes (temporal attack).  The flag does not affect
+            validation — honest nodes cannot see it — but analyses use
+            it to measure how far bogus state spread.
+    """
+
+    parent_hash: str
+    height: int
+    miner_id: int
+    timestamp: float
+    merkle: str = ""
+    counterfeit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise InvalidBlockError("height must be non-negative", height=self.height)
+
+    @property
+    def hash(self) -> str:
+        """Block hash committing to all header fields."""
+        payload = (
+            f"{self.parent_hash}|{self.height}|{self.miner_id}"
+            f"|{self.timestamp:.6f}|{self.merkle}|{int(self.counterfeit)}"
+        )
+        return _hash_payload(payload)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A full block: header plus transactions.
+
+    Construction validates that the header's merkle root matches the
+    transaction list (pass ``merkle=""`` to have it computed).
+    """
+
+    header: BlockHeader
+    transactions: Tuple[Transaction, ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        parent_hash: str,
+        height: int,
+        miner_id: int,
+        timestamp: float,
+        transactions: Sequence[Transaction] = (),
+        counterfeit: bool = False,
+    ) -> "Block":
+        """Build a block, computing the merkle commitment."""
+        txs = tuple(transactions)
+        header = BlockHeader(
+            parent_hash=parent_hash,
+            height=height,
+            miner_id=miner_id,
+            timestamp=timestamp,
+            merkle=merkle_root([tx.txid for tx in txs]),
+            counterfeit=counterfeit,
+        )
+        return cls(header=header, transactions=txs)
+
+    def __post_init__(self) -> None:
+        expected = merkle_root([tx.txid for tx in self.transactions])
+        if self.header.merkle and self.header.merkle != expected:
+            raise InvalidBlockError(
+                "merkle root mismatch",
+                expected=expected,
+                committed=self.header.merkle,
+            )
+
+    @property
+    def hash(self) -> str:
+        return self.header.hash
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def parent_hash(self) -> str:
+        return self.header.parent_hash
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.header.parent_hash == GENESIS_HASH and self.height == 0
+
+    @property
+    def counterfeit(self) -> bool:
+        return self.header.counterfeit
+
+    def extends(self, parent: "Block") -> bool:
+        """Structural check that this block builds on ``parent``."""
+        return (
+            self.parent_hash == parent.hash and self.height == parent.height + 1
+        )
+
+    def __repr__(self) -> str:
+        flag = " counterfeit" if self.counterfeit else ""
+        return f"<Block h={self.height} {self.hash[:8]}..{flag}>"
+
+
+def genesis_block(timestamp: float = 0.0) -> Block:
+    """The canonical genesis block (miner_id -1, no transactions)."""
+    return Block.create(
+        parent_hash=GENESIS_HASH,
+        height=0,
+        miner_id=-1,
+        timestamp=timestamp,
+    )

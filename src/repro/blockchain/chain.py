@@ -1,0 +1,255 @@
+"""The block tree: forks, best-chain selection, reorganizations.
+
+Every simulated node owns a :class:`BlockTree`.  The tree accepts any
+block whose parent is known (orphans are parked until the parent
+arrives), tracks all tips, and selects the best chain by height with
+first-seen tie-breaking — the longest-chain rule the paper's simulator
+used to resolve forks "within two or three block intervals".
+
+A :class:`ReorgEvent` describes a best-tip switch: which blocks left the
+main chain and which joined.  The netsim node uses it to update its
+UTXO view, and the analyses use it to count reversed (double-spendable)
+transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import InvalidBlockError, UnknownBlockError
+from .block import Block, GENESIS_HASH
+
+__all__ = ["BlockTree", "ReorgEvent"]
+
+
+@dataclass(frozen=True)
+class ReorgEvent:
+    """A best-chain switch.
+
+    Attributes:
+        detached: Blocks removed from the main chain, tip-first.
+        attached: Blocks added to the main chain, oldest-first.
+        common_ancestor: Hash of the fork point both branches share.
+    """
+
+    detached: Tuple[Block, ...]
+    attached: Tuple[Block, ...]
+    common_ancestor: str
+
+    @property
+    def depth(self) -> int:
+        """How many blocks were unwound (0 = plain extension)."""
+        return len(self.detached)
+
+    @property
+    def is_extension(self) -> bool:
+        return not self.detached
+
+
+class BlockTree:
+    """A node's view of all known blocks.
+
+    The tree is rooted at a genesis block.  ``add_block`` connects
+    blocks whose parent is present and parks the rest as orphans;
+    when a parent arrives, its orphans are connected recursively.
+    The best tip maximizes height; ties keep the incumbent (first
+    seen), matching Bitcoin's behaviour and making fork resolution
+    depend on propagation order — the dynamics the temporal attack
+    exploits.
+    """
+
+    def __init__(self, genesis: Block) -> None:
+        if not genesis.is_genesis:
+            raise InvalidBlockError("root must be a genesis block")
+        self._blocks: Dict[str, Block] = {genesis.hash: genesis}
+        self._children: Dict[str, List[str]] = {genesis.hash: []}
+        self._orphans: Dict[str, List[Block]] = {}  # parent_hash -> waiting blocks
+        self._orphan_hashes: Set[str] = set()
+        self._tips: Set[str] = {genesis.hash}
+        self._best_tip: str = genesis.hash
+        self.genesis = genesis
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def knows(self, block_hash: str) -> bool:
+        """Whether the tree holds the block, connected *or* parked.
+
+        Relay logic must treat parked orphans as already-received:
+        re-accepting a duplicate orphan would re-park it and re-fire
+        ancestry requests, amplifying into a message storm.
+        """
+        return block_hash in self._blocks or block_hash in self._orphan_hashes
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_hash: str) -> Block:
+        try:
+            return self._blocks[block_hash]
+        except KeyError:
+            raise UnknownBlockError("block not in tree", block_hash=block_hash) from None
+
+    @property
+    def best_tip(self) -> Block:
+        return self._blocks[self._best_tip]
+
+    @property
+    def height(self) -> int:
+        """Height of the best chain's tip."""
+        return self.best_tip.height
+
+    @property
+    def tips(self) -> List[Block]:
+        """All current chain tips (more than one = live fork)."""
+        return [self._blocks[h] for h in self._tips]
+
+    @property
+    def num_orphans(self) -> int:
+        return sum(len(waiting) for waiting in self._orphans.values())
+
+    def children_of(self, block_hash: str) -> List[Block]:
+        return [self._blocks[h] for h in self._children.get(block_hash, [])]
+
+    def chain_from(self, tip_hash: str) -> List[Block]:
+        """Blocks from genesis to ``tip_hash``, oldest first."""
+        chain: List[Block] = []
+        cursor = self.get(tip_hash)
+        while True:
+            chain.append(cursor)
+            if cursor.is_genesis:
+                break
+            cursor = self.get(cursor.parent_hash)
+        chain.reverse()
+        return chain
+
+    def main_chain(self) -> List[Block]:
+        """The best chain, genesis first."""
+        return self.chain_from(self._best_tip)
+
+    def block_at_height(self, height: int) -> Optional[Block]:
+        """Main-chain block at ``height`` (None if above the tip)."""
+        if height > self.height or height < 0:
+            return None
+        cursor = self.best_tip
+        while cursor.height > height:
+            cursor = self.get(cursor.parent_hash)
+        return cursor
+
+    def is_on_main_chain(self, block_hash: str) -> bool:
+        block = self.get(block_hash)
+        anchor = self.block_at_height(block.height)
+        return anchor is not None and anchor.hash == block_hash
+
+    def lag_of(self, network_height: int) -> int:
+        """How many blocks this view trails a network at ``network_height``."""
+        return max(0, network_height - self.height)
+
+    def counterfeit_on_main(self) -> int:
+        """Counterfeit blocks currently on this view's main chain."""
+        return sum(1 for block in self.main_chain() if block.counterfeit)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_block(self, block: Block) -> Optional[ReorgEvent]:
+        """Insert ``block``; returns the reorg event if the tip moved.
+
+        Unknown-parent blocks are parked as orphans and connected later;
+        duplicate inserts are ignored (returns None).  Structural
+        validation (height = parent height + 1) is enforced.
+
+        One insert can connect a whole parked orphan chain; the event
+        returned spans the *entire* tip movement (old best tip to final
+        best tip), so UTXO bookkeeping sees every detached and attached
+        block exactly once.
+        """
+        if block.hash in self._blocks or block.hash in self._orphan_hashes:
+            return None
+        if block.is_genesis:
+            raise InvalidBlockError("tree already has a genesis block")
+        if block.parent_hash not in self._blocks:
+            self._orphans.setdefault(block.parent_hash, []).append(block)
+            self._orphan_hashes.add(block.hash)
+            return None
+        old_tip = self.best_tip
+        self._connect(block)
+        new_tip = self.best_tip
+        if new_tip.hash == old_tip.hash:
+            return None
+        return self._reorg_event(old_tip, new_tip)
+
+    def _connect(self, block: Block) -> None:
+        parent = self._blocks[block.parent_hash]
+        if block.height != parent.height + 1:
+            raise InvalidBlockError(
+                "height must be parent height + 1",
+                height=block.height,
+                parent_height=parent.height,
+            )
+        self._blocks[block.hash] = block
+        self._children[block.hash] = []
+        self._children[block.parent_hash].append(block.hash)
+        self._tips.discard(block.parent_hash)
+        self._tips.add(block.hash)
+
+        # Longest chain wins; ties keep the incumbent (first seen).
+        if block.height > self.best_tip.height:
+            self._best_tip = block.hash
+
+        # Connect any orphans that were waiting for this block.
+        for orphan in self._orphans.pop(block.hash, []):
+            self._orphan_hashes.discard(orphan.hash)
+            self._connect(orphan)
+
+    def _reorg_event(self, old_tip: Block, new_tip: Block) -> ReorgEvent:
+        """Compute detached/attached sets between two tips."""
+        detached: List[Block] = []
+        attached: List[Block] = []
+        a, b = old_tip, new_tip
+        while a.height > b.height:
+            detached.append(a)
+            a = self.get(a.parent_hash)
+        while b.height > a.height:
+            attached.append(b)
+            b = self.get(b.parent_hash)
+        while a.hash != b.hash:
+            detached.append(a)
+            attached.append(b)
+            a = self.get(a.parent_hash)
+            b = self.get(b.parent_hash)
+        attached.reverse()
+        return ReorgEvent(
+            detached=tuple(detached),
+            attached=tuple(attached),
+            common_ancestor=a.hash,
+        )
+
+    # ------------------------------------------------------------------
+    # Fork inspection
+    # ------------------------------------------------------------------
+    def fork_lengths(self) -> List[int]:
+        """Length of every non-main branch, measured from its fork point.
+
+        The paper notes real Bitcoin "forks have been observed up to a
+        height of 13"; this reports the analogous statistic for a tree.
+        """
+        lengths = []
+        for tip in self._tips:
+            if tip == self._best_tip:
+                continue
+            length = 0
+            cursor = self.get(tip)
+            while not self.is_on_main_chain(cursor.hash):
+                length += 1
+                cursor = self.get(cursor.parent_hash)
+            lengths.append(length)
+        return lengths
+
+    def missing_parents(self) -> List[str]:
+        """Parent hashes the tree is waiting on (for getdata requests)."""
+        return list(self._orphans)

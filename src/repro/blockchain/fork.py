@@ -1,0 +1,160 @@
+"""Fork lifecycle bookkeeping.
+
+The paper validates its simulator by checking that forks behave like
+the real network's: they arise when synchronization slips, persist for
+a bounded window, and are "resolved within two or three block
+intervals, with all nodes joining the longest chain" (§IV-B).  The
+:class:`ForkTracker` observes a stream of reorg events (or per-node
+tip reports) and derives those statistics: fork birth/death times,
+depths, and whether an attack held a fork open longer than natural
+churn would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..types import Seconds
+
+__all__ = ["Fork", "ForkTracker"]
+
+
+@dataclass
+class Fork:
+    """One fork's observed lifecycle.
+
+    Attributes:
+        fork_point: Hash of the last common block.
+        born_at: Simulation time the competing tip was first observed.
+        resolved_at: Time the fork died (None while live).
+        max_depth: Deepest divergence observed (blocks past fork point).
+        winning_tip: Tip hash that survived (None while live).
+        counterfeit: Whether the losing branch contained attacker blocks.
+    """
+
+    fork_point: str
+    born_at: Seconds
+    resolved_at: Optional[Seconds] = None
+    max_depth: int = 1
+    winning_tip: Optional[str] = None
+    counterfeit: bool = False
+
+    @property
+    def live(self) -> bool:
+        return self.resolved_at is None
+
+    @property
+    def lifetime(self) -> Optional[Seconds]:
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.born_at
+
+    def lifetime_in_block_intervals(self, block_interval: Seconds) -> Optional[float]:
+        """Fork lifetime normalized by the block interval.
+
+        The paper's validation target: natural forks resolve within 2–3
+        block intervals; attack-sustained forks exceed that.
+        """
+        lifetime = self.lifetime
+        if lifetime is None:
+            return None
+        return lifetime / block_interval
+
+
+class ForkTracker:
+    """Aggregates fork events into lifecycle records.
+
+    Call :meth:`observe_fork` when a competing branch appears and
+    :meth:`observe_resolution` when one side wins.  The tracker is
+    deliberately decoupled from any particular tree implementation so
+    both the event-driven simulator and the grid simulator can feed it.
+    """
+
+    def __init__(self) -> None:
+        self._live: Dict[str, Fork] = {}  # fork_point -> fork
+        self._resolved: List[Fork] = []
+
+    def observe_fork(
+        self,
+        fork_point: str,
+        time: Seconds,
+        depth: int = 1,
+        counterfeit: bool = False,
+    ) -> Fork:
+        """Record (or deepen) a live fork rooted at ``fork_point``."""
+        fork = self._live.get(fork_point)
+        if fork is None:
+            fork = Fork(
+                fork_point=fork_point,
+                born_at=time,
+                max_depth=depth,
+                counterfeit=counterfeit,
+            )
+            self._live[fork_point] = fork
+        else:
+            fork.max_depth = max(fork.max_depth, depth)
+            fork.counterfeit = fork.counterfeit or counterfeit
+        return fork
+
+    def observe_resolution(
+        self, fork_point: str, time: Seconds, winning_tip: str
+    ) -> Optional[Fork]:
+        """Mark the fork at ``fork_point`` as resolved."""
+        fork = self._live.pop(fork_point, None)
+        if fork is None:
+            return None
+        fork.resolved_at = time
+        fork.winning_tip = winning_tip
+        self._resolved.append(fork)
+        return fork
+
+    # ------------------------------------------------------------------
+    @property
+    def live_forks(self) -> List[Fork]:
+        return list(self._live.values())
+
+    @property
+    def resolved_forks(self) -> List[Fork]:
+        return list(self._resolved)
+
+    @property
+    def total_forks(self) -> int:
+        return len(self._live) + len(self._resolved)
+
+    def max_depth_seen(self) -> int:
+        """Deepest fork observed (real Bitcoin: up to 13, §IV-B)."""
+        depths = [f.max_depth for f in self._resolved] + [
+            f.max_depth for f in self._live.values()
+        ]
+        return max(depths, default=0)
+
+    def mean_lifetime(self) -> Optional[Seconds]:
+        lifetimes = [f.lifetime for f in self._resolved if f.lifetime is not None]
+        if not lifetimes:
+            return None
+        return sum(lifetimes) / len(lifetimes)
+
+    def counterfeit_forks(self) -> List[Fork]:
+        """Forks that carried attacker blocks (temporal-attack product)."""
+        return [f for f in self._resolved if f.counterfeit] + [
+            f for f in self._live.values() if f.counterfeit
+        ]
+
+    def summary(self, block_interval: Seconds) -> Dict[str, float]:
+        """Aggregate statistics used by validation tests and benches."""
+        resolved = self._resolved
+        lifetimes = [
+            f.lifetime_in_block_intervals(block_interval)
+            for f in resolved
+            if f.lifetime is not None
+        ]
+        return {
+            "total": float(self.total_forks),
+            "live": float(len(self._live)),
+            "resolved": float(len(resolved)),
+            "max_depth": float(self.max_depth_seen()),
+            "mean_lifetime_intervals": (
+                sum(lifetimes) / len(lifetimes) if lifetimes else 0.0
+            ),
+        }

@@ -1,0 +1,129 @@
+"""Proof-of-work timing model.
+
+Real PoW is memoryless: the time for a miner with hash share ``s`` to
+find the next block is exponential with rate ``s / T_block``.  The
+paper's temporal-attack simulation leans on exactly this property —
+"isolated nodes naturally assume that block delays are due to network
+issues... they do not know that new blocks are taking more time to
+calculate due to the lower hash rate of the attacker" (§V-B).
+
+:class:`MiningModel` samples those block-finding times;
+:class:`DifficultySchedule` models retargeting so long-horizon
+simulations keep a stable average interval.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..types import BITCOIN_BLOCK_INTERVAL, Seconds
+
+__all__ = ["MiningModel", "DifficultySchedule"]
+
+
+@dataclass
+class DifficultySchedule:
+    """Difficulty retargeting (Bitcoin: every 2016 blocks).
+
+    Difficulty scales the expected block interval: at difficulty ``d``,
+    the whole network (share 1.0) finds blocks at rate
+    ``1 / (d * base_interval)``.  ``retarget`` adjusts difficulty so the
+    observed interval converges back to the base interval, clamped to
+    Bitcoin's 4x bounds.
+    """
+
+    base_interval: Seconds = BITCOIN_BLOCK_INTERVAL
+    window: int = 2016
+    difficulty: float = 1.0
+    max_adjustment: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.base_interval <= 0:
+            raise ConfigurationError("base_interval must be positive")
+        if self.difficulty <= 0:
+            raise ConfigurationError("difficulty must be positive")
+
+    @property
+    def target_interval(self) -> Seconds:
+        """Expected network-wide block interval at current difficulty."""
+        return self.base_interval * self.difficulty
+
+    def retarget(self, observed_window_duration: Seconds) -> float:
+        """Adjust difficulty from the duration of the last window.
+
+        Returns the new difficulty.  A window mined faster than target
+        raises difficulty proportionally (clamped), and vice versa —
+        which is how an attacker segment with 30% hash power eventually
+        re-stabilizes its counterfeit chain's interval.
+        """
+        expected = self.window * self.target_interval
+        if observed_window_duration <= 0:
+            raise ConfigurationError("window duration must be positive")
+        ratio = expected / observed_window_duration
+        ratio = max(1.0 / self.max_adjustment, min(self.max_adjustment, ratio))
+        self.difficulty *= ratio
+        return self.difficulty
+
+
+@dataclass
+class MiningModel:
+    """Samples block-finding times for miners by hash share.
+
+    Attributes:
+        schedule: The difficulty schedule in force.
+        rng: Source of randomness (a named stream from
+            :class:`repro.rng.RngStreams`).
+    """
+
+    rng: random.Random
+    schedule: DifficultySchedule = field(default_factory=DifficultySchedule)
+
+    def rate_for_share(self, hash_share: float) -> float:
+        """Block-finding rate (blocks/second) for ``hash_share``."""
+        if not 0.0 < hash_share <= 1.0:
+            raise ConfigurationError("hash share must be in (0, 1]", share=hash_share)
+        return hash_share / self.schedule.target_interval
+
+    def sample_block_time(self, hash_share: float) -> Seconds:
+        """Time until a miner with ``hash_share`` finds the next block.
+
+        Exponential with mean ``target_interval / hash_share``; the
+        memorylessness means resampling after a chain switch is
+        statistically indistinguishable from continuing, so the
+        simulator may resample freely on reorgs.
+        """
+        rate = self.rate_for_share(hash_share)
+        return self.rng.expovariate(rate)
+
+    def expected_interval(self, hash_share: float) -> Seconds:
+        """Mean block interval for an isolated segment with that share.
+
+        A 30% attacker alone produces blocks every ~2000 s instead of
+        600 s — the slowdown the paper says victims misattribute to
+        network issues.
+        """
+        return self.schedule.target_interval / hash_share
+
+    def winner(self, shares: Dict[int, float]) -> Tuple[int, Seconds]:
+        """Sample which miner finds the next block and when.
+
+        Draws one exponential per miner and returns the minimum — the
+        standard competition-of-exponentials race.  ``shares`` maps
+        miner id to hash share (shares need not sum to 1; missing hash
+        power simply slows everyone down, as during a partition).
+        """
+        if not shares:
+            raise ConfigurationError("no miners")
+        best_id: Optional[int] = None
+        best_time = math.inf
+        for miner_id, share in sorted(shares.items()):
+            t = self.sample_block_time(share)
+            if t < best_time:
+                best_time = t
+                best_id = miner_id
+        assert best_id is not None
+        return best_id, best_time

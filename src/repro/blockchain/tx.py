@@ -1,0 +1,248 @@
+"""Transactions and the UTXO set.
+
+The temporal attack's damage mechanism (paper §V-B, Implications) is
+transaction reversal: when isolated nodes recover from the counterfeit
+fork, "all transactions belonging to legitimate users in those blocks
+will also be reversed. This will require a major update on the set of
+all UTXOs at each node."  The :class:`UtxoSet` here supports exactly
+that: applying a block's transactions, detecting double spends, and
+reverting blocks during reorganizations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DoubleSpendError, InvalidTransactionError
+
+__all__ = ["OutPoint", "TxInput", "TxOutput", "Transaction", "UtxoSet"]
+
+
+@dataclass(frozen=True)
+class OutPoint:
+    """Reference to a specific output of a specific transaction."""
+
+    txid: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise InvalidTransactionError("output index negative", index=self.index)
+
+
+@dataclass(frozen=True)
+class TxInput:
+    """A transaction input spending a previous output."""
+
+    outpoint: OutPoint
+
+
+@dataclass(frozen=True)
+class TxOutput:
+    """A transaction output assigning value to an owner."""
+
+    owner: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise InvalidTransactionError("output value negative", value=self.value)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A transaction: inputs consumed, outputs created.
+
+    Coinbase transactions (block rewards) have no inputs and are marked
+    via :attr:`coinbase`.  Identity is content-derived so identical
+    transactions share a txid while any change produces a new one.
+    """
+
+    inputs: Tuple[TxInput, ...]
+    outputs: Tuple[TxOutput, ...]
+    coinbase: bool = False
+    nonce: int = 0
+
+    @classmethod
+    def make_coinbase(cls, miner: int, value: int, nonce: int = 0) -> "Transaction":
+        """Block-reward transaction paying ``value`` to ``miner``."""
+        return cls(
+            inputs=(),
+            outputs=(TxOutput(owner=miner, value=value),),
+            coinbase=True,
+            nonce=nonce,
+        )
+
+    @classmethod
+    def make_payment(
+        cls,
+        spend: Sequence[OutPoint],
+        outputs: Sequence[TxOutput],
+        nonce: int = 0,
+    ) -> "Transaction":
+        """Ordinary payment spending ``spend`` into ``outputs``."""
+        return cls(
+            inputs=tuple(TxInput(outpoint=op) for op in spend),
+            outputs=tuple(outputs),
+            coinbase=False,
+            nonce=nonce,
+        )
+
+    def __post_init__(self) -> None:
+        if self.coinbase and self.inputs:
+            raise InvalidTransactionError("coinbase cannot have inputs")
+        if not self.coinbase and not self.inputs:
+            raise InvalidTransactionError("non-coinbase requires inputs")
+        if not self.outputs:
+            raise InvalidTransactionError("transaction requires outputs")
+        spent = [inp.outpoint for inp in self.inputs]
+        if len(set(spent)) != len(spent):
+            # CVE-2018-17144 (cited in §V-D): Bitcoin clients crashed on
+            # blocks with duplicate inputs; we reject them outright.
+            raise InvalidTransactionError("duplicate inputs within transaction")
+
+    @property
+    def txid(self) -> str:
+        payload = "|".join(
+            [
+                ",".join(f"{i.outpoint.txid}:{i.outpoint.index}" for i in self.inputs),
+                ",".join(f"{o.owner}:{o.value}" for o in self.outputs),
+                str(int(self.coinbase)),
+                str(self.nonce),
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def total_output(self) -> int:
+        return sum(output.value for output in self.outputs)
+
+    def outpoints(self) -> List[OutPoint]:
+        """The outputs this transaction creates, as spendable references."""
+        return [OutPoint(self.txid, i) for i in range(len(self.outputs))]
+
+
+class UtxoSet:
+    """The set of unspent transaction outputs with reorg support.
+
+    ``apply_transaction`` validates against double spends and value
+    conservation; ``revert_transaction`` restores consumed outputs,
+    which is what every node must do when a counterfeit fork is
+    abandoned.  The set records enough bookkeeping (spent-output cache)
+    to revert without external help.
+    """
+
+    def __init__(self) -> None:
+        self._unspent: Dict[OutPoint, TxOutput] = {}
+        # Outputs consumed by applied transactions, retained so reverts
+        # can restore them: txid -> [(outpoint, output), ...]
+        self._consumed: Dict[str, List[Tuple[OutPoint, TxOutput]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._unspent)
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self._unspent
+
+    def value_of(self, outpoint: OutPoint) -> int:
+        try:
+            return self._unspent[outpoint].value
+        except KeyError:
+            raise InvalidTransactionError(
+                "unknown or spent outpoint", txid=outpoint.txid, index=outpoint.index
+            ) from None
+
+    def balance(self, owner: int) -> int:
+        """Total unspent value held by ``owner``."""
+        return sum(
+            output.value for output in self._unspent.values() if output.owner == owner
+        )
+
+    def outpoints_of(self, owner: int) -> List[OutPoint]:
+        """Spendable outpoints held by ``owner``."""
+        return [
+            outpoint
+            for outpoint, output in self._unspent.items()
+            if output.owner == owner
+        ]
+
+    @property
+    def total_value(self) -> int:
+        return sum(output.value for output in self._unspent.values())
+
+    # ------------------------------------------------------------------
+    def apply_transaction(self, tx: Transaction) -> None:
+        """Validate and apply ``tx``; raises on double spends.
+
+        Coinbase transactions mint value; ordinary transactions must not
+        create value (fees — inputs exceeding outputs — are allowed and
+        treated as burned for simplicity).
+        """
+        if tx.txid in self._consumed:
+            raise InvalidTransactionError("transaction already applied", txid=tx.txid)
+        consumed: List[Tuple[OutPoint, TxOutput]] = []
+        if not tx.coinbase:
+            input_value = 0
+            for txin in tx.inputs:
+                output = self._unspent.get(txin.outpoint)
+                if output is None:
+                    raise DoubleSpendError(
+                        "input missing or already spent",
+                        txid=txin.outpoint.txid,
+                        index=txin.outpoint.index,
+                    )
+                consumed.append((txin.outpoint, output))
+                input_value += output.value
+            if tx.total_output > input_value:
+                raise InvalidTransactionError(
+                    "outputs exceed inputs",
+                    inputs=input_value,
+                    outputs=tx.total_output,
+                )
+        for outpoint, output in consumed:
+            del self._unspent[outpoint]
+        for index, output in enumerate(tx.outputs):
+            self._unspent[OutPoint(tx.txid, index)] = output
+        self._consumed[tx.txid] = consumed
+
+    def revert_transaction(self, tx: Transaction) -> None:
+        """Undo a previously-applied transaction (reorg support)."""
+        if tx.txid not in self._consumed:
+            raise InvalidTransactionError("transaction not applied", txid=tx.txid)
+        for index in range(len(tx.outputs)):
+            outpoint = OutPoint(tx.txid, index)
+            if outpoint not in self._unspent:
+                raise InvalidTransactionError(
+                    "cannot revert: output already spent; revert spenders first",
+                    txid=tx.txid,
+                    index=index,
+                )
+        for index in range(len(tx.outputs)):
+            del self._unspent[OutPoint(tx.txid, index)]
+        for outpoint, output in self._consumed.pop(tx.txid):
+            self._unspent[outpoint] = output
+
+    def apply_block_txs(self, txs: Sequence[Transaction]) -> None:
+        """Apply a block's transactions atomically (rollback on error)."""
+        applied: List[Transaction] = []
+        try:
+            for tx in txs:
+                self.apply_transaction(tx)
+                applied.append(tx)
+        except Exception:
+            for tx in reversed(applied):
+                self.revert_transaction(tx)
+            raise
+
+    def revert_block_txs(self, txs: Sequence[Transaction]) -> None:
+        """Revert a block's transactions (in reverse order)."""
+        for tx in reversed(list(txs)):
+            self.revert_transaction(tx)
+
+    def would_double_spend(self, tx: Transaction) -> bool:
+        """Non-destructive double-spend check for mempool screening."""
+        if tx.coinbase:
+            return False
+        return any(txin.outpoint not in self._unspent for txin in tx.inputs)

@@ -1,0 +1,81 @@
+"""Bogus-route purging and valid-route promotion (§VI, after Zhang et al.).
+
+A :class:`RouteGuard` watches a routing table against the topology's
+ground-truth prefix ownership: any announcement whose origin AS does
+not own the prefix (or whose prefix is an un-owned more-specific of an
+owned one) is flagged, purged, and the legitimate covering route is
+re-promoted.  This is the reactive defense that undoes a
+:class:`~repro.topology.bgp.BgpHijack`.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..topology.bgp import BgpAnnouncement, RoutingTable
+from ..topology.topology import Topology
+
+__all__ = ["detect_bogus_routes", "RouteGuard"]
+
+
+def _ownership_index(topology: Topology) -> List[Tuple[ipaddress.IPv4Network, int]]:
+    """(network, owner ASN) pairs for every legitimately-owned prefix."""
+    owned = []
+    for pool in topology.pools.values():
+        for prefix in pool.prefixes:
+            owned.append((prefix.network, prefix.origin_asn))
+    return owned
+
+
+def detect_bogus_routes(
+    table: RoutingTable, topology: Topology
+) -> List[BgpAnnouncement]:
+    """Announcements inconsistent with ground-truth ownership.
+
+    An announcement is bogus when its network is covered by an owned
+    prefix whose owner differs from the announcement's origin.  (This
+    catches both same-prefix forgeries and more-specific sub-prefix
+    hijacks.)
+    """
+    owned = _ownership_index(topology)
+    bogus: List[BgpAnnouncement] = []
+    for prefix_len in sorted(table._by_len, reverse=True):  # noqa: SLF001
+        for announcement in table._by_len[prefix_len].values():  # noqa: SLF001
+            for network, owner in owned:
+                if announcement.origin_asn == owner:
+                    continue
+                if announcement.network.subnet_of(network):
+                    bogus.append(announcement)
+                    break
+    return bogus
+
+
+@dataclass
+class RouteGuard:
+    """Purges detected hijacks and re-promotes legitimate routes."""
+
+    topology: Topology
+
+    def purge_and_promote(self, table: RoutingTable) -> Dict[str, int]:
+        """One reactive defense pass.
+
+        Returns counts of purged and re-promoted routes.  After the
+        pass, every node IP in the topology routes to its legitimate
+        origin again (verified by the caller's tests).
+        """
+        bogus = detect_bogus_routes(table, self.topology)
+        for announcement in bogus:
+            table.withdraw(announcement.network)
+        promoted = 0
+        for pool in self.topology.pools.values():
+            for prefix in pool.prefixes:
+                try:
+                    current = table.route(prefix.network.network_address + 1)
+                except Exception:
+                    current = None
+                if current is None or current.origin_asn != prefix.origin_asn:
+                    table.announce_prefix(prefix, as_path=(0, prefix.origin_asn))
+                    promoted += 1
+        return {"purged": len(bogus), "promoted": promoted}

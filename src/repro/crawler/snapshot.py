@@ -1,0 +1,216 @@
+"""The crawler's data schema: per-node records and network snapshots.
+
+Every analysis in the paper consumes this schema — Table I aggregates
+link speed and indices by address type, Table II groups by AS and
+organization, Figure 6 bands nodes by block index, Table VIII groups by
+software version.  A :class:`NetworkSnapshot` is one crawl of the whole
+reachable network at one timestamp.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import CrawlerError
+from ..types import AddressType, LagBand, Seconds, lag_band
+
+__all__ = ["NodeRecord", "NetworkSnapshot", "TypeStats"]
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """One node as seen by the crawler.
+
+    Attributes mirror the Bitnodes fields the paper used (§IV-A/§IV-C):
+
+        node_id: Stable identifier (joins with the topology).
+        address_type: IPv4 / IPv6 / Tor.
+        asn: Hosting AS (Tor nodes use the pseudo-ASN).
+        org_id: Hosting organization.
+        country: Jurisdiction.
+        up: Whether the node answered the crawl (83.47% did).
+        link_speed_mbps: Measured link speed.
+        latency_idx: Latency index in [0, 1] (1 = fastest responses).
+        uptime_idx: Uptime index in [0, 1].
+        block_idx: Blocks behind the network tip (0 = synced).
+        software_version: Client version string (Table VIII).
+    """
+
+    node_id: int
+    address_type: AddressType
+    asn: int
+    org_id: str
+    country: str = "??"
+    up: bool = True
+    link_speed_mbps: float = 25.0
+    latency_idx: float = 0.7
+    uptime_idx: float = 0.68
+    block_idx: int = 0
+    software_version: str = "B. Core v0.16.0"
+
+    def __post_init__(self) -> None:
+        if self.link_speed_mbps < 0:
+            raise CrawlerError("negative link speed", node=self.node_id)
+        if not 0.0 <= self.latency_idx <= 1.0:
+            raise CrawlerError("latency index out of range", node=self.node_id)
+        if not 0.0 <= self.uptime_idx <= 1.0:
+            raise CrawlerError("uptime index out of range", node=self.node_id)
+        if self.block_idx < 0:
+            raise CrawlerError("negative block index", node=self.node_id)
+
+    @property
+    def synced(self) -> bool:
+        return self.block_idx == 0
+
+    @property
+    def band(self) -> LagBand:
+        return lag_band(self.block_idx)
+
+    def with_block_idx(self, block_idx: int) -> "NodeRecord":
+        """Copy with an updated lag (used by time-series replay)."""
+        return replace(self, block_idx=block_idx)
+
+
+@dataclass(frozen=True)
+class TypeStats:
+    """Table I row: count plus mean/std of the per-type metrics."""
+
+    count: int
+    link_speed_mean: float
+    link_speed_std: float
+    latency_mean: float
+    latency_std: float
+    uptime_mean: float
+    uptime_std: float
+
+
+class NetworkSnapshot:
+    """One crawl of the reachable network at a single timestamp."""
+
+    def __init__(self, timestamp: Seconds, records: Iterable[NodeRecord]) -> None:
+        self.timestamp = timestamp
+        self.records: Tuple[NodeRecord, ...] = tuple(records)
+        if not self.records:
+            raise CrawlerError("snapshot has no records")
+        ids = [r.node_id for r in self.records]
+        if len(set(ids)) != len(ids):
+            raise CrawlerError("duplicate node ids in snapshot")
+        self._by_id: Dict[int, NodeRecord] = {r.node_id: r for r in self.records}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[NodeRecord]:
+        return iter(self.records)
+
+    def get(self, node_id: int) -> NodeRecord:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise CrawlerError("node not in snapshot", node_id=node_id) from None
+
+    # ------------------------------------------------------------------
+    # Basic partitions of the population
+    # ------------------------------------------------------------------
+    def up_nodes(self) -> List[NodeRecord]:
+        return [r for r in self.records if r.up]
+
+    def down_nodes(self) -> List[NodeRecord]:
+        return [r for r in self.records if not r.up]
+
+    def synced_nodes(self) -> List[NodeRecord]:
+        return [r for r in self.records if r.up and r.synced]
+
+    def behind_nodes(self, at_least: int = 1) -> List[NodeRecord]:
+        return [r for r in self.records if r.up and r.block_idx >= at_least]
+
+    def by_type(self, address_type: AddressType) -> List[NodeRecord]:
+        return [r for r in self.records if r.address_type == address_type]
+
+    # ------------------------------------------------------------------
+    # Aggregations used by the analyses
+    # ------------------------------------------------------------------
+    def type_stats(self, address_type: AddressType) -> TypeStats:
+        """Table I row for one address family."""
+        rows = self.by_type(address_type)
+        if not rows:
+            raise CrawlerError("no nodes of type", type=address_type.value)
+
+        def mean_std(values: List[float]) -> Tuple[float, float]:
+            if len(values) == 1:
+                return values[0], 0.0
+            return statistics.mean(values), statistics.pstdev(values)
+
+        speed = mean_std([r.link_speed_mbps for r in rows])
+        latency = mean_std([r.latency_idx for r in rows])
+        uptime = mean_std([r.uptime_idx for r in rows])
+        return TypeStats(
+            count=len(rows),
+            link_speed_mean=speed[0],
+            link_speed_std=speed[1],
+            latency_mean=latency[0],
+            latency_std=latency[1],
+            uptime_mean=uptime[0],
+            uptime_std=uptime[1],
+        )
+
+    def nodes_per_as(self, up_only: bool = False) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            if up_only and not record.up:
+                continue
+            counts[record.asn] = counts.get(record.asn, 0) + 1
+        return counts
+
+    def nodes_per_org(self, up_only: bool = False) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            if up_only and not record.up:
+                continue
+            counts[record.org_id] = counts.get(record.org_id, 0) + 1
+        return counts
+
+    def nodes_per_version(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.software_version] = (
+                counts.get(record.software_version, 0) + 1
+            )
+        return counts
+
+    def band_counts(self) -> Dict[LagBand, int]:
+        """Figure-6 style lag-band counts over the up nodes."""
+        counts: Dict[LagBand, int] = {band: 0 for band in LagBand}
+        for record in self.records:
+            if record.up:
+                counts[record.band] += 1
+        return counts
+
+    def synced_per_as(self) -> Dict[int, int]:
+        """Synced-node count per AS (Table VII / Figure 8 join)."""
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            if record.up and record.synced:
+                counts[record.asn] = counts.get(record.asn, 0) + 1
+        return counts
+
+    def filter(self, predicate: Callable[[NodeRecord], bool]) -> "NetworkSnapshot":
+        """Sub-snapshot of records matching ``predicate``."""
+        return NetworkSnapshot(
+            timestamp=self.timestamp,
+            records=[r for r in self.records if predicate(r)],
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline counts (§IV-C's first paragraph)."""
+        up = len(self.up_nodes())
+        synced = len(self.synced_nodes())
+        return {
+            "total": float(len(self)),
+            "up": float(up),
+            "down": float(len(self) - up),
+            "synced": float(synced),
+            "behind": float(up - synced),
+        }

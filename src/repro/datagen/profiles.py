@@ -1,0 +1,124 @@
+"""Every published constant of the paper, as named structures.
+
+This module is the single calibration source: generators consume these
+profiles, and the test suite checks reproduced artifacts against them.
+Nothing here is invented — each value is traceable to a table, figure,
+or sentence of the paper (references in comments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..types import AddressType
+
+__all__ = [
+    "TypeProfile",
+    "SNAPSHOT_DATE",
+    "TOTAL_NODES",
+    "UP_NODES",
+    "DOWN_NODES",
+    "SYNCED_NODES",
+    "BEHIND_NODES",
+    "TYPE_PROFILES",
+    "CENTRALIZATION_2017",
+    "CENTRALIZATION_2018",
+    "TABLE_V_ROWS",
+    "TABLE_VI_LAMBDAS",
+    "TABLE_VI_M_VALUES",
+    "TABLE_VI_REFERENCE",
+    "TABLE_VII_ROWS",
+    "FIVE_MIN_BEHIND_FRACTION",
+    "ATTACKER_HASH_SHARE",
+    "SPAN_RATIO_TARGET",
+    "TOTAL_WORLD_ASES",
+]
+
+#: §IV-C: date of the headline snapshot.
+SNAPSHOT_DATE = "2018-02-28"
+
+#: §IV-C: reachable full nodes in the snapshot.
+TOTAL_NODES = 13_635
+#: §IV-C: nodes up / down at collection time (83.47% / 16.52%).
+UP_NODES = 11_382
+DOWN_NODES = 2_253
+#: §IV-C: nodes with the most updated chain copy (45.14%) vs behind.
+SYNCED_NODES = 6_155
+BEHIND_NODES = 7_480
+
+#: RIR total used for the AS percentages in §V-A.
+TOTAL_WORLD_ASES = 84_903
+
+
+@dataclass(frozen=True)
+class TypeProfile:
+    """Table I row: per-address-family population statistics."""
+
+    count: int
+    link_speed_mean: float
+    link_speed_std: float
+    latency_mean: float
+    latency_std: float
+    uptime_mean: float
+    uptime_std: float
+
+
+#: Table I, verbatim.
+TYPE_PROFILES: Dict[AddressType, TypeProfile] = {
+    AddressType.IPV4: TypeProfile(12_737, 25.04, 258.80, 0.70, 0.45, 0.68, 0.44),
+    AddressType.IPV6: TypeProfile(579, 23.06, 245.36, 0.86, 0.35, 0.67, 0.42),
+    AddressType.TOR: TypeProfile(319, 432.67, 1046.5, 0.24, 0.25, 0.76, 0.37),
+}
+
+#: Table III: ASes covering 30% / 50% of nodes, 2017 (Apostolaki et al.)
+#: and 2018 (this paper).
+CENTRALIZATION_2017 = {"half": 50, "third": 13}
+CENTRALIZATION_2018 = {"half": 24, "third": 8}
+
+#: Table V, verbatim: T minutes -> (count >= 1 block, >= 2, >= 5) and
+#: the percentages the paper prints next to them.
+TABLE_V_ROWS: Tuple[Tuple[int, Tuple[int, int, int], Tuple[float, float, float]], ...] = (
+    (5, (6280, 3206, 966), (62.67, 31.99, 9.68)),
+    (10, (1761, 1189, 955), (27.13, 11.87, 9.53)),
+    (15, (1141, 1083, 952), (11.39, 10.81, 12.00)),
+    (20, (1109, 1023, 947), (13.97, 15.76, 11.93)),
+    (25, (1070, 1013, 942), (10.68, 15.61, 9.40)),
+    (30, (1042, 984, 942), (10.39, 9.82, 9.39)),
+    (40, (1040, 984, 940), (10.37, 9.82, 9.38)),
+    (70, (1036, 976, 929), (10.34, 9.74, 9.27)),
+    (200, (908, 887, 821), (9.08, 8.82, 8.16)),
+)
+
+#: Table VI axes and reference values (seconds), verbatim.
+TABLE_VI_LAMBDAS: Tuple[float, ...] = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+TABLE_VI_M_VALUES: Tuple[int, ...] = (100, 300, 500, 800, 1000, 1200, 1500)
+TABLE_VI_REFERENCE: Dict[float, Tuple[int, ...]] = {
+    0.4: (142, 424, 705, 1127, 1610, 2313, 3517),
+    0.5: (133, 397, 661, 1057, 1320, 1851, 2814),
+    0.6: (127, 379, 630, 1007, 1258, 1545, 2345),
+    0.7: (122, 365, 607, 970, 1213, 1455, 2010),
+    0.8: (119, 354, 589, 942, 1177, 1412, 1765),
+    0.9: (116, 346, 575, 920, 1149, 1379, 1723),
+}
+
+#: Table VII, verbatim: top ASes hosting the synced nodes of the
+#: Figure 6(b) day.
+TABLE_VII_ROWS: Tuple[Tuple[int, str, int, float], ...] = (
+    (4134, "No.31, Jin-rong", 993, 9.57),
+    (24940, "Hetzner Online", 830, 7.98),
+    (16276, "OVH SAS", 530, 5.22),
+    (16509, "Amazon.com", 417, 4.19),
+    (14061, "DigitalOcean", 332, 3.23),
+)
+
+#: Abstract / Table V headline: 5 minutes after a block, ~62.7% of
+#: nodes remain >= 1 block behind.
+FIVE_MIN_BEHIND_FRACTION = 0.627
+
+#: §V-B: the simulated temporal attacker's hash share (Figure 7).
+ATTACKER_HASH_SHARE = 0.30
+
+#: §V-B: the span ratio at which the simulated network stays fully
+#: synchronized between blocks.
+SPAN_RATIO_TARGET = 2.0

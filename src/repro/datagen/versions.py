@@ -1,0 +1,112 @@
+"""The Table VIII software census and version-distribution generator.
+
+The paper observed 288 distinct Bitcoin client variants, with the top
+five Bitcoin Core releases covering ~75% of nodes and a long tail of
+286 other clients covering the rest (§V-D).  The top-five rows are
+pinned verbatim; the tail is synthesized with a power-law share so the
+count of distinct versions matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import DataGenError
+
+__all__ = [
+    "VersionRecord",
+    "SOFTWARE_VERSIONS",
+    "TOTAL_VARIANTS",
+    "version_distribution",
+]
+
+#: §V-D: distinct software variants observed among full nodes.
+TOTAL_VARIANTS = 288
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """Table VIII row.
+
+    Attributes:
+        index: Rank by user share.
+        version: Client version string.
+        release_date: Upstream release date (as printed).
+        lag_days: Days between release and the paper's collection date
+            (as printed in the table).
+        users_pct: Share of full nodes running this version.
+    """
+
+    index: int
+    version: str
+    release_date: str
+    lag_days: int
+    users_pct: float
+
+
+#: Table VIII, verbatim.
+SOFTWARE_VERSIONS: Tuple[VersionRecord, ...] = (
+    VersionRecord(1, "B. Core v0.16.0", "02-26-2018", 59, 36.28),
+    VersionRecord(2, "B. Core v0.15.1", "11-11-2017", 166, 27.52),
+    VersionRecord(3, "B. Core v0.15.0.1", "09-19-2017", 219, 5.01),
+    VersionRecord(4, "B. Core v0.14.2", "06-17-2017", 313, 4.67),
+    VersionRecord(5, "B. Core v0.15.0", "04-22-2017", 369, 2.05),
+)
+
+
+def version_distribution(total_nodes: int) -> Dict[str, int]:
+    """Node counts per version for a population of ``total_nodes``.
+
+    The pinned top five take their Table VIII shares; the remaining
+    share (~24.5%) is split over ``TOTAL_VARIANTS - 5`` synthetic
+    variants with power-law weights, every variant getting at least
+    one node.  Returns exactly ``total_nodes`` across exactly
+    ``TOTAL_VARIANTS`` versions (when the population is large enough).
+    """
+    if total_nodes < TOTAL_VARIANTS:
+        raise DataGenError(
+            "population too small for the variant census",
+            total_nodes=total_nodes,
+            variants=TOTAL_VARIANTS,
+        )
+    counts: Dict[str, int] = {}
+    assigned = 0
+    for record in SOFTWARE_VERSIONS:
+        count = round(total_nodes * record.users_pct / 100.0)
+        counts[record.version] = count
+        assigned += count
+
+    tail_variants = TOTAL_VARIANTS - len(SOFTWARE_VERSIONS)
+    tail_total = total_nodes - assigned
+    if tail_total < tail_variants:
+        raise DataGenError(
+            "tail too small; top-five shares leave too few nodes",
+            tail_total=tail_total,
+            tail_variants=tail_variants,
+        )
+    weights = [(i + 1) ** -0.8 for i in range(tail_variants)]
+    weight_sum = sum(weights)
+    tail_counts = [
+        max(1, int(tail_total * w / weight_sum)) for w in weights
+    ]
+    # Largest-remainder fixup to hit the exact total.
+    deficit = tail_total - sum(tail_counts)
+    index = 0
+    while deficit != 0:
+        slot = index % tail_variants
+        if deficit > 0:
+            tail_counts[slot] += 1
+            deficit -= 1
+        elif tail_counts[slot] > 1:
+            tail_counts[slot] -= 1
+            deficit += 1
+        index += 1
+    for i, count in enumerate(tail_counts):
+        counts[f"variant-{i + 1:03d}"] = count
+    return counts
+
+
+def top_versions(counts: Dict[str, int], k: int = 5) -> List[Tuple[str, int]]:
+    """Top-k versions by node count (Table VIII ordering)."""
+    return sorted(counts.items(), key=lambda kv: -kv[1])[:k]

@@ -1,0 +1,163 @@
+"""Transaction workload generation: wallets paying each other.
+
+The paper's damage metrics are transaction-denominated — invalidated
+transactions, reversed UTXOs, stalled confirmation.  This module gives
+experiments a realistic payment stream to measure that damage on:
+a set of wallets seeded with coinbase funds, issuing payments at a
+Poisson rate through random entry nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..blockchain.tx import OutPoint, Transaction, TxOutput
+from ..errors import ConfigurationError
+from ..types import Seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.network import Network
+
+__all__ = ["WorkloadConfig", "TransactionWorkload"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Payment-stream parameters.
+
+    Attributes:
+        num_wallets: Distinct paying identities.
+        tx_rate: Mean transactions per second, network-wide (Bitcoin
+            2018: ~3-4 tx/s; partition experiments usually scale down).
+        initial_funds: Coinbase seed value per wallet.
+    """
+
+    num_wallets: int = 20
+    tx_rate: float = 0.02
+    initial_funds: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.num_wallets < 2:
+            raise ConfigurationError("need at least two wallets")
+        if self.tx_rate <= 0:
+            raise ConfigurationError("tx rate must be positive")
+        if self.initial_funds <= 0:
+            raise ConfigurationError("initial funds must be positive")
+
+
+class TransactionWorkload:
+    """Drives a Poisson payment stream through a network simulation.
+
+    Wallet ids are offset above node ids so owners never collide with
+    miners.  The workload tracks which outputs it believes unspent
+    (its own view; the chain is the truth) and never double-spends on
+    its own — conflicting spends are the *attacker's* job.
+    """
+
+    #: Wallet owner ids start here (above any realistic node id).
+    WALLET_ID_BASE = 10_000_000
+
+    def __init__(
+        self,
+        network: "Network",
+        config: WorkloadConfig = WorkloadConfig(),
+    ) -> None:
+        self.network = network
+        self.config = config
+        self._rng = network.streams.stream("workload")
+        self._wallets = [
+            self.WALLET_ID_BASE + i for i in range(config.num_wallets)
+        ]
+        # wallet -> spendable outpoints (the workload's own ledger view).
+        self._spendable: Dict[int, List[OutPoint]] = {}
+        self._values: Dict[OutPoint, int] = {}
+        self.submitted: List[Transaction] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Seed wallets with funds and begin the payment stream."""
+        if self._running:
+            return
+        self._running = True
+        for index, wallet in enumerate(self._wallets):
+            seed_tx = Transaction.make_coinbase(
+                miner=wallet, value=self.config.initial_funds, nonce=index
+            )
+            self._track(wallet, seed_tx)
+            self._submit(seed_tx)
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        delay = self._rng.expovariate(self.config.tx_rate)
+        self.network.sim.schedule(delay, self._issue_payment)
+
+    def _issue_payment(self) -> None:
+        if not self._running:
+            return
+        funded = [w for w in self._wallets if self._spendable.get(w)]
+        if funded:
+            payer = self._rng.choice(funded)
+            payee = self._rng.choice(
+                [w for w in self._wallets if w != payer]
+            )
+            outpoint = self._spendable[payer].pop(0)
+            value = self._values.pop(outpoint)
+            spend_value = max(1, value // 2)
+            outputs = [TxOutput(owner=payee, value=spend_value)]
+            change = value - spend_value
+            if change > 0:
+                outputs.append(TxOutput(owner=payer, value=change))
+            tx = Transaction.make_payment(
+                spend=[outpoint], outputs=outputs, nonce=len(self.submitted)
+            )
+            self._track_payment(tx, payee, payer)
+            self._submit(tx)
+        self._schedule_next()
+
+    def _track(self, wallet: int, tx: Transaction) -> None:
+        for index, output in enumerate(tx.outputs):
+            outpoint = OutPoint(tx.txid, index)
+            self._spendable.setdefault(output.owner, []).append(outpoint)
+            self._values[outpoint] = output.value
+
+    def _track_payment(self, tx: Transaction, payee: int, payer: int) -> None:
+        self._track(payee, tx)  # registers every output by owner
+
+    def _submit(self, tx: Transaction) -> None:
+        entry = self._rng.choice(list(self.network.nodes))
+        self.network.submit_transaction(entry, tx)
+        self.submitted.append(tx)
+
+    # ------------------------------------------------------------------
+    # Damage measurement
+    # ------------------------------------------------------------------
+    def confirmed_on(self, node_id: int) -> List[Transaction]:
+        """Workload transactions confirmed on ``node_id``'s main chain."""
+        node = self.network.node(node_id)
+        txids = {tx.txid for tx in self.submitted}
+        return [
+            tx
+            for block in node.tree.main_chain()
+            for tx in block.transactions
+            if tx.txid in txids
+        ]
+
+    def confirmation_rate(self, node_id: int) -> float:
+        """Share of submitted transactions confirmed at ``node_id``."""
+        if not self.submitted:
+            return 0.0
+        return len(self.confirmed_on(node_id)) / len(self.submitted)
+
+    def divergent_confirmations(self, node_a: int, node_b: int) -> int:
+        """Transactions confirmed on exactly one of two nodes' chains —
+        the partition's transaction-level damage (§V-B implications)."""
+        a = {tx.txid for tx in self.confirmed_on(node_a)}
+        b = {tx.txid for tx in self.confirmed_on(node_b)}
+        return len(a ^ b)

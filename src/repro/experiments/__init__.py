@@ -1,0 +1,48 @@
+"""Experiment registry: one regenerator per paper table/figure.
+
+Each module exposes ``run(seed=0, fast=False) -> ExperimentResult``;
+the :data:`REGISTRY` maps artifact ids to those callables and the
+:mod:`repro.experiments.runner` CLI executes them.
+"""
+
+from typing import Callable, Dict
+
+from . import (
+    figure3,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from .base import ExperimentResult
+
+__all__ = ["REGISTRY", "ExperimentResult", "run_experiment"]
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+}
+
+
+def run_experiment(experiment_id: str, seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id (raises KeyError for unknown ids)."""
+    return REGISTRY[experiment_id](seed=seed, fast=fast)

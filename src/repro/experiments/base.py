@@ -1,0 +1,54 @@
+"""Common experiment result schema and helpers.
+
+Every experiment module exposes ``run(seed=0, fast=False) ->
+ExperimentResult``.  ``fast=True`` shrinks the workload (shorter
+series, smaller populations) for use in the test suite; the default
+parameters regenerate the artifact at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..reporting.tables import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Attributes:
+        experiment_id: ``"table1"`` ... ``"figure8"``.
+        title: Paper artifact name.
+        headers: Column names for the tabular view.
+        rows: Table rows (figures tabulate selected points).
+        metrics: Headline numbers compared against the paper (the
+            EXPERIMENTS.md paper-vs-measured entries).
+        series: Optional named data series (figures).
+        notes: Free-form commentary (deviations, substitutions).
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Tuple[Any, ...]]
+    metrics: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, Sequence[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable block for the runner's output."""
+        parts = [
+            format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+        ]
+        if self.metrics:
+            parts.append(
+                "metrics: "
+                + ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.metrics.items()))
+            )
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)

@@ -1,0 +1,74 @@
+"""Figure 6 — temporal consensus bands: (a) trend, (b) one day, (c) pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.consensus import consensus_pruning_stats
+from ..datagen.consensus import ConsensusDynamicsGenerator
+from ..types import LagBand
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate the three panels as stacked band series.
+
+    (a) multi-day trend at 10-minute sampling; (b) one-day snapshot at
+    10-minute sampling; (c) per-minute consensus pruning across a
+    ~100-minute stretch.
+    """
+    num_nodes = 2_000 if fast else 11_000
+    days = 2 if fast else 7
+    generator = ConsensusDynamicsGenerator(num_nodes=num_nodes, seed=seed)
+
+    series_a = generator.generate(duration=days * 86_400, sample_interval=600.0)
+    day_start = (days - 1) * 86_400.0
+    series_b = series_a.slice_time(day_start, day_start + 86_400.0)
+    generator_c = ConsensusDynamicsGenerator(num_nodes=num_nodes, seed=seed + 1)
+    series_c = generator_c.generate(duration=6_000.0, sample_interval=60.0)
+
+    stats_a = consensus_pruning_stats(series_a)
+    stats_c = consensus_pruning_stats(series_c)
+
+    bands_a = series_a.band_count_series()
+    rows = [
+        (
+            band.color,
+            int(np.mean(bands_a[band])),
+            int(np.max(bands_a[band])),
+        )
+        for band in LagBand.ordered()
+    ]
+    metrics = {
+        "mean_synced_fraction": stats_a.mean_synced_fraction,
+        "mean_synced_fraction_paper": 0.50,
+        "forever_behind_fraction": stats_a.forever_behind_fraction,
+        "forever_behind_fraction_paper": 0.10,
+        "peak_behind_fraction_c": stats_c.peak_behind_fraction,
+        "peak_behind_fraction_paper": 0.90,
+    }
+    band_series = {
+        f"a_{band.value}": bands_a[band].tolist() for band in LagBand.ordered()
+    }
+    bands_c = series_c.band_count_series()
+    band_series.update(
+        {f"c_{band.value}": bands_c[band].tolist() for band in LagBand.ordered()}
+    )
+    bands_b = series_b.band_count_series()
+    band_series.update(
+        {f"b_{band.value}": bands_b[band].tolist() for band in LagBand.ordered()}
+    )
+    return ExperimentResult(
+        experiment_id="figure6",
+        title="Temporal consensus bands (general trend / one day / pruning)",
+        headers=["Band (color)", "Mean nodes", "Max nodes"],
+        rows=rows,
+        metrics=metrics,
+        series=band_series,
+        notes=(
+            "~50% of nodes stay synchronized, ~10% never catch up, and "
+            "pruning spikes push up to ~90% of nodes behind between blocks."
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Figure 8 — spatial+temporal distribution of nodes over one day."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.synced import synced_band_lines
+from ..attacks.spatiotemporal import SpatioTemporalPlan
+from ..datagen.consensus import ConsensusDynamicsGenerator
+from ..topology.builder import build_paper_topology
+from .base import ExperimentResult
+from .table7 import PAPER_DAY_AS_QUALITY, PAPER_DAY_DEFAULT_QUALITY
+
+__all__ = ["run"]
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate Figure 8: (a) the three lag lines, (b/c) per-AS synced
+    series for the top-5 ASes, plus the attack-plan trigger the §V-C
+    case study derives from them."""
+    if fast:
+        topo = build_paper_topology(seed=seed, scale=0.25)
+        duration = 6 * 3600
+    else:
+        topo = build_paper_topology(seed=seed)
+        duration = 86_400
+    node_ids = sorted(topo.all_node_ids())
+    node_asns = np.array([topo.asn_of(nid) for nid in node_ids])
+    generator = ConsensusDynamicsGenerator(
+        num_nodes=len(node_ids),
+        seed=seed,
+        node_asns=node_asns,
+        as_quality=PAPER_DAY_AS_QUALITY,
+        default_quality=PAPER_DAY_DEFAULT_QUALITY,
+    )
+    series = generator.generate(duration=duration, sample_interval=600.0)
+
+    lines = synced_band_lines(series)
+    plan = SpatioTemporalPlan.from_series(series, topology=topo, num_ases=5)
+    per_as = series.synced_per_as_series(list(plan.target_asns))
+
+    rows = []
+    for name, line in lines.items():
+        rows.append((name, int(line.mean()), int(line.min()), int(line.max())))
+    for asn, line in per_as.items():
+        rows.append((f"AS{asn} synced", int(line.mean()), int(line.min()), int(line.max())))
+
+    metrics = {
+        "min_synced_count": float(lines["synced"].min()),
+        "strike_synced_count": float(plan.synced_count),
+        "strike_lagging_count": float(plan.lagging_count),
+        "top5_spatial_coverage": plan.spatial_coverage,
+        "top5_spatial_coverage_paper": 0.28,
+    }
+    series_out = {name: line.tolist() for name, line in lines.items()}
+    series_out.update({f"AS{asn}": line.tolist() for asn, line in per_as.items()})
+    return ExperimentResult(
+        experiment_id="figure8",
+        title="Spatial and temporal distribution of nodes over one day",
+        headers=["Series", "Mean", "Min", "Max"],
+        rows=rows,
+        metrics=metrics,
+        series=series_out,
+        notes=(
+            "The synced-count minimum is the spatio-temporal strike moment; "
+            "the top-5 ASes host ~28% of synced nodes (Table VII join)."
+        ),
+    )

@@ -1,0 +1,93 @@
+"""CLI runner: regenerate paper artifacts from the command line.
+
+Usage::
+
+    repro-experiments                 # run everything at paper scale
+    repro-experiments table5 figure7  # run selected artifacts
+    repro-experiments --fast --seed 3 # smaller workloads
+    repro-experiments figure6 --csv out/   # also dump figure series
+
+The ``--csv`` directory receives one file per figure series
+(``<experiment>_<series>.csv``), ready for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from ..reporting.figures import series_to_csv
+from . import REGISTRY, run_experiment
+
+__all__ = ["main"]
+
+
+def _dump_series(result, directory: Path) -> List[Path]:
+    """Write each of the result's series as a CSV file."""
+    written = []
+    for name, series in result.series.items():
+        index = list(range(len(series)))
+        csv_text = series_to_csv({name: list(series)}, index=index, index_name="tick")
+        path = directory / f"{result.experiment_id}_{name}.csv"
+        path.write_text(csv_text, encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"artifact ids to run (default: all). Known: {', '.join(sorted(REGISTRY))}",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced workloads (CI-sized)"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="directory to dump figure series as CSV files",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or sorted(REGISTRY)
+    unknown = [e for e in chosen if e not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    csv_dir: Optional[Path] = None
+    if args.csv is not None:
+        csv_dir = Path(args.csv)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for experiment_id in chosen:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, seed=args.seed, fast=args.fast)
+        except Exception as exc:  # pragma: no cover - CLI surface
+            failures += 1
+            print(f"[FAIL] {experiment_id}: {exc}", file=sys.stderr)
+            continue
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        if csv_dir is not None and result.series:
+            written = _dump_series(result, csv_dir)
+            print(f"(wrote {len(written)} series files to {csv_dir})")
+        print(f"({experiment_id} completed in {elapsed:.1f}s)")
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Table III — centralization change 2017 -> 2018."""
+
+from __future__ import annotations
+
+from ..analysis.centralization import centralization_change, coverage_count
+from ..datagen import profiles
+from ..topology.builder import build_paper_topology
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate Table III.
+
+    The 2018 coverage counts are *measured* from the calibrated
+    topology; the 2017 baselines are the Apostolaki et al. values the
+    paper compares against (50 ASes for 50%, 13 for 30%).
+    """
+    topo = build_paper_topology(seed=seed)
+    counts = topo.nodes_per_as()
+    measured_half = coverage_count(counts, 0.50)
+    measured_third = coverage_count(counts, 0.30)
+    rows = []
+    metrics = {}
+    for label, fraction, before, measured, paper_after in (
+        ("ASes with 50% nodes", 0.50, profiles.CENTRALIZATION_2017["half"], measured_half, profiles.CENTRALIZATION_2018["half"]),
+        ("ASes with 30% nodes", 0.30, profiles.CENTRALIZATION_2017["third"], measured_third, profiles.CENTRALIZATION_2018["third"]),
+    ):
+        change = centralization_change(before, measured, fraction)
+        rows.append((label, before, measured, f"{change.change_pct:.0f}%"))
+        metrics[f"measured_{int(fraction*100)}"] = float(measured)
+        metrics[f"paper_{int(fraction*100)}"] = float(paper_after)
+        metrics[f"change_{int(fraction*100)}"] = change.change_pct
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Distribution of Bitcoin full nodes over time (2017 vs 2018)",
+        headers=["", "2017", "2018", "Change %"],
+        rows=rows,
+        metrics=metrics,
+        notes=(
+            "Paper reports 24/8 for 2018 and changes of 52%/38%; measured "
+            "values come from the regenerated topology (within +/-1 AS)."
+        ),
+    )

@@ -1,0 +1,114 @@
+"""Node churn: the up/down dynamics the crawler observes.
+
+§IV-C: at collection time 16.5% of nodes were down, and "the total
+number of nodes in Bitcoin fluctuates between 8k-13k" (§V-B).  The
+:class:`ChurnProcess` reproduces that as an alternating renewal process
+per node: exponential up-times and down-times whose means fix the
+steady-state availability.  Downed nodes stop answering (they miss
+blocks and return lagging — one of the paper's sources of temporal
+vulnerability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..types import Seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["ChurnConfig", "ChurnProcess"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Churn parameters.
+
+    Attributes:
+        mean_uptime: Mean time a node stays up (seconds).
+        mean_downtime: Mean outage duration.  Steady-state availability
+            is ``up/(up+down)``; the paper's 83.5% implies
+            ``down ~ 0.2 * up``.
+        churning_fraction: Share of nodes subject to churn (the rest
+            are always-on; the paper's stable ~50% core).
+    """
+
+    mean_uptime: Seconds = 20 * 3600.0
+    mean_downtime: Seconds = 4 * 3600.0
+    churning_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_uptime <= 0 or self.mean_downtime <= 0:
+            raise ConfigurationError("churn means must be positive")
+        if not 0.0 <= self.churning_fraction <= 1.0:
+            raise ConfigurationError("churning_fraction in [0,1]")
+
+    @property
+    def availability(self) -> float:
+        """Steady-state probability a churning node is up."""
+        return self.mean_uptime / (self.mean_uptime + self.mean_downtime)
+
+
+class ChurnProcess:
+    """Drives up/down transitions for a subset of a network's nodes."""
+
+    def __init__(
+        self,
+        network: "Network",
+        config: ChurnConfig = ChurnConfig(),
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.network = network
+        self.config = config
+        rng = network.streams.stream("churn")
+        if node_ids is not None:
+            self.node_ids = list(node_ids)
+        else:
+            population = list(network.nodes)
+            count = round(len(population) * config.churning_fraction)
+            self.node_ids = rng.sample(population, count)
+        self._rng = rng
+        self._running = False
+        self.transitions: Dict[int, int] = {nid: 0 for nid in self.node_ids}
+
+    def start(self) -> None:
+        """Arm the first transition for every churning node."""
+        if self._running:
+            return
+        self._running = True
+        for node_id in self.node_ids:
+            self._schedule_next(node_id)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self, node_id: int) -> None:
+        node = self.network.node(node_id)
+        mean = (
+            self.config.mean_uptime if node.online else self.config.mean_downtime
+        )
+        delay = self._rng.expovariate(1.0 / mean)
+        self.network.sim.schedule(delay, lambda: self._flip(node_id))
+
+    def _flip(self, node_id: int) -> None:
+        if not self._running:
+            return
+        node = self.network.node(node_id)
+        node.online = not node.online
+        self.transitions[node_id] += 1
+        self._schedule_next(node_id)
+
+    # ------------------------------------------------------------------
+    def online_fraction(self) -> float:
+        """Current up share among the churning nodes."""
+        if not self.node_ids:
+            return 1.0
+        up = sum(1 for nid in self.node_ids if self.network.node(nid).online)
+        return up / len(self.node_ids)
+
+    def total_transitions(self) -> int:
+        return sum(self.transitions.values())

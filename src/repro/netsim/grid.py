@@ -1,0 +1,479 @@
+"""The paper's grid-based temporal-attack simulator (Figure 7).
+
+The original study built this model in R (§V-B, "Simulation and Attack
+Validation"); this is a faithful Python reimplementation of every
+mechanic the paper describes:
+
+- nodes on a square grid (size 25 shown in the figures, 100 = the full
+  10,000-node network), each with the default 8 peers (the Moore
+  neighbourhood, wrapping at the edges);
+- per-step peer communication with a ~10% failure rate: "each time
+  step represents one peer-to-peer communication attempt for each
+  node";
+- every node maintains a 64-bit MD5 hash-linked chain "as an internal
+  error check" — adoption verifies linkage before switching;
+- block production is Bernoulli per step with the honest network and
+  the attacker splitting the hash rate (default 70/30);
+- honest miners extend the chain view of a *random node*, so natural
+  forks emerge whenever the network is out of sync, and are resolved
+  by the longest-chain rule "within two or three block intervals";
+- the attacker seeds its fork at a chosen cell (the paper's node
+  [7,7]) and pins that node to the counterfeit chain;
+- the span-ratio law ``T_delay = T_block / (R_span * sqrt(N))`` links
+  the per-step delay to network-wide synchronization; R_span = 2.0 is
+  the paper's synchronization target.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, SimulationError
+from ..rng import RngStreams
+from ..types import BITCOIN_BLOCK_INTERVAL, Seconds
+
+__all__ = [
+    "GridConfig",
+    "GridSnapshot",
+    "GridSimulator",
+    "ForkChain",
+    "span_ratio_delay",
+]
+
+
+def span_ratio_delay(
+    num_nodes: int,
+    span_ratio: float = 2.0,
+    block_interval: Seconds = BITCOIN_BLOCK_INTERVAL,
+) -> Seconds:
+    """Maximum per-hop delay that keeps ``num_nodes`` synchronized.
+
+    The paper's non-dimensional law: information must cross the network
+    diameter ``R_span`` times per block interval; on a square grid the
+    diameter is ~sqrt(N), hence ``T_delay = T_block / (R_span * sqrt(N))``.
+    For N = 10,000 and R_span = 2.0 this gives the paper's 3-second
+    per-communication interval.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("num_nodes must be positive", num=num_nodes)
+    if span_ratio <= 0:
+        raise ConfigurationError("span_ratio must be positive", ratio=span_ratio)
+    return block_interval / (span_ratio * math.sqrt(num_nodes))
+
+
+@dataclass
+class ForkChain:
+    """One branch of the global block tree, as a hash-linked label chain.
+
+    Fork ``A`` is the honest main chain from genesis; every divergence
+    creates a new labelled fork with a ``parent`` and ``branch_height``
+    (the last height shared with the parent).
+    """
+
+    label: str
+    parent: Optional["ForkChain"]
+    branch_height: int
+    hashes: List[str] = field(default_factory=list)  # heights branch_height+1..
+    counterfeit: bool = False
+
+    @property
+    def tip_height(self) -> int:
+        return self.branch_height + len(self.hashes)
+
+    def tip_hash(self) -> str:
+        return self.hash_at(self.tip_height)
+
+    def hash_at(self, height: int) -> str:
+        """Hash of this branch's block at ``height`` (follows parents)."""
+        if height <= self.branch_height:
+            if self.parent is None:
+                if height == 0:
+                    return "genesis"
+                raise SimulationError("height below genesis", height=height)
+            return self.parent.hash_at(height)
+        index = height - self.branch_height - 1
+        if index >= len(self.hashes):
+            raise SimulationError(
+                "height above tip", height=height, tip=self.tip_height
+            )
+        return self.hashes[index]
+
+    def extend(self) -> str:
+        """Mine one block on this fork; returns the new block hash.
+
+        The new hash links to the previous one with a 64-bit MD5
+        digest, matching the paper's internal error check.
+        """
+        prev = self.tip_hash()
+        payload = f"{prev}|{self.label}|{self.tip_height + 1}"
+        new_hash = hashlib.md5(payload.encode("utf-8")).hexdigest()[:16]
+        self.hashes.append(new_hash)
+        return new_hash
+
+    def shares_prefix_with(self, other: "ForkChain", height: int) -> bool:
+        """Linkage check: do both branches agree at ``height``?"""
+        try:
+            return self.hash_at(height) == other.hash_at(height)
+        except SimulationError:
+            return False
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Parameters of the grid simulation.
+
+    Attributes:
+        size: Grid edge length (25 in the paper's figures; 100 = full
+            network scale).
+        failure_rate: Per-communication failure probability (~0.1).
+        steps_per_block: Communication steps per expected block
+            interval.  With the span-ratio law this is
+            ``R_span * size`` (diameter crossings per block).
+        attacker_share: Attacker's fraction of total hash rate (0.30 in
+            Figure 7; 0 disables the attack).
+        attacker_cell: Grid cell where the counterfeit fork is seeded
+            (the paper's fork B emerges at node [7,7]).
+        attack_start_step: Step at which the attacker begins.
+        natural_fork_rate: Fraction of honest blocks mined by a
+            poorly-synchronized miner on a stale view, creating the
+            natural forks the paper observes resolving within 2-3
+            block intervals.
+        seed: Root seed.
+    """
+
+    size: int = 25
+    failure_rate: float = 0.10
+    steps_per_block: int = 50
+    attacker_share: float = 0.30
+    attacker_cell: Tuple[int, int] = (7, 7)
+    attack_start_step: int = 0
+    natural_fork_rate: float = 0.10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise ConfigurationError("grid size must be >= 2", size=self.size)
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ConfigurationError("failure_rate in [0,1)")
+        if self.steps_per_block < 1:
+            raise ConfigurationError("steps_per_block must be >= 1")
+        if not 0.0 <= self.attacker_share < 1.0:
+            raise ConfigurationError("attacker_share in [0,1)")
+        if not 0.0 <= self.natural_fork_rate <= 1.0:
+            raise ConfigurationError("natural_fork_rate in [0,1]")
+        row, col = self.attacker_cell
+        if not (0 <= row < self.size and 0 <= col < self.size):
+            raise ConfigurationError("attacker_cell outside grid")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.size * self.size
+
+    @property
+    def span_ratio(self) -> float:
+        """Implied span ratio of this configuration.
+
+        ``steps_per_block`` steps cross the diameter (≈ size hops)
+        ``steps_per_block / size`` times per block interval.
+        """
+        return self.steps_per_block / self.size
+
+
+@dataclass(frozen=True)
+class GridSnapshot:
+    """State of the grid at one step: fork label and height per cell."""
+
+    step: int
+    labels: Tuple[Tuple[str, ...], ...]
+    heights: Tuple[Tuple[int, ...], ...]
+
+    def fork_fractions(self) -> Dict[str, float]:
+        """Fraction of nodes on each fork — Figure 7's colour shares."""
+        counts: Dict[str, int] = {}
+        for row in self.labels:
+            for label in row:
+                counts[label] = counts.get(label, 0) + 1
+        total = sum(counts.values())
+        return {label: count / total for label, count in counts.items()}
+
+    def render(self) -> str:
+        """ASCII rendering (one letter per cell) for logs and examples."""
+        return "\n".join("".join(row) for row in self.labels)
+
+
+class GridSimulator:
+    """Step-driven grid network with fork propagation and an attacker."""
+
+    #: Labels assigned to successive natural forks (A is the main chain).
+    _LABELS = "ACDEFGHIJKLMNOPQRSTUVWXYZ"
+
+    #: Cells at which a freshly-mined honest block surfaces (the mining
+    #: pool's own nodes), so the honest chain re-enters a captured grid
+    #: from several points at once.
+    HONEST_SEED_CELLS = 3
+
+    def __init__(self, config: GridConfig) -> None:
+        self.config = config
+        self.streams = RngStreams(config.seed)
+        self._rng = self.streams.stream("grid")
+        size = config.size
+        self.main = ForkChain(label="A", parent=None, branch_height=0)
+        self.forks: Dict[str, ForkChain] = {"A": self.main}
+        self._label_cursor = 1  # next natural-fork label index
+        # Per-cell state: fork label and height.
+        self.labels: List[List[str]] = [["A"] * size for _ in range(size)]
+        self.heights: List[List[int]] = [[0] * size for _ in range(size)]
+        self.step_count = 0
+        self.attacker_fork: Optional[ForkChain] = None
+        self.fork_births: Dict[str, int] = {"A": 0}
+        self.fork_deaths: Dict[str, int] = {}
+        self._neighbors = self._build_neighbors(size)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_neighbors(size: int) -> Dict[Tuple[int, int], List[Tuple[int, int]]]:
+        """Moore neighbourhood (8 peers) with toroidal wrapping."""
+        neighbors = {}
+        for r in range(size):
+            for c in range(size):
+                cell_neighbors = []
+                for dr in (-1, 0, 1):
+                    for dc in (-1, 0, 1):
+                        if dr == 0 and dc == 0:
+                            continue
+                        cell_neighbors.append(((r + dr) % size, (c + dc) % size))
+                neighbors[(r, c)] = cell_neighbors
+        return neighbors
+
+    def fork_of(self, label: str) -> ForkChain:
+        try:
+            return self.forks[label]
+        except KeyError:
+            raise SimulationError("unknown fork", label=label) from None
+
+    # ------------------------------------------------------------------
+    # One simulation step
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one communication step: mining, then gossip."""
+        self.step_count += 1
+        self._maybe_mine()
+        self._communicate()
+        self._collect_dead_forks()
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+
+    def _maybe_mine(self) -> None:
+        p_block = 1.0 / self.config.steps_per_block
+        attack_live = (
+            self.config.attacker_share > 0.0
+            and self.step_count >= self.config.attack_start_step
+        )
+        honest_share = 1.0 - (self.config.attacker_share if attack_live else 0.0)
+        if self._rng.random() < p_block * honest_share:
+            self._mine_honest()
+        if attack_live and self._rng.random() < p_block * self.config.attacker_share:
+            self._mine_attacker()
+
+    def _honest_cells(self) -> List[Tuple[int, int]]:
+        """Cells currently holding a non-counterfeit chain view."""
+        size = self.config.size
+        return [
+            (r, c)
+            for r in range(size)
+            for c in range(size)
+            if (r, c) != self.config.attacker_cell
+            and not self.fork_of(self.labels[r][c]).counterfeit
+        ]
+
+    def _best_honest_fork(self) -> ForkChain:
+        """The longest non-counterfeit branch in the registry."""
+        candidates = [f for f in self.forks.values() if not f.counterfeit]
+        return max(candidates, key=lambda f: (f.tip_height, f.label == "A"))
+
+    def _mine_honest(self) -> None:
+        """An honest miner finds a block.
+
+        Honest miners never build on the counterfeit branch — they keep
+        mining the honest chain even while victim nodes' *views* are
+        captured, which is why "the longer chain A overwhelms fork B"
+        in the paper's panels despite B's transient leads.  With
+        probability ``1 - natural_fork_rate`` the block extends the
+        best honest branch; otherwise a poorly-synchronized miner
+        builds on a random honest cell's stale view, creating the
+        natural forks C, D, ... of Figure 7(c).
+
+        The new tip is deposited at a grid cell (the miner's own node):
+        the best-placed holder of that branch, or a random cell if the
+        counterfeit fork displaced every holder — from where gossip
+        spreads it back out.
+        """
+        honest_cells = self._honest_cells()
+        if honest_cells and self._rng.random() < self.config.natural_fork_rate:
+            br, bc = honest_cells[self._rng.randrange(len(honest_cells))]
+            fork = self.fork_of(self.labels[br][bc])
+            height = self.heights[br][bc]
+            if height == fork.tip_height:
+                fork.extend()
+            else:
+                fork = self._branch(fork, height, counterfeit=False)
+                fork.extend()
+                self.labels[br][bc] = fork.label
+            self.heights[br][bc] = fork.tip_height
+            return
+        fork = self._best_honest_fork()
+        fork.extend()
+        # The winning pool's block surfaces at several well-connected
+        # nodes at once (the pool's own full nodes): best-placed holders
+        # of the honest branch, topped up with random cells when the
+        # counterfeit fork displaced the holders.
+        holders = [
+            cell
+            for cell in (honest_cells or [])
+            if self.labels[cell[0]][cell[1]] == fork.label
+        ]
+        holders.sort(key=lambda cell: -self.heights[cell[0]][cell[1]])
+        seeds = holders[: self.HONEST_SEED_CELLS]
+        size = self.config.size
+        guard = 0
+        while len(seeds) < self.HONEST_SEED_CELLS and guard < 100:
+            guard += 1
+            cell = (self._rng.randrange(size), self._rng.randrange(size))
+            if cell != self.config.attacker_cell and cell not in seeds:
+                seeds.append(cell)
+        for br, bc in seeds:
+            self.labels[br][bc] = fork.label
+            self.heights[br][bc] = fork.tip_height
+
+    def _mine_attacker(self) -> None:
+        """The attacker extends its counterfeit fork at its cell."""
+        r, c = self.config.attacker_cell
+        if self.attacker_fork is None:
+            base_label = self.labels[r][c]
+            base_fork = self.fork_of(base_label)
+            self.attacker_fork = self._branch(
+                base_fork, self.heights[r][c], counterfeit=True, label="B"
+            )
+        self.attacker_fork.extend()
+        self.labels[r][c] = self.attacker_fork.label
+        self.heights[r][c] = self.attacker_fork.tip_height
+
+    def _branch(
+        self,
+        parent: ForkChain,
+        branch_height: int,
+        counterfeit: bool,
+        label: Optional[str] = None,
+    ) -> ForkChain:
+        if label is None:
+            if self._label_cursor >= len(self._LABELS):
+                # Recycle: forks are short-lived; reuse dead labels.
+                dead = [l for l in self.fork_deaths if l not in self._live_labels()]
+                if not dead:
+                    raise SimulationError("fork label space exhausted")
+                label = dead[0]
+                del self.forks[label]
+                del self.fork_deaths[label]
+            else:
+                label = self._LABELS[self._label_cursor]
+                self._label_cursor += 1
+        fork = ForkChain(
+            label=label,
+            parent=parent,
+            branch_height=branch_height,
+            # Branches of a counterfeit chain stay counterfeit: their
+            # history still contains the attacker's blocks.
+            counterfeit=counterfeit or parent.counterfeit,
+        )
+        self.forks[label] = fork
+        self.fork_births[label] = self.step_count
+        return fork
+
+    def _communicate(self) -> None:
+        """Each node attempts one peer communication (paper semantics).
+
+        The node contacts one random neighbour; with probability
+        ``failure_rate`` the attempt fails.  Otherwise the pair compare
+        chains and the shorter side adopts the longer one's view after
+        the MD5-linkage check.  The attacker's cell never abandons the
+        counterfeit fork.
+        """
+        size = self.config.size
+        failure = self.config.failure_rate
+        for r in range(size):
+            for c in range(size):
+                if failure and self._rng.random() < failure:
+                    continue
+                nr, nc = self._neighbors[(r, c)][self._rng.randrange(8)]
+                self._reconcile((r, c), (nr, nc))
+
+    def _reconcile(self, a: Tuple[int, int], b: Tuple[int, int]) -> None:
+        ha = self.heights[a[0]][a[1]]
+        hb = self.heights[b[0]][b[1]]
+        if ha == hb:
+            return
+        (winner, loser) = (a, b) if ha > hb else (b, a)
+        if loser == self.config.attacker_cell and self.attacker_fork is not None:
+            return  # pinned: the attacker never reorgs away
+        wl = self.labels[winner[0]][winner[1]]
+        fork = self.fork_of(wl)
+        self.labels[loser[0]][loser[1]] = wl
+        self.heights[loser[0]][loser[1]] = self.heights[winner[0]][winner[1]]
+
+    def _live_labels(self) -> set:
+        return {label for row in self.labels for label in row}
+
+    def _collect_dead_forks(self) -> None:
+        live = self._live_labels()
+        if self.attacker_fork is not None:
+            live.add(self.attacker_fork.label)
+        for label in list(self.forks):
+            if label == "A":
+                continue
+            if label not in live and label not in self.fork_deaths:
+                self.fork_deaths[label] = self.step_count
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> GridSnapshot:
+        return GridSnapshot(
+            step=self.step_count,
+            labels=tuple(tuple(row) for row in self.labels),
+            heights=tuple(tuple(row) for row in self.heights),
+        )
+
+    def fork_fractions(self) -> Dict[str, float]:
+        return self.snapshot().fork_fractions()
+
+    def attacker_fraction(self) -> float:
+        """Fraction of nodes currently on the counterfeit fork."""
+        if self.attacker_fork is None:
+            return 0.0
+        return self.fork_fractions().get(self.attacker_fork.label, 0.0)
+
+    def synced_fraction(self) -> float:
+        """Fraction of nodes at the global maximum height."""
+        max_height = max(max(row) for row in self.heights)
+        at_tip = sum(
+            1 for row in self.heights for height in row if height == max_height
+        )
+        return at_tip / self.config.num_nodes
+
+    def fork_lifetimes_in_blocks(self) -> Dict[str, float]:
+        """Lifetime of each dead fork in block intervals.
+
+        Validation target: natural forks resolve within ~2-3 block
+        intervals (§IV-B).
+        """
+        return {
+            label: (self.fork_deaths[label] - self.fork_births[label])
+            / self.config.steps_per_block
+            for label in self.fork_deaths
+            if label in self.fork_births
+        }

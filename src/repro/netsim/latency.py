@@ -1,0 +1,120 @@
+"""Link-latency models.
+
+Two models matter to the paper:
+
+- **Diffusion** (:class:`DiffusionLatency`): since 2015 Bitcoin relays
+  with *independent exponential delays* per link.  The paper's timing
+  analysis (Table VI) models attacker connection times the same way,
+  "as used in prior work by Fanti et al." (§V-B, eq. 1).
+- **Trickle** (legacy): the pre-2015 gossip relayed to one peer per
+  trickle interval; we model its effect as a quantized delay.  Kept for
+  the D1 ablation comparing partition windows under each regime.
+
+Latency models are callables ``(src, dst, rng) -> seconds`` so nodes
+remain agnostic about the distribution in force.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import ConfigurationError
+from ..types import Seconds
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "DiffusionLatency",
+    "TrickleLatency",
+]
+
+
+class LatencyModel(Protocol):
+    """Anything that produces a link delay for a (src, dst) pair."""
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> Seconds:
+        """Sample the one-way delay in seconds."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Fixed delay on every link (the 'perfect network' baseline)."""
+
+    seconds: Seconds = 0.1
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigurationError("latency must be non-negative")
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> Seconds:
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Uniform delay in [low, high] — crude but useful in tests."""
+
+    low: Seconds = 0.05
+    high: Seconds = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ConfigurationError("need 0 <= low <= high", low=self.low, high=self.high)
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> Seconds:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class DiffusionLatency:
+    """Independent exponential delays (post-2015 Bitcoin relay).
+
+    ``rate`` is the λ of the paper's eq. (1): the per-link delay is
+    Exp(λ), mean 1/λ seconds.  Table VI sweeps λ from 0.4 to 0.9.
+    """
+
+    rate: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError("rate must be positive", rate=self.rate)
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> Seconds:
+        return rng.expovariate(self.rate)
+
+    @property
+    def mean(self) -> Seconds:
+        return 1.0 / self.rate
+
+
+@dataclass(frozen=True)
+class TrickleLatency:
+    """Legacy trickle spreading, approximated as quantized delays.
+
+    Pre-2015 nodes forwarded queued announcements to one random peer
+    every trickle interval, so the effective per-link delay is a random
+    number of whole intervals: ``interval * Geometric(p)`` with ``p``
+    the per-round selection probability (~1/peers).
+    """
+
+    interval: Seconds = 0.1
+    peers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError("interval must be positive")
+        if self.peers < 1:
+            raise ConfigurationError("peers must be >= 1")
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> Seconds:
+        rounds = 1
+        p = 1.0 / self.peers
+        while rng.random() > p:
+            rounds += 1
+            if rounds > 100 * self.peers:  # numerical guard
+                break
+        return rounds * self.interval

@@ -1,0 +1,88 @@
+"""Bitcoin protocol messages used by the simulator.
+
+The subset mirrors what the paper says Bitnodes itself uses to probe
+the network (§IV-A): inventory announcements (``inv``), data requests
+(``getdata``), and the data-bearing ``block``/``tx`` messages, plus
+``addr`` gossip for peer discovery.  Messages are tiny frozen
+dataclasses; the simulator passes them by reference, so "serialization"
+cost is zero and a 10k-node network stays tractable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..blockchain.block import Block
+from ..blockchain.tx import Transaction
+
+__all__ = [
+    "InvType",
+    "InvMsg",
+    "GetDataMsg",
+    "BlockMsg",
+    "TxMsg",
+    "AddrMsg",
+    "Message",
+]
+
+
+class InvType(enum.Enum):
+    """What an inventory entry refers to."""
+
+    BLOCK = "block"
+    TX = "tx"
+
+
+@dataclass(frozen=True)
+class InvMsg:
+    """Announcement that the sender has objects (by hash)."""
+
+    inv_type: InvType
+    hashes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GetDataMsg:
+    """Request for the full objects behind earlier inv hashes."""
+
+    inv_type: InvType
+    hashes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BlockMsg:
+    """Delivery of a full block."""
+
+    block: Block
+
+
+@dataclass(frozen=True)
+class TxMsg:
+    """Delivery of a full transaction."""
+
+    tx: Transaction
+
+
+@dataclass(frozen=True)
+class AddrMsg:
+    """Gossip of known peer addresses (node ids in the simulator)."""
+
+    addresses: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GetTipMsg:
+    """Ask a peer for its best-chain tip (BlockAware's recovery probe)."""
+
+
+@dataclass(frozen=True)
+class TipMsg:
+    """Reply to :class:`GetTipMsg`: the sender's best tip."""
+
+    tip_hash: str
+    height: int
+
+
+Message = Union[InvMsg, GetDataMsg, BlockMsg, TxMsg, AddrMsg, GetTipMsg, TipMsg]

@@ -1,0 +1,113 @@
+"""Periodic measurement of a running network simulation.
+
+The paper's Figure 6 is a stacked time series of consensus-lag bands
+sampled every 10 minutes (and every minute for the fine-grained
+variant).  :class:`LagSampler` reproduces that measurement loop inside
+the simulator: at each tick it classifies every node into its lag band
+and appends one row to the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..types import LagBand, Seconds, lag_band
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["LagSample", "LagSampler"]
+
+
+@dataclass(frozen=True)
+class LagSample:
+    """One sampling tick: counts of nodes per lag band."""
+
+    time: Seconds
+    network_height: int
+    counts: Dict[LagBand, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, band: LagBand) -> float:
+        total = self.total
+        return self.counts.get(band, 0) / total if total else 0.0
+
+    @property
+    def synced_fraction(self) -> float:
+        return self.fraction(LagBand.SYNCED)
+
+    def behind_at_least(self, blocks: int) -> int:
+        """Nodes lagging >= ``blocks`` (Table V's vulnerable counts)."""
+        count = 0
+        for band, n in self.counts.items():
+            low, _ = band.bounds
+            if low >= blocks:
+                count += n
+        return count
+
+
+class LagSampler:
+    """Samples per-band node counts at a fixed interval.
+
+    Attach to a network before running::
+
+        sampler = LagSampler(network, interval=600.0)
+        sampler.start()
+        network.run_for(86_400)
+        series = sampler.samples
+    """
+
+    def __init__(self, network: "Network", interval: Seconds = 600.0) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.network = network
+        self.interval = interval
+        self.samples: List[LagSample] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.network.sim.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.samples.append(self.sample_now())
+        self.network.sim.schedule(self.interval, self._tick)
+
+    def sample_now(self) -> LagSample:
+        """Take one sample immediately (without scheduling)."""
+        height = self.network.network_height()
+        counts: Dict[LagBand, int] = {band: 0 for band in LagBand}
+        for node in self.network.nodes.values():
+            if not node.online:
+                continue
+            counts[lag_band(node.lag(height))] += 1
+        return LagSample(
+            time=self.network.now,
+            network_height=height,
+            counts=counts,
+        )
+
+    # ------------------------------------------------------------------
+    def stacked_series(self) -> Dict[LagBand, List[int]]:
+        """Per-band count series in stacking order (Figure 6 layout)."""
+        series: Dict[LagBand, List[int]] = {band: [] for band in LagBand.ordered()}
+        for sample in self.samples:
+            for band in LagBand.ordered():
+                series[band].append(sample.counts.get(band, 0))
+        return series
+
+    def min_synced_fraction(self) -> Optional[float]:
+        if not self.samples:
+            return None
+        return min(sample.synced_fraction for sample in self.samples)

@@ -1,0 +1,191 @@
+"""Miners, mining pools, and stratum servers.
+
+Mining pools are the paper's Table IV actors: each pool aggregates hash
+power behind a *stratum server* whose IP lives in some AS.  Hijack the
+stratum prefix and the pool's hash rate vanishes from the network —
+the spatial attack on miners.  Pools that stay reachable mine on their
+host node's current best tip with exponentially-distributed block
+times proportional to their hash share (see
+:class:`repro.blockchain.pow.MiningModel`).
+
+An attacker pool can be switched into *counterfeit* mode: its blocks
+are flagged and delivered only to chosen victims instead of being
+broadcast — the temporal attack's feeding mechanism (Figure 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+from ..blockchain.block import Block
+from ..blockchain.pow import MiningModel
+from ..blockchain.tx import Transaction
+from ..errors import ConfigurationError
+from ..types import Seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["StratumServer", "MiningPool", "Miner"]
+
+#: Current block subsidy in satoshi-less simulation units.
+BLOCK_REWARD = 50
+
+#: Max non-coinbase transactions a pool packs per block.
+BLOCK_TX_LIMIT = 50
+
+
+@dataclass
+class StratumServer:
+    """A pool's public work-distribution endpoint.
+
+    Attributes:
+        pool_name: Owning pool.
+        asn: AS hosting the server (Table IV mapping).
+        ip: Server address string (informational).
+        reachable: Cleared when the hosting prefix is hijacked; an
+            unreachable stratum server idles its whole pool.
+    """
+
+    pool_name: str
+    asn: int
+    ip: str = ""
+    reachable: bool = True
+
+
+class MiningPool:
+    """A mining pool mining on top of one full node's chain view."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        name: str,
+        hash_share: float,
+        node_id: int,
+        stratum: Optional[StratumServer] = None,
+    ) -> None:
+        if not 0.0 < hash_share <= 1.0:
+            raise ConfigurationError("hash share must be in (0,1]", share=hash_share)
+        self.pool_id = next(self._ids)
+        self.name = name
+        self.hash_share = hash_share
+        self.node_id = node_id
+        self.stratum = stratum or StratumServer(pool_name=name, asn=0)
+        self.blocks_mined = 0
+        # Attack mode: counterfeit blocks fed only to these victims.
+        self.counterfeit_mode = False
+        self.victim_ids: List[int] = []
+        # Tip of the attacker's private branch while in counterfeit
+        # mode; successive counterfeit blocks chain on it so the fork
+        # can be "sustained with successive forks" (§V-B).
+        self.private_tip: Optional[Block] = None
+        # Transactions the attacker chooses to include in counterfeit
+        # blocks (it crafts those blocks itself rather than packing the
+        # public mempool — which may hold conflicting honest spends).
+        self.counterfeit_txs: List[Transaction] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether the pool currently contributes hash power."""
+        return self.stratum.reachable
+
+    def enter_counterfeit_mode(self, victim_ids: Sequence[int]) -> None:
+        """Switch to feeding flagged blocks to ``victim_ids`` only."""
+        self.counterfeit_mode = True
+        self.victim_ids = list(victim_ids)
+
+    def exit_counterfeit_mode(self) -> None:
+        self.counterfeit_mode = False
+        self.victim_ids = []
+        self.private_tip = None
+
+    def __repr__(self) -> str:
+        return f"<MiningPool {self.name} share={self.hash_share:.3f}>"
+
+
+class Miner:
+    """Drives a pool's block production inside a network simulation.
+
+    Uses the memorylessness of PoW: the next-block timer is sampled
+    once per block and *not* restarted on chain switches; whichever tip
+    the host node holds when the timer fires is extended.  That is
+    statistically identical to continuous re-mining and keeps the event
+    count linear in blocks found.
+    """
+
+    def __init__(self, pool: MiningPool, network: "Network", model: MiningModel) -> None:
+        self.pool = pool
+        self.network = network
+        self.model = model
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the mining loop."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        delay = self.model.sample_block_time(self.pool.hash_share)
+        self.network.sim.schedule(delay, self._find_block)
+
+    def _find_block(self) -> None:
+        if not self._running:
+            return
+        if self.pool.active:
+            self._produce_block()
+        self._schedule_next()
+
+    def _produce_block(self) -> None:
+        node = self.network.node(self.pool.node_id)
+        if not node.online:
+            return
+        if self.pool.counterfeit_mode and self.pool.private_tip is not None:
+            tip = self.pool.private_tip
+        else:
+            tip = node.tree.best_tip
+        txs: List[Transaction] = [
+            Transaction.make_coinbase(
+                miner=self.pool.pool_id,
+                value=BLOCK_REWARD,
+                nonce=tip.height + 1,
+            )
+        ]
+        if self.pool.counterfeit_mode:
+            # The attacker crafts its blocks: only explicitly queued
+            # transactions ride the counterfeit branch.
+            txs.extend(self.pool.counterfeit_txs[:BLOCK_TX_LIMIT])
+            del self.pool.counterfeit_txs[:BLOCK_TX_LIMIT]
+        else:
+            # Pack mempool transactions (insertion order approximates
+            # fee-rate order well enough for partition experiments).
+            txs.extend(list(node.mempool.values())[:BLOCK_TX_LIMIT])
+        block = Block.create(
+            parent_hash=tip.hash,
+            height=tip.height + 1,
+            miner_id=self.pool.pool_id,
+            timestamp=self.network.now,
+            transactions=txs,
+            counterfeit=self.pool.counterfeit_mode,
+        )
+        self.pool.blocks_mined += 1
+        if self.pool.counterfeit_mode:
+            # Feed the counterfeit block to the victims only: the
+            # attacker's own node stores it (so victims can backfill
+            # the branch through getdata) but does not broadcast, and
+            # it withholds honest-chain announcements from victims.
+            self.pool.private_tip = block
+            node.tree.add_block(block)
+            node._known_blocks.add(block.hash)
+            node.suppress_inv_to.update(self.pool.victim_ids)
+            for victim in self.pool.victim_ids:
+                self.network.deliver_direct(self.pool.node_id, victim, block)
+        else:
+            node.accept_block(block)

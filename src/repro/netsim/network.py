@@ -1,0 +1,278 @@
+"""Network assembly: nodes, peer graph, transmission, partitions.
+
+The :class:`Network` is the integration point of the simulator: it owns
+the event kernel, all :class:`~repro.netsim.node.FullNode` instances,
+the miners, and the transmission path.  Every message between nodes
+passes through :meth:`Network.transmit`, which is where the paper's
+attack mechanics are injected:
+
+- *communication failures*: each message is dropped with probability
+  ``failure_rate`` (the paper's simulator used ~10%);
+- *spatial partitions*: messages crossing an eclipse boundary are
+  dropped (BGP-hijacked victims only reach the attacker);
+- *latency*: the configured latency model delays delivery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..blockchain.block import Block, genesis_block
+from ..blockchain.pow import DifficultySchedule, MiningModel
+from ..blockchain.tx import Transaction
+from ..errors import ConfigurationError, SimulationError
+from ..rng import RngStreams
+from ..types import BITCOIN_BLOCK_INTERVAL, Seconds
+from .events import Simulator
+from .latency import DiffusionLatency, LatencyModel
+from .messages import Message, TxMsg
+from .miner import Miner, MiningPool
+from .node import FullNode, NodeConfig
+
+__all__ = ["NetworkConfig", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of one simulated network.
+
+    Attributes:
+        num_nodes: Reachable full nodes.
+        outbound_peers: Outbound connections per node (default 8).
+        failure_rate: Per-message drop probability (paper: ~0.1).
+        block_interval: Target block interval (600 s).
+        seed: Root seed for all randomness.
+        track_utxo_nodes: Node ids that maintain full UTXO sets.
+    """
+
+    num_nodes: int
+    outbound_peers: int = 8
+    failure_rate: float = 0.1
+    block_interval: Seconds = BITCOIN_BLOCK_INTERVAL
+    seed: int = 0
+    track_utxo_nodes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ConfigurationError("need at least two nodes", num=self.num_nodes)
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ConfigurationError("failure_rate in [0,1)", rate=self.failure_rate)
+        if self.outbound_peers >= self.num_nodes:
+            raise ConfigurationError(
+                "outbound_peers must be below num_nodes",
+                peers=self.outbound_peers,
+                num=self.num_nodes,
+            )
+
+
+class Network:
+    """A simulated Bitcoin P2P network."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.config = config
+        self.latency: LatencyModel = latency or DiffusionLatency(rate=0.8)
+        self.streams = RngStreams(config.seed)
+        self.sim = Simulator()
+        self.genesis = genesis_block()
+        self.mining_model = MiningModel(
+            rng=self.streams.stream("mining"),
+            schedule=DifficultySchedule(base_interval=config.block_interval),
+        )
+        self.nodes: Dict[int, FullNode] = {}
+        self.pools: List[MiningPool] = []
+        self.miners: List[Miner] = []
+        self.dropped_messages = 0
+        self.delivered_messages = 0
+        # Node ids allowed to cross eclipse boundaries (the attackers).
+        self.attacker_ids: Set[int] = set()
+
+        track = set(config.track_utxo_nodes)
+        for node_id in range(config.num_nodes):
+            node_config = NodeConfig(
+                node_id=node_id,
+                outbound_peers=config.outbound_peers,
+                track_utxo=node_id in track,
+            )
+            self.nodes[node_id] = FullNode(node_config, self, self.genesis)
+        self._build_peer_graph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_peer_graph(self) -> None:
+        """Each node opens ``outbound_peers`` random connections.
+
+        Connections are bidirectional (Bitcoin accepts inbound), giving
+        a random graph of average degree ~2x the outbound budget —
+        matching the "peers are distributed and can be associated with
+        any AS" observation (§V-B).
+        """
+        rng = self.streams.stream("peergraph")
+        ids = list(self.nodes)
+        for node_id in ids:
+            node = self.nodes[node_id]
+            attempts = 0
+            while (
+                len([p for p in node.peers]) < self.config.outbound_peers
+                and attempts < 20 * self.config.outbound_peers
+            ):
+                peer_id = rng.choice(ids)
+                attempts += 1
+                if peer_id != node_id and peer_id not in node.peers:
+                    self.connect(node_id, peer_id)
+
+    def connect(self, a: int, b: int) -> None:
+        """Create a bidirectional peer link."""
+        if a == b:
+            raise SimulationError("self connection", node=a)
+        self.nodes[a].add_peer(b)
+        self.nodes[b].add_peer(a)
+
+    def disconnect(self, a: int, b: int) -> None:
+        self.nodes[a].remove_peer(b)
+        self.nodes[b].remove_peer(a)
+
+    def add_pool(
+        self,
+        name: str,
+        hash_share: float,
+        node_id: int,
+        stratum_asn: int = 0,
+    ) -> MiningPool:
+        """Attach a mining pool to ``node_id`` and start its miner."""
+        from .miner import StratumServer
+
+        pool = MiningPool(
+            name=name,
+            hash_share=hash_share,
+            node_id=node_id,
+            stratum=StratumServer(pool_name=name, asn=stratum_asn),
+        )
+        self.pools.append(pool)
+        miner = Miner(pool, self, self.mining_model)
+        self.miners.append(miner)
+        miner.start()
+        return pool
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Seconds:
+        return self.sim.now
+
+    def node(self, node_id: int) -> FullNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SimulationError("unknown node", node_id=node_id) from None
+
+    def transmit(self, src: int, dst: int, message: Message) -> None:
+        """Deliver ``message`` subject to partitions, loss, and latency."""
+        if dst not in self.nodes:
+            return
+        if self._blocked(src, dst):
+            self.dropped_messages += 1
+            self.nodes[src].stats.messages_dropped += 1
+            return
+        rng = self.streams.stream("transmission")
+        if rng.random() < self.config.failure_rate:
+            self.dropped_messages += 1
+            self.nodes[src].stats.messages_dropped += 1
+            return
+        delay = self.latency.delay(src, dst, rng)
+        self.delivered_messages += 1
+        self.sim.schedule(delay, lambda: self.nodes[dst].receive(src, message))
+
+    def deliver_direct(self, src: int, dst: int, block: Block) -> None:
+        """Attacker-path delivery: bypasses eclipse boundaries and loss.
+
+        The temporal attacker maintains its own connections to victims
+        (Figure 5); those links are modelled as reliable since the
+        attacker controls both ends.
+        """
+        rng = self.streams.stream("transmission")
+        delay = self.latency.delay(src, dst, rng)
+        self.sim.schedule(
+            delay, lambda: self.nodes[dst].accept_block(block, src=src)
+        )
+
+    def _blocked(self, src: int, dst: int) -> bool:
+        """Whether the (src, dst) path is severed by an eclipse."""
+        src_node, dst_node = self.nodes[src], self.nodes[dst]
+        if src in self.attacker_ids or dst in self.attacker_ids:
+            return False
+        return src_node.eclipsed != dst_node.eclipsed
+
+    # ------------------------------------------------------------------
+    # Attack and workload hooks
+    # ------------------------------------------------------------------
+    def eclipse(self, node_ids: Iterable[int]) -> None:
+        """Spatially isolate ``node_ids`` (BGP hijack victims)."""
+        for node_id in node_ids:
+            self.node(node_id).eclipsed = True
+
+    def heal(self, node_ids: Iterable[int]) -> None:
+        """Lift the eclipse from ``node_ids``."""
+        for node_id in node_ids:
+            self.node(node_id).eclipsed = False
+
+    def set_offline(self, node_ids: Iterable[int], offline: bool = True) -> None:
+        for node_id in node_ids:
+            self.node(node_id).online = not offline
+
+    def submit_transaction(self, node_id: int, tx: Transaction) -> None:
+        """Inject a wallet transaction at ``node_id``."""
+        self.node(node_id).accept_transaction(tx)
+
+    # ------------------------------------------------------------------
+    # Execution and measurement
+    # ------------------------------------------------------------------
+    def run_for(self, duration: Seconds) -> int:
+        """Advance the simulation by ``duration`` seconds."""
+        return self.sim.run_until(self.sim.now + duration)
+
+    def network_height(self) -> int:
+        """Height of the most advanced node — the published tip."""
+        return max(node.height for node in self.nodes.values())
+
+    def honest_height(self) -> int:
+        """Best height among chains with no counterfeit blocks on top."""
+        best = 0
+        for node in self.nodes.values():
+            if node.tree.counterfeit_on_main() == 0:
+                best = max(best, node.height)
+        return best
+
+    def lags(self) -> Dict[int, int]:
+        """Per-node block lag relative to the network tip."""
+        tip = self.network_height()
+        return {nid: node.lag(tip) for nid, node in self.nodes.items()}
+
+    def partition_views(self) -> Dict[str, List[int]]:
+        """Group nodes by best-tip hash — the observable partitions."""
+        views: Dict[str, List[int]] = {}
+        for node_id, node in self.nodes.items():
+            views.setdefault(node.best_hash, []).append(node_id)
+        return views
+
+    def nodes_on_counterfeit_chain(self) -> List[int]:
+        """Victims currently following a chain with attacker blocks."""
+        return [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.tree.counterfeit_on_main() > 0
+        ]
+
+    def total_hash_share(self, active_only: bool = True) -> float:
+        return sum(
+            pool.hash_share
+            for pool in self.pools
+            if pool.active or not active_only
+        )

@@ -1,0 +1,352 @@
+"""Full-node behaviour.
+
+A :class:`FullNode` owns a block tree (and optionally a UTXO set),
+keeps a mempool, and relays inventory to its peers exactly as the real
+client does: ``inv`` announcements, ``getdata`` requests for unknown
+objects, then full ``block``/``tx`` delivery.  Communication failures
+and link latency are injected by the :class:`~repro.netsim.network.Network`
+on every send, reproducing the ~10% failure environment the paper's
+simulator used.
+
+Nodes can be driven into the states the attacks need:
+
+- ``online=False`` — node is down (16.5% of nodes in the snapshot);
+- ``eclipsed=True`` — spatially isolated: all traffic to/from honest
+  peers is dropped (BGP hijack victim);
+- attacker connections — extra peer links that only the adversary uses
+  to feed counterfeit blocks (temporal attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..blockchain.block import Block
+from ..blockchain.chain import BlockTree, ReorgEvent
+from ..blockchain.tx import Transaction, UtxoSet
+from ..errors import ConfigurationError, SimulationError
+from ..types import Seconds
+from .messages import (
+    AddrMsg,
+    BlockMsg,
+    GetDataMsg,
+    GetTipMsg,
+    InvMsg,
+    InvType,
+    Message,
+    TipMsg,
+    TxMsg,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+__all__ = ["NodeConfig", "NodeStats", "FullNode"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Static configuration of one full node.
+
+    Attributes:
+        node_id: Stable identifier, matching the topology's node ids.
+        outbound_peers: Outbound connection budget (Bitcoin default 8).
+        track_utxo: Maintain a full UTXO set (costly; enable only for
+            nodes whose transaction reversal the experiment inspects).
+        software_version: Client version string (logical attacks key on
+            this; see Table VIII).
+    """
+
+    node_id: int
+    outbound_peers: int = 8
+    track_utxo: bool = False
+    software_version: str = "B. Core v0.16.0"
+
+    def __post_init__(self) -> None:
+        if self.outbound_peers < 1:
+            raise ConfigurationError("outbound_peers must be >= 1")
+
+
+@dataclass
+class NodeStats:
+    """Running counters for one node (feeds the crawler's indices)."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_dropped: int = 0
+    blocks_accepted: int = 0
+    blocks_counterfeit_accepted: int = 0
+    txs_accepted: int = 0
+    reorgs: int = 0
+    deepest_reorg: int = 0
+    last_block_at: Optional[Seconds] = None
+    utxo_inconsistent: bool = False
+
+
+class FullNode:
+    """One reachable Bitcoin full node in the simulated network."""
+
+    def __init__(self, config: NodeConfig, network: "Network", genesis: Block) -> None:
+        self.config = config
+        self.network = network
+        self.tree = BlockTree(genesis)
+        self.utxo: Optional[UtxoSet] = UtxoSet() if config.track_utxo else None
+        self.mempool: Dict[str, Transaction] = {}
+        self.peers: List[int] = []
+        self.online: bool = True
+        self.eclipsed: bool = False
+        self.stats = NodeStats()
+        # Hashes we have seen announced or hold, to suppress re-requests.
+        self._known_blocks: Set[str] = {genesis.hash}
+        self._known_txs: Set[str] = set()
+        # Hashes requested but not yet delivered.
+        self._pending: Set[str] = set()
+        # Peers this node withholds spontaneous inv announcements from.
+        # Used by the temporal attacker: victims must not learn about
+        # honest blocks through the attacker's own connections.
+        self.suppress_inv_to: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.config.node_id
+
+    @property
+    def height(self) -> int:
+        return self.tree.height
+
+    @property
+    def best_hash(self) -> str:
+        return self.tree.best_tip.hash
+
+    def lag(self, network_height: int) -> int:
+        """Blocks this node trails the network tip (the block index)."""
+        return self.tree.lag_of(network_height)
+
+    def add_peer(self, peer_id: int) -> None:
+        if peer_id == self.node_id:
+            raise SimulationError("node cannot peer with itself", node=self.node_id)
+        if peer_id not in self.peers:
+            self.peers.append(peer_id)
+
+    def remove_peer(self, peer_id: int) -> None:
+        if peer_id in self.peers:
+            self.peers.remove(peer_id)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: int, message: Message) -> None:
+        """Hand a message to the network (which may drop or delay it)."""
+        if not self.online:
+            return
+        self.stats.messages_sent += 1
+        self.network.transmit(self.node_id, dst, message)
+
+    def broadcast_inv(self, inv_type: InvType, obj_hash: str) -> None:
+        """Announce an object to every peer (minus suppressed ones)."""
+        for peer in self.peers:
+            if peer in self.suppress_inv_to:
+                continue
+            self.send(peer, InvMsg(inv_type=inv_type, hashes=(obj_hash,)))
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive(self, src: int, message: Message) -> None:
+        """Entry point called by the network after latency/failure."""
+        if not self.online:
+            return
+        self.stats.messages_received += 1
+        if isinstance(message, InvMsg):
+            self._handle_inv(src, message)
+        elif isinstance(message, GetDataMsg):
+            self._handle_getdata(src, message)
+        elif isinstance(message, BlockMsg):
+            self._handle_block(src, message.block)
+        elif isinstance(message, TxMsg):
+            self._handle_tx(src, message.tx)
+        elif isinstance(message, AddrMsg):
+            self._handle_addr(src, message)
+        elif isinstance(message, GetTipMsg):
+            self.send(src, TipMsg(tip_hash=self.best_hash, height=self.height))
+        elif isinstance(message, TipMsg):
+            self._handle_tip(src, message)
+        else:  # pragma: no cover - exhaustive by construction
+            raise SimulationError("unknown message type", message=type(message).__name__)
+
+    def _handle_tip(self, src: int, msg: TipMsg) -> None:
+        """A peer claims a better tip: request it if we lack it.
+
+        The arriving block's missing ancestry is then fetched through
+        the normal orphan-resolution path, so a node recovering from
+        staleness (BlockAware) catches up block by block.
+        """
+        if msg.height > self.height and msg.tip_hash not in self._known_blocks:
+            self._request(InvType.BLOCK, (msg.tip_hash,), src)
+
+    #: Seconds before an unanswered getdata is retried with another peer.
+    REQUEST_TIMEOUT: Seconds = 20.0
+    #: Retries before a request is abandoned (a later inv can revive it).
+    MAX_REQUEST_ATTEMPTS: int = 8
+
+    def _handle_inv(self, src: int, msg: InvMsg) -> None:
+        known = self._known_blocks if msg.inv_type is InvType.BLOCK else self._known_txs
+        wanted = tuple(
+            h for h in msg.hashes if h not in known and h not in self._pending
+        )
+        if wanted:
+            self._request(msg.inv_type, wanted, src)
+
+    def _request(self, inv_type: InvType, hashes: Tuple[str, ...], peer: int) -> None:
+        """Send a getdata and arm the retry timer.
+
+        Any hop of the inv/getdata/block exchange can be dropped by the
+        network's failure injection; without retries a single loss at
+        10% failure rate would strand nodes blocks behind forever.
+        Real clients re-request from another peer after a timeout; so
+        do we.
+        """
+        self._pending.update(hashes)
+        self.send(peer, GetDataMsg(inv_type=inv_type, hashes=hashes))
+        self.network.sim.schedule(
+            self.REQUEST_TIMEOUT, lambda: self._retry(inv_type, hashes, attempt=1)
+        )
+
+    def _retry(self, inv_type: InvType, hashes: Tuple[str, ...], attempt: int) -> None:
+        if not self.online:
+            return
+        outstanding = tuple(h for h in hashes if h in self._pending)
+        if not outstanding:
+            return
+        if attempt >= self.MAX_REQUEST_ATTEMPTS or not self.peers:
+            self._pending.difference_update(outstanding)
+            return
+        # Random peer per retry: a deterministic rotation can starve a
+        # reachable peer behind an eclipse boundary forever.
+        rng = self.network.streams.stream("node.retry")
+        peer = rng.choice(self.peers)
+        self.send(peer, GetDataMsg(inv_type=inv_type, hashes=outstanding))
+        self.network.sim.schedule(
+            self.REQUEST_TIMEOUT,
+            lambda: self._retry(inv_type, hashes, attempt=attempt + 1),
+        )
+
+    def _handle_getdata(self, src: int, msg: GetDataMsg) -> None:
+        if msg.inv_type is InvType.BLOCK:
+            for block_hash in msg.hashes:
+                if block_hash in self.tree:
+                    self.send(src, BlockMsg(block=self.tree.get(block_hash)))
+        else:
+            for txid in msg.hashes:
+                tx = self.mempool.get(txid)
+                if tx is not None:
+                    self.send(src, TxMsg(tx=tx))
+
+    def _handle_block(self, src: int, block: Block) -> None:
+        self.accept_block(block, src=src)
+
+    def _handle_tx(self, src: int, tx: Transaction) -> None:
+        self.accept_transaction(tx)
+
+    def _handle_addr(self, src: int, msg: AddrMsg) -> None:
+        # Peer discovery: adopt a few addresses if below budget.
+        for address in msg.addresses:
+            if len(self.peers) >= self.config.outbound_peers * 2:
+                break
+            if address != self.node_id and address not in self.peers:
+                self.network.connect(self.node_id, address)
+
+    # ------------------------------------------------------------------
+    # Object acceptance
+    # ------------------------------------------------------------------
+    def accept_block(self, block: Block, src: Optional[int] = None) -> Optional[ReorgEvent]:
+        """Validate, store, and relay a block; apply UTXO effects.
+
+        ``src`` is the peer that delivered the block (None for locally
+        mined blocks); missing ancestry is requested from it first,
+        since whoever has the child certainly has the parents.
+        Returns the reorg event if the best tip changed (the miner
+        subsystem watches this to restart mining on the new tip).
+        """
+        self._pending.discard(block.hash)
+        if block.hash in self._known_blocks and self.tree.knows(block.hash):
+            return None
+        self._known_blocks.add(block.hash)
+        event = self.tree.add_block(block)
+        # Request missing ancestry: crucial when the block arrived as an
+        # orphan (e.g. a node healed from an eclipse hears only the
+        # newest block and must backfill the chain it missed).
+        missing = self.tree.missing_parents()
+        if missing:
+            self._request_blocks(missing, prefer=src)
+        if block.hash in self.tree:
+            self.stats.blocks_accepted += 1
+            self.stats.last_block_at = self.network.now
+            if block.counterfeit:
+                self.stats.blocks_counterfeit_accepted += 1
+            self.broadcast_inv(InvType.BLOCK, block.hash)
+        if event is not None:
+            self._apply_reorg(event)
+        return event
+
+    def accept_transaction(self, tx: Transaction) -> bool:
+        """Admit a transaction to the mempool and relay it."""
+        if tx.txid in self._known_txs:
+            return False
+        self._known_txs.add(tx.txid)
+        self._pending.discard(tx.txid)
+        if self.utxo is not None and self.utxo.would_double_spend(tx):
+            return False
+        self.mempool[tx.txid] = tx
+        self.stats.txs_accepted += 1
+        self.broadcast_inv(InvType.TX, tx.txid)
+        return True
+
+    def _request_blocks(self, hashes: List[str], prefer: Optional[int] = None) -> None:
+        wanted = tuple(h for h in hashes if h not in self._pending)
+        if not wanted:
+            return
+        if prefer is not None:
+            target = prefer
+        elif self.peers:
+            target = self.peers[0]
+        else:
+            return
+        self._request(InvType.BLOCK, wanted, target)
+
+    def _apply_reorg(self, event: ReorgEvent) -> None:
+        if not event.is_extension:
+            self.stats.reorgs += 1
+            self.stats.deepest_reorg = max(self.stats.deepest_reorg, event.depth)
+        # Mempool hygiene runs for every node — a miner that kept
+        # already-confirmed transactions in its mempool would pack them
+        # into later blocks again.  Confirmed transactions leave the
+        # mempool; detached ones are resurrected (simplified: re-add).
+        for block in event.attached:
+            for tx in block.transactions:
+                self.mempool.pop(tx.txid, None)
+        for block in event.detached:
+            for tx in block.transactions:
+                if not tx.coinbase:
+                    self.mempool.setdefault(tx.txid, tx)
+        if self.utxo is None or self.stats.utxo_inconsistent:
+            return
+        try:
+            for block in event.detached:
+                self.utxo.revert_block_txs(block.transactions)
+            for block in event.attached:
+                self.utxo.apply_block_txs(block.transactions)
+        except Exception:
+            # A conflicting branch (e.g. attacker double spends) leaves
+            # the tracked set unusable; record it rather than guess.
+            self.stats.utxo_inconsistent = True
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"<FullNode {self.node_id} h={self.height}"
+            f"{' offline' if not self.online else ''}"
+            f"{' eclipsed' if self.eclipsed else ''}>"
+        )

@@ -1,0 +1,6 @@
+"""Rendering of tables and figure series as text/CSV."""
+
+from .figures import series_to_csv, sparkline
+from .tables import format_table
+
+__all__ = ["format_table", "series_to_csv", "sparkline"]

@@ -1,0 +1,49 @@
+"""Figure-series emission: CSV rows and terminal sparklines.
+
+Figures are reproduced as data series (the benches assert their shape);
+these helpers make them inspectable — CSV for external plotting, and a
+compact unicode sparkline for terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["series_to_csv", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def series_to_csv(
+    columns: Dict[str, Sequence[float]],
+    index: Sequence[float],
+    index_name: str = "t",
+) -> str:
+    """Render named series sharing one index as CSV text."""
+    names = list(columns)
+    for name in names:
+        if len(columns[name]) != len(index):
+            raise ValueError(
+                f"series {name!r} has {len(columns[name])} points, "
+                f"index has {len(index)}"
+            )
+    lines = [",".join([index_name] + names)]
+    for i, t in enumerate(index):
+        row = [f"{t:g}"] + [f"{columns[name][i]:g}" for name in names]
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line unicode plot of a series (downsampled to ``width``)."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        _SPARK_CHARS[int((v - low) / span * (len(_SPARK_CHARS) - 1))] for v in values
+    )

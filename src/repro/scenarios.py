@@ -1,0 +1,154 @@
+"""Canned experiment scenarios: topology + network + pools, pre-wired.
+
+Most studies on this library need the same setup: the paper-calibrated
+topology, a P2P network whose node ids align with it, and the Table IV
+mining pools attached to hosts inside their real stratum ASes.  These
+builders package that wiring so examples, tests, and downstream users
+start from one call::
+
+    from repro.scenarios import paper_network
+
+    scenario = paper_network(scale=0.2, num_nodes=400, seed=7)
+    scenario.network.run_for(3600)
+
+The returned :class:`Scenario` keeps the pieces together and offers the
+joins experiments need (node ids per AS inside the network, the pool
+for a given stratum AS, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .datagen.pools import MINING_POOLS, MiningPoolRecord, OTHERS_HASH_SHARE
+from .errors import ConfigurationError
+from .netsim.latency import DiffusionLatency, LatencyModel
+from .netsim.miner import MiningPool
+from .netsim.network import Network, NetworkConfig
+from .topology.builder import build_paper_topology
+from .topology.topology import Topology
+
+__all__ = ["Scenario", "paper_network"]
+
+
+@dataclass
+class Scenario:
+    """A wired experiment world.
+
+    Attributes:
+        topology: Paper-calibrated spatial ground truth.
+        network: Simulation whose node ids 0..N-1 are the topology's
+            first N nodes.
+        pools: Mining pools attached per Table IV (plus the "others"
+            aggregate pool), keyed by name.
+    """
+
+    topology: Topology
+    network: Network
+    pools: Dict[str, MiningPool] = field(default_factory=dict)
+
+    def nodes_in_as(self, asn: int) -> List[int]:
+        """Network node ids hosted in ``asn``."""
+        return [
+            node_id
+            for node_id in self.topology.nodes_in_as(asn)
+            if node_id in self.network.nodes
+        ]
+
+    def pool_for_stratum(self, asn: int) -> List[MiningPool]:
+        """Pools whose stratum endpoint lives in ``asn``."""
+        return [
+            pool for pool in self.pools.values() if pool.stratum.asn == asn
+        ]
+
+    def host_outside(self, asns: Sequence[int]) -> int:
+        """A network node id hosted outside all of ``asns``.
+
+        Useful for placing honest infrastructure clear of a planned
+        hijack.  Raises if the network is entirely inside the set.
+        """
+        excluded = set(asns)
+        for node_id in self.network.nodes:
+            if self.topology.asn_of(node_id) not in excluded:
+                return node_id
+        raise ConfigurationError(
+            "network has no node outside the given ASes", asns=list(asns)
+        )
+
+
+def paper_network(
+    scale: float = 0.2,
+    num_nodes: Optional[int] = None,
+    seed: int = 0,
+    failure_rate: float = 0.05,
+    latency: Optional[LatencyModel] = None,
+    with_pools: bool = True,
+    pool_records: Tuple[MiningPoolRecord, ...] = MINING_POOLS,
+) -> Scenario:
+    """Build the standard paper scenario.
+
+    Parameters:
+        scale: Topology shrink factor (1.0 = the full 13,635 nodes).
+        num_nodes: Network size; defaults to the scaled topology's full
+            population.  Node ids 0..num_nodes-1 align with the
+            topology's hosting.
+        seed: Root seed for topology and simulation.
+        failure_rate: Per-message drop probability.
+        latency: Link-delay model (default: diffusion, rate 0.8).
+        with_pools: Attach the Table IV pools plus an "others"
+            aggregate carrying the remaining 34.3% of hash rate.
+        pool_records: Pool dataset to attach (defaults to Table IV).
+
+    Each pool's host node is drawn from the first stratum AS it lists,
+    so stratum hijacks in the simulation isolate exactly the pools the
+    Table IV analysis predicts.
+    """
+    topology = build_paper_topology(seed=seed, scale=scale)
+    total = topology.num_nodes
+    if num_nodes is None:
+        num_nodes = total
+    if num_nodes > total:
+        raise ConfigurationError(
+            "network larger than topology", num_nodes=num_nodes, topology=total
+        )
+    network = Network(
+        NetworkConfig(num_nodes=num_nodes, seed=seed, failure_rate=failure_rate),
+        latency=latency or DiffusionLatency(rate=0.8),
+    )
+    scenario = Scenario(topology=topology, network=network)
+    if not with_pools:
+        return scenario
+
+    used_hosts: set = set()
+    for record in pool_records:
+        host = _host_in_as(scenario, record.stratum_asns[0], used_hosts)
+        if host is None:
+            continue  # AS not represented in a very small network slice
+        used_hosts.add(host)
+        pool = network.add_pool(
+            record.name,
+            record.hash_share,
+            node_id=host,
+            stratum_asn=record.stratum_asns[0],
+        )
+        scenario.pools[record.name] = pool
+    # The Table IV "12 others" aggregate: hosted outside the top
+    # stratum ASes so isolation experiments leave it running.
+    stratum_asns = [r.stratum_asns[0] for r in pool_records]
+    try:
+        other_host = scenario.host_outside(stratum_asns)
+    except ConfigurationError:
+        other_host = next(iter(network.nodes))
+    others = network.add_pool(
+        "others", OTHERS_HASH_SHARE, node_id=other_host, stratum_asn=0
+    )
+    scenario.pools["others"] = others
+    return scenario
+
+
+def _host_in_as(scenario: Scenario, asn: int, used: set) -> Optional[int]:
+    for node_id in scenario.nodes_in_as(asn):
+        if node_id not in used:
+            return node_id
+    return None

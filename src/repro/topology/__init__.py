@@ -1,0 +1,44 @@
+"""Internet topology substrate: organizations, ASes, prefixes, BGP.
+
+This package models the parts of the Internet that the paper's spatial
+attacks operate on:
+
+- :mod:`repro.topology.org` — organizations (ISPs, cloud providers) that
+  may own several ASes, amplifying centralization (paper §V-A).
+- :mod:`repro.topology.asn` — autonomous systems and their registry.
+- :mod:`repro.topology.prefix` — BGP prefix pools per AS and the
+  assignment of node IPs into prefixes (drives Figure 4).
+- :mod:`repro.topology.bgp` — announcements, longest-prefix-match
+  routing, and hijacks via more-specific announcements (Figure 2).
+- :mod:`repro.topology.geo` — countries and nation-state policy actors.
+- :mod:`repro.topology.builder` — a generator producing topologies whose
+  AS/org/prefix statistics are calibrated to the paper's measurements.
+"""
+
+from .asn import AutonomousSystem, ASRegistry
+from .bgp import BgpAnnouncement, BgpHijack, RoutingTable
+from .builder import PaperTopologyBuilder, build_paper_topology
+from .geo import Country, CountryRegistry, NationStatePolicy
+from .org import Organization, OrganizationRegistry
+from .prefix import AddressPlan, Prefix, PrefixPool, allocate_prefixes
+from .topology import Topology
+
+__all__ = [
+    "AutonomousSystem",
+    "ASRegistry",
+    "BgpAnnouncement",
+    "BgpHijack",
+    "RoutingTable",
+    "PaperTopologyBuilder",
+    "build_paper_topology",
+    "Country",
+    "CountryRegistry",
+    "NationStatePolicy",
+    "Organization",
+    "OrganizationRegistry",
+    "AddressPlan",
+    "Prefix",
+    "PrefixPool",
+    "allocate_prefixes",
+    "Topology",
+]

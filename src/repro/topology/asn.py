@@ -1,0 +1,115 @@
+"""Autonomous systems and their registry.
+
+An AS is the unit of BGP routing.  The paper's spatial analysis counts
+Bitcoin full nodes per AS, so the AS object tracks which organization
+owns it and which country its traffic transits; prefix bookkeeping
+lives in :mod:`repro.topology.prefix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import TopologyError
+
+__all__ = ["AutonomousSystem", "ASRegistry", "TOR_PSEUDO_ASN"]
+
+#: The paper groups Tor nodes and "treats them as a single AS" in
+#: Table II; we reserve a pseudo-ASN outside the 16-bit public range.
+TOR_PSEUDO_ASN = 4_200_000_000
+
+
+@dataclass
+class AutonomousSystem:
+    """A BGP autonomous system.
+
+    Attributes:
+        asn: The AS number (e.g. 24940 for Hetzner).
+        name: Display name (usually the owning org's name).
+        org_id: Identifier of the owning :class:`~repro.topology.org.Organization`.
+        country: Country whose jurisdiction the AS operates under.
+        neighbors: ASNs with direct BGP sessions (used to propagate
+            announcements; hijack reach depends on them).
+    """
+
+    asn: int
+    name: str
+    org_id: str
+    country: str = "??"
+    neighbors: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.asn < 0:
+            raise TopologyError("ASN must be non-negative", asn=self.asn)
+
+    @property
+    def is_tor(self) -> bool:
+        """Whether this is the pseudo-AS aggregating Tor onion nodes."""
+        return self.asn == TOR_PSEUDO_ASN
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+
+class ASRegistry:
+    """Registry of autonomous systems keyed by ASN."""
+
+    def __init__(self) -> None:
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+
+    def register(self, asys: AutonomousSystem) -> AutonomousSystem:
+        if asys.asn in self._by_asn:
+            raise TopologyError("duplicate ASN", asn=asys.asn)
+        self._by_asn[asys.asn] = asys
+        return asys
+
+    def create(
+        self,
+        asn: int,
+        name: str,
+        org_id: str,
+        country: str = "??",
+    ) -> AutonomousSystem:
+        """Convenience: construct and register in one call."""
+        return self.register(
+            AutonomousSystem(asn=asn, name=name, org_id=org_id, country=country)
+        )
+
+    def get(self, asn: int) -> AutonomousSystem:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise TopologyError("unknown ASN", asn=asn) from None
+
+    def find(self, asn: int) -> Optional[AutonomousSystem]:
+        return self._by_asn.get(asn)
+
+    def connect(self, asn_a: int, asn_b: int) -> None:
+        """Create a bidirectional BGP adjacency between two ASes."""
+        a = self.get(asn_a)
+        b = self.get(asn_b)
+        if asn_b not in a.neighbors:
+            a.neighbors.append(asn_b)
+        if asn_a not in b.neighbors:
+            b.neighbors.append(asn_a)
+
+    def in_country(self, country: str) -> List[AutonomousSystem]:
+        """All ASes under the given country's jurisdiction."""
+        return [asys for asys in self if asys.country == country]
+
+    def owned_by(self, org_id: str) -> List[AutonomousSystem]:
+        """All ASes owned by the given organization."""
+        return [asys for asys in self if asys.org_id == org_id]
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def asns(self) -> List[int]:
+        return list(self._by_asn)

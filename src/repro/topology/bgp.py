@@ -1,0 +1,242 @@
+"""BGP announcements, longest-prefix-match routing, and prefix hijacks.
+
+The spatial attack (paper §V-A, Figure 2) works by having a malicious AS
+announce *more-specific* prefixes covering a victim AS's address space.
+Because BGP routers forward on the longest matching prefix, the bogus
+announcement attracts the victim's traffic.  This module implements the
+minimal routing machinery needed to execute and measure such hijacks:
+
+- :class:`BgpAnnouncement` — a (prefix, origin, AS-path) triple;
+- :class:`RoutingTable` — best-route selection by longest prefix match,
+  then shortest AS path, then lowest origin ASN (a deterministic
+  tie-break standing in for full BGP policy);
+- :class:`BgpHijack` — constructs the more-specific announcements for a
+  set of victim prefixes and reports which node IPs are captured.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import RoutingError, TopologyError
+from .prefix import Prefix
+
+__all__ = ["BgpAnnouncement", "RoutingTable", "BgpHijack"]
+
+
+@dataclass(frozen=True)
+class BgpAnnouncement:
+    """A BGP route announcement.
+
+    Attributes:
+        network: The announced IPv4 network.
+        origin_asn: The AS originating the announcement (rightmost AS in
+            the path).  For hijacks, the attacker forges itself here.
+        as_path: AS-path as seen by the measuring vantage point; used
+            for shortest-path tie-breaking between equal-length prefixes.
+        hijack: True when this announcement is part of an attack; kept
+            so analyses can separate legitimate and bogus state.
+    """
+
+    network: ipaddress.IPv4Network
+    origin_asn: int
+    as_path: Tuple[int, ...] = ()
+    hijack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.as_path and self.as_path[-1] != self.origin_asn:
+            raise RoutingError(
+                "AS path must terminate at origin",
+                origin=self.origin_asn,
+                path=self.as_path,
+            )
+
+    @property
+    def prefix_len(self) -> int:
+        return self.network.prefixlen
+
+    def covers(self, ip: ipaddress.IPv4Address) -> bool:
+        return ip in self.network
+
+
+class RoutingTable:
+    """Best-route selection over a set of announcements.
+
+    Routes are bucketed by prefix length so lookup walks from the most
+    specific (/32) down to the least specific, returning the first
+    matching announcement; within one length, shortest AS path wins,
+    then lowest origin ASN.  This models the property hijacks exploit:
+    a /24 always beats the victim's /16.
+    """
+
+    def __init__(self) -> None:
+        # prefix_len -> {network -> best announcement for that network}
+        self._by_len: Dict[int, Dict[ipaddress.IPv4Network, BgpAnnouncement]] = {}
+        self._count = 0
+
+    def announce(self, announcement: BgpAnnouncement) -> None:
+        """Insert an announcement, keeping only the best per network."""
+        bucket = self._by_len.setdefault(announcement.prefix_len, {})
+        existing = bucket.get(announcement.network)
+        if existing is None or self._prefer(announcement, existing):
+            if existing is None:
+                self._count += 1
+            bucket[announcement.network] = announcement
+        # A strictly worse duplicate is dropped (still counted as seen).
+
+    def announce_prefix(
+        self, prefix: Prefix, as_path: Sequence[int] = (), hijack: bool = False
+    ) -> BgpAnnouncement:
+        """Convenience: announce a :class:`Prefix` from its origin AS."""
+        path = tuple(as_path) if as_path else (prefix.origin_asn,)
+        announcement = BgpAnnouncement(
+            network=prefix.network,
+            origin_asn=prefix.origin_asn,
+            as_path=path,
+            hijack=hijack,
+        )
+        self.announce(announcement)
+        return announcement
+
+    def withdraw(self, network: ipaddress.IPv4Network) -> bool:
+        """Remove the route for ``network``; returns True if present."""
+        bucket = self._by_len.get(network.prefixlen)
+        if bucket and network in bucket:
+            del bucket[network]
+            self._count -= 1
+            return True
+        return False
+
+    def route(self, ip: ipaddress.IPv4Address) -> BgpAnnouncement:
+        """Return the best announcement covering ``ip``.
+
+        Raises :class:`RoutingError` if no route covers the address.
+        """
+        for prefix_len in sorted(self._by_len, reverse=True):
+            candidates = [
+                ann
+                for ann in self._by_len[prefix_len].values()
+                if ann.covers(ip)
+            ]
+            if candidates:
+                return min(
+                    candidates,
+                    key=lambda ann: (len(ann.as_path), ann.origin_asn),
+                )
+        raise RoutingError("no route to host", ip=str(ip))
+
+    def origin_of(self, ip: ipaddress.IPv4Address) -> int:
+        """ASN currently receiving traffic for ``ip``."""
+        return self.route(ip).origin_asn
+
+    def hijacked_routes(self) -> List[BgpAnnouncement]:
+        """All currently-installed bogus announcements."""
+        return [
+            ann
+            for bucket in self._by_len.values()
+            for ann in bucket.values()
+            if ann.hijack
+        ]
+
+    def purge_hijacks(self) -> int:
+        """Remove all bogus routes (the paper's 'bogus route purging'
+        countermeasure, after Zhang et al.); returns number removed."""
+        removed = 0
+        for bucket in self._by_len.values():
+            bogus = [net for net, ann in bucket.items() if ann.hijack]
+            for net in bogus:
+                del bucket[net]
+                removed += 1
+        self._count -= removed
+        return removed
+
+    def __len__(self) -> int:
+        return self._count
+
+    @staticmethod
+    def _prefer(new: BgpAnnouncement, old: BgpAnnouncement) -> bool:
+        """Whether ``new`` beats ``old`` for the same network."""
+        return (len(new.as_path), new.origin_asn) < (
+            len(old.as_path),
+            old.origin_asn,
+        )
+
+
+@dataclass
+class BgpHijack:
+    """A more-specific prefix hijack against a set of victim prefixes.
+
+    Attributes:
+        attacker_asn: The AS forging the announcements.
+        victim_prefixes: Legitimate prefixes whose traffic is targeted.
+        specificity: How many extra bits of specificity to announce
+            (1 = split each victim prefix in two).  Real-world filters
+            commonly drop prefixes longer than /24, so announcements are
+            capped at ``max_prefix_len``.
+        max_prefix_len: Longest announceable prefix (default /24; a
+            victim /24 is hijacked with an equally-specific announcement
+            which wins via the attacker's shorter forged path).
+    """
+
+    attacker_asn: int
+    victim_prefixes: List[Prefix] = field(default_factory=list)
+    specificity: int = 1
+    max_prefix_len: int = 24
+
+    def announcements(self) -> List[BgpAnnouncement]:
+        """Forge the bogus announcements implementing this hijack."""
+        if self.specificity < 0:
+            raise TopologyError("specificity must be >= 0", value=self.specificity)
+        result: List[BgpAnnouncement] = []
+        for victim in self.victim_prefixes:
+            target_len = min(victim.prefix_len + self.specificity, self.max_prefix_len)
+            if target_len <= victim.prefix_len:
+                # Cannot be more specific: announce the same length with
+                # a minimal forged path so the tie-break prefers us.
+                result.append(
+                    BgpAnnouncement(
+                        network=victim.network,
+                        origin_asn=self.attacker_asn,
+                        as_path=(self.attacker_asn,),
+                        hijack=True,
+                    )
+                )
+                continue
+            for sub in victim.network.subnets(new_prefix=target_len):
+                result.append(
+                    BgpAnnouncement(
+                        network=sub,
+                        origin_asn=self.attacker_asn,
+                        as_path=(self.attacker_asn,),
+                        hijack=True,
+                    )
+                )
+        return result
+
+    def apply(self, table: RoutingTable) -> int:
+        """Install the hijack into ``table``; returns announcement count."""
+        announcements = self.announcements()
+        for announcement in announcements:
+            table.announce(announcement)
+        return len(announcements)
+
+    def captured_ips(
+        self,
+        table: RoutingTable,
+        ips: Iterable[ipaddress.IPv4Address],
+    ) -> List[ipaddress.IPv4Address]:
+        """Which of ``ips`` now route to the attacker under ``table``."""
+        captured = []
+        for ip in ips:
+            try:
+                if table.origin_of(ip) == self.attacker_asn:
+                    captured.append(ip)
+            except RoutingError:
+                continue
+        return captured
+
+    @property
+    def num_victim_prefixes(self) -> int:
+        return len(self.victim_prefixes)

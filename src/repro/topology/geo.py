@@ -1,0 +1,131 @@
+"""Countries and nation-state actors.
+
+The paper's threat model (§III) includes nation-states that can
+partition Bitcoin by blocking traffic through ASes under their
+jurisdiction — it notes 60% of mining traffic transits China, and that
+Bolivia, Kyrgyzstan, and Nepal have banned Bitcoin outright.  This
+module provides the country registry used to aggregate ASes by
+jurisdiction and a :class:`NationStatePolicy` that enumerates the
+blocking power of a given country.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import TopologyError
+from .asn import ASRegistry, AutonomousSystem
+
+__all__ = ["Country", "CountryRegistry", "NationStatePolicy", "BANNED_COUNTRIES"]
+
+#: Countries the paper cites as having permanently banned Bitcoin.
+BANNED_COUNTRIES = ("BO", "KG", "NP")
+
+
+@dataclass
+class Country:
+    """A national jurisdiction.
+
+    Attributes:
+        code: Two-letter code (e.g. ``"DE"``, ``"CN"``).
+        name: Display name.
+        bitcoin_banned: Whether the jurisdiction bans Bitcoin (the
+            ban itself is a standing partition of local nodes).
+    """
+
+    code: str
+    name: str
+    bitcoin_banned: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2:
+            raise TopologyError("country code must be 2 letters", code=self.code)
+
+    def __hash__(self) -> int:
+        return hash(self.code)
+
+
+class CountryRegistry:
+    """Registry of countries keyed by two-letter code."""
+
+    def __init__(self) -> None:
+        self._by_code: Dict[str, Country] = {}
+
+    def register(self, country: Country) -> Country:
+        if country.code in self._by_code:
+            raise TopologyError("duplicate country", code=country.code)
+        self._by_code[country.code] = country
+        return country
+
+    def create(self, code: str, name: str, bitcoin_banned: bool = False) -> Country:
+        return self.register(Country(code=code, name=name, bitcoin_banned=bitcoin_banned))
+
+    def get(self, code: str) -> Country:
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise TopologyError("unknown country", code=code) from None
+
+    def find(self, code: str) -> Optional[Country]:
+        return self._by_code.get(code)
+
+    def ensure(self, code: str, name: Optional[str] = None) -> Country:
+        """Get the country, creating a placeholder entry if absent."""
+        country = self._by_code.get(code)
+        if country is None:
+            country = self.create(code, name or code, bitcoin_banned=code in BANNED_COUNTRIES)
+        return country
+
+    def banned(self) -> List[Country]:
+        return [country for country in self if country.bitcoin_banned]
+
+    def __iter__(self) -> Iterator[Country]:
+        return iter(self._by_code.values())
+
+    def __len__(self) -> int:
+        return len(self._by_code)
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._by_code
+
+
+@dataclass
+class NationStatePolicy:
+    """The blocking power of a nation-state adversary.
+
+    A nation-state partitions spatially not by forging routes but by
+    ordering the ASes in its jurisdiction to drop Bitcoin traffic.  The
+    policy enumerates those ASes; callers combine it with node or
+    mining-share data to quantify impact (e.g. the paper's China
+    example: blocking would sever ~60% of mining traffic).
+    """
+
+    country_code: str
+    description: str = ""
+    blocked_asns: List[int] = field(default_factory=list)
+
+    @classmethod
+    def for_country(
+        cls, country_code: str, registry: ASRegistry, description: str = ""
+    ) -> "NationStatePolicy":
+        """Build the policy blocking every AS under ``country_code``."""
+        asns = [asys.asn for asys in registry.in_country(country_code)]
+        return cls(
+            country_code=country_code,
+            description=description or f"traffic ban by {country_code}",
+            blocked_asns=asns,
+        )
+
+    def blocks(self, asys: AutonomousSystem) -> bool:
+        return asys.asn in self.blocked_asns
+
+    def blocked_fraction(self, hosted_counts: Dict[int, int]) -> float:
+        """Fraction of nodes severed given per-ASN node counts."""
+        total = sum(hosted_counts.values())
+        if total == 0:
+            return 0.0
+        blocked = sum(
+            count for asn, count in hosted_counts.items() if asn in self.blocked_asns
+        )
+        return blocked / total

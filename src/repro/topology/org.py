@@ -1,0 +1,114 @@
+"""Organizations: the ISP/cloud entities that own autonomous systems.
+
+The paper observes that Bitcoin is *more* centralized at the
+organization level than at the AS level because several organizations
+(e.g. Amazon, AliBaba) own more than one AS.  We therefore model
+organizations as first-class objects that aggregate ASes, so analyses
+can be run at either granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import TopologyError
+
+__all__ = ["Organization", "OrganizationRegistry"]
+
+
+@dataclass
+class Organization:
+    """An ISP, hosting company, or cloud provider.
+
+    Attributes:
+        org_id: Stable identifier (slug) unique within a registry.
+        name: Display name as printed in the paper's tables
+            (e.g. ``"Hetzner Online GmbH"``).
+        country: ISO-ish country code of the organization's home
+            jurisdiction, used for nation-state attack modelling.
+        asns: ASNs owned by this organization.  Populated by the
+            registry as ASes are registered.
+    """
+
+    org_id: str
+    name: str
+    country: str = "??"
+    asns: List[int] = field(default_factory=list)
+
+    def owns(self, asn: int) -> bool:
+        """Whether this organization owns AS ``asn``."""
+        return asn in self.asns
+
+    @property
+    def multi_as(self) -> bool:
+        """True if the org owns more than one AS (amplified attack surface)."""
+        return len(self.asns) > 1
+
+    def __hash__(self) -> int:
+        return hash(self.org_id)
+
+
+class OrganizationRegistry:
+    """Mapping of organization ids and names to :class:`Organization`.
+
+    Names are not guaranteed unique in the wild, but the paper treats
+    them as identifying, so the registry enforces unique names too and
+    offers lookup by either key.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, Organization] = {}
+        self._by_name: Dict[str, Organization] = {}
+
+    def register(self, org: Organization) -> Organization:
+        """Add ``org``; raises :class:`TopologyError` on duplicates."""
+        if org.org_id in self._by_id:
+            raise TopologyError("duplicate organization id", org_id=org.org_id)
+        if org.name in self._by_name:
+            raise TopologyError("duplicate organization name", name=org.name)
+        self._by_id[org.org_id] = org
+        self._by_name[org.name] = org
+        return org
+
+    def create(self, org_id: str, name: str, country: str = "??") -> Organization:
+        """Convenience: construct and register in one call."""
+        return self.register(Organization(org_id=org_id, name=name, country=country))
+
+    def get(self, org_id: str) -> Organization:
+        try:
+            return self._by_id[org_id]
+        except KeyError:
+            raise TopologyError("unknown organization", org_id=org_id) from None
+
+    def get_by_name(self, name: str) -> Organization:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TopologyError("unknown organization", name=name) from None
+
+    def find(self, org_id: str) -> Optional[Organization]:
+        """Like :meth:`get` but returns ``None`` instead of raising."""
+        return self._by_id.get(org_id)
+
+    def attach_asn(self, org_id: str, asn: int) -> None:
+        """Record that ``asn`` belongs to organization ``org_id``."""
+        org = self.get(org_id)
+        if asn not in org.asns:
+            org.asns.append(asn)
+
+    def multi_as_organizations(self) -> List[Organization]:
+        """Organizations owning >1 AS — the amplification the paper notes."""
+        return [org for org in self if org.multi_as]
+
+    def __iter__(self) -> Iterator[Organization]:
+        return iter(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, org_id: str) -> bool:
+        return org_id in self._by_id
+
+    def items(self) -> Iterator[Tuple[str, Organization]]:
+        return iter(self._by_id.items())

@@ -1,0 +1,285 @@
+"""BGP prefixes and per-AS prefix pools.
+
+Figure 4 of the paper is driven entirely by how a given AS's Bitcoin
+nodes are grouped into the BGP prefixes that the AS announces: hijack a
+prefix and you capture every node inside it.  This module provides
+
+- :class:`Prefix` — an announced IPv4 network with its origin AS;
+- :class:`PrefixPool` — the set of prefixes one AS announces, plus the
+  assignment of node IPs into those prefixes;
+- :func:`allocate_prefixes` — a deterministic allocator carving disjoint
+  prefixes for each AS out of a synthetic address plan.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import TopologyError
+
+__all__ = ["Prefix", "PrefixPool", "AddressPlan", "allocate_prefixes"]
+
+#: Size of the address block reserved per AS in the synthetic plan.
+#: 2**22 addresses = 64 consecutive /16s; enough for thousands of /24s.
+_PER_AS_BLOCK = 1 << 22
+
+#: Base of the synthetic address plan (keeps out of 0.0.0.0/8).
+_PLAN_BASE = int(ipaddress.IPv4Address("1.0.0.0"))
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix announced by an origin AS.
+
+    Attributes:
+        network: The announced network (e.g. ``5.9.0.0/16``).
+        origin_asn: ASN that legitimately originates this prefix.
+    """
+
+    network: ipaddress.IPv4Network
+    origin_asn: int
+
+    @property
+    def prefix_len(self) -> int:
+        return self.network.prefixlen
+
+    @property
+    def num_addresses(self) -> int:
+        return self.network.num_addresses
+
+    def contains(self, ip: ipaddress.IPv4Address) -> bool:
+        return ip in self.network
+
+    def subprefixes(self, new_len: int) -> List["Prefix"]:
+        """Split into the more-specific prefixes of length ``new_len``.
+
+        Used by hijacks: announcing more-specific prefixes of a victim
+        prefix steals its traffic under longest-prefix-match routing.
+        """
+        if new_len <= self.prefix_len:
+            raise TopologyError(
+                "subprefix must be more specific",
+                prefix=str(self.network),
+                new_len=new_len,
+            )
+        if new_len > 32:
+            raise TopologyError("IPv4 prefix length cannot exceed 32", new_len=new_len)
+        return [
+            Prefix(network=sub, origin_asn=self.origin_asn)
+            for sub in self.network.subnets(new_prefix=new_len)
+        ]
+
+    def __str__(self) -> str:
+        return f"{self.network} (AS{self.origin_asn})"
+
+
+@dataclass
+class PrefixPool:
+    """The prefixes announced by one AS and the node IPs inside them.
+
+    The pool records, for every hosted Bitcoin node, which prefix its IP
+    falls into.  ``nodes_by_prefix`` is the grouping Figure 4 needs: the
+    analysis sorts prefixes by node count and accumulates the hijack
+    cost curve.
+    """
+
+    asn: int
+    prefixes: List[Prefix] = field(default_factory=list)
+    _node_prefix: Dict[int, Prefix] = field(default_factory=dict, repr=False)
+    _node_ip: Dict[int, ipaddress.IPv4Address] = field(default_factory=dict, repr=False)
+    _next_host: Dict[Prefix, int] = field(default_factory=dict, repr=False)
+
+    def add_prefix(self, prefix: Prefix) -> None:
+        if prefix.origin_asn != self.asn:
+            raise TopologyError(
+                "prefix origin does not match pool AS",
+                asn=self.asn,
+                origin=prefix.origin_asn,
+            )
+        self.prefixes.append(prefix)
+
+    @property
+    def num_prefixes(self) -> int:
+        return len(self.prefixes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_prefix)
+
+    def assign_node(self, node_id: int, prefix: Prefix) -> ipaddress.IPv4Address:
+        """Give ``node_id`` the next free host address inside ``prefix``."""
+        if prefix not in self._next_host and prefix not in self.prefixes:
+            raise TopologyError("prefix not in pool", asn=self.asn, prefix=str(prefix))
+        if node_id in self._node_prefix:
+            raise TopologyError("node already assigned", node_id=node_id)
+        host_index = self._next_host.get(prefix, 1)
+        if host_index >= prefix.num_addresses - 1:
+            raise TopologyError(
+                "prefix exhausted", prefix=str(prefix), hosts=host_index
+            )
+        ip = prefix.network.network_address + host_index
+        self._next_host[prefix] = host_index + 1
+        self._node_prefix[node_id] = prefix
+        self._node_ip[node_id] = ip
+        return ip
+
+    def assign_nodes_weighted(
+        self,
+        node_ids: Sequence[int],
+        weights: Sequence[float],
+        rng: random.Random,
+    ) -> Dict[int, ipaddress.IPv4Address]:
+        """Distribute nodes over prefixes according to ``weights``.
+
+        ``weights`` has one entry per prefix in ``self.prefixes``; the
+        builder passes a Zipf-like vector whose skew is calibrated per
+        AS so the resulting hijack-cost curve matches Figure 4.
+        """
+        if len(weights) != len(self.prefixes):
+            raise TopologyError(
+                "one weight per prefix required",
+                prefixes=len(self.prefixes),
+                weights=len(weights),
+            )
+        if not self.prefixes:
+            raise TopologyError("pool has no prefixes", asn=self.asn)
+        capacity = sum(p.num_addresses - 2 for p in self.prefixes)
+        if capacity < len(node_ids):
+            raise TopologyError(
+                "pool capacity exceeded",
+                asn=self.asn,
+                capacity=capacity,
+                nodes=len(node_ids),
+            )
+        assignments: Dict[int, ipaddress.IPv4Address] = {}
+        live = list(zip(self.prefixes, weights))
+        for node_id in node_ids:
+            # A full prefix is dropped from the candidate set and the
+            # draw retried, so a heavily-weighted small prefix overflows
+            # into the next ones instead of failing.
+            while True:
+                prefixes, wts = zip(*live)
+                prefix = rng.choices(prefixes, weights=wts, k=1)[0]
+                if self._has_room(prefix):
+                    break
+                live = [(p, w) for p, w in live if p != prefix]
+            assignments[node_id] = self.assign_node(node_id, prefix)
+        return assignments
+
+    def _has_room(self, prefix: Prefix) -> bool:
+        """Whether ``prefix`` still has a free host address."""
+        return self._next_host.get(prefix, 1) < prefix.num_addresses - 1
+
+    def node_ip(self, node_id: int) -> ipaddress.IPv4Address:
+        try:
+            return self._node_ip[node_id]
+        except KeyError:
+            raise TopologyError("node not in pool", node_id=node_id) from None
+
+    def prefix_of(self, node_id: int) -> Prefix:
+        try:
+            return self._node_prefix[node_id]
+        except KeyError:
+            raise TopologyError("node not in pool", node_id=node_id) from None
+
+    def nodes_by_prefix(self) -> Dict[Prefix, List[int]]:
+        """Group hosted node ids by the prefix containing their IP."""
+        grouped: Dict[Prefix, List[int]] = {}
+        for node_id, prefix in self._node_prefix.items():
+            grouped.setdefault(prefix, []).append(node_id)
+        return grouped
+
+    def node_counts(self) -> List[Tuple[Prefix, int]]:
+        """(prefix, node count) pairs sorted by descending node count.
+
+        This is the greedy hijack order: an attacker targeting this AS
+        hijacks the most populated prefixes first.
+        """
+        grouped = self.nodes_by_prefix()
+        counts = [(prefix, len(nodes)) for prefix, nodes in grouped.items()]
+        counts.sort(key=lambda item: (-item[1], str(item[0].network)))
+        return counts
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(self.prefixes)
+
+
+class AddressPlan:
+    """A sequential allocator of disjoint prefixes over the IPv4 space.
+
+    Allocation is a simple bump cursor aligned to each request's prefix
+    boundary, so different ASes' prefixes never overlap and the plan is
+    fully deterministic.  One plan instance is shared by everything
+    built into one topology.
+    """
+
+    def __init__(self, base: Optional[int] = None) -> None:
+        self._cursor = _PLAN_BASE if base is None else base
+
+    def allocate(self, asn: int, count: int, prefix_len: int = 24) -> List[Prefix]:
+        """Carve ``count`` disjoint prefixes of ``prefix_len`` for ``asn``."""
+        if count <= 0:
+            raise TopologyError("prefix count must be positive", count=count)
+        if not 8 <= prefix_len <= 30:
+            raise TopologyError("prefix_len out of range", prefix_len=prefix_len)
+        block_size = 1 << (32 - prefix_len)
+        # Align the cursor to the prefix boundary.
+        base = (self._cursor + block_size - 1) // block_size * block_size
+        end = base + count * block_size
+        if end > (1 << 32):
+            raise TopologyError(
+                "IPv4 plan exhausted", asn=asn, count=count, prefix_len=prefix_len
+            )
+        self._cursor = end
+        return [
+            Prefix(
+                network=ipaddress.IPv4Network((base + i * block_size, prefix_len)),
+                origin_asn=asn,
+            )
+            for i in range(count)
+        ]
+
+    @property
+    def used_addresses(self) -> int:
+        return self._cursor - _PLAN_BASE
+
+
+def allocate_prefixes(
+    asn: int,
+    count: int,
+    as_index: int = 0,
+    prefix_len: int = 24,
+    plan: Optional[AddressPlan] = None,
+) -> List[Prefix]:
+    """Carve ``count`` disjoint prefixes of length ``prefix_len`` for an AS.
+
+    With an explicit ``plan``, allocation is sequential from the plan's
+    cursor (preferred — never overlaps).  Without one, the AS gets a
+    private slice indexed by ``as_index``; this standalone mode is only
+    safe for small topologies and is kept for direct API use in tests
+    and examples.
+    """
+    if plan is not None:
+        return plan.allocate(asn, count, prefix_len)
+    if count <= 0:
+        raise TopologyError("prefix count must be positive", count=count)
+    if not 8 <= prefix_len <= 30:
+        raise TopologyError("prefix_len out of range", prefix_len=prefix_len)
+    block_size = 1 << (32 - prefix_len)
+    if count * block_size > _PER_AS_BLOCK:
+        raise TopologyError(
+            "AS block exhausted", asn=asn, count=count, prefix_len=prefix_len
+        )
+    base = _PLAN_BASE + as_index * _PER_AS_BLOCK
+    if base + count * block_size > (1 << 32):
+        raise TopologyError("IPv4 plan exhausted", asn=asn, as_index=as_index)
+    return [
+        Prefix(
+            network=ipaddress.IPv4Network((base + i * block_size, prefix_len)),
+            origin_asn=asn,
+        )
+        for i in range(count)
+    ]

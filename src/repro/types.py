@@ -1,0 +1,147 @@
+"""Shared value types used across the library.
+
+These are deliberately small, dependency-free building blocks: enums for
+address families and consensus-lag bands, and a handful of aliases that
+make signatures self-describing (``Seconds``, ``BlockHeight``...).
+Subsystem-specific structures live in their own packages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "AddressType",
+    "LagBand",
+    "Seconds",
+    "Minutes",
+    "BlockHeight",
+    "NodeId",
+    "ASN",
+    "BITCOIN_BLOCK_INTERVAL",
+    "DEFAULT_PEER_COUNT",
+    "Interval",
+    "lag_band",
+]
+
+# Type aliases: purely documentary, but they make signatures readable.
+Seconds = float
+Minutes = float
+BlockHeight = int
+NodeId = int
+ASN = int
+
+#: Bitcoin's target block interval (seconds); the paper's BlockAware
+#: countermeasure and span-ratio law both use the 600 s constant.
+BITCOIN_BLOCK_INTERVAL: Seconds = 600.0
+
+#: Default number of outbound peers of a Bitcoin full node (paper §V-B).
+DEFAULT_PEER_COUNT: int = 8
+
+
+class AddressType(enum.Enum):
+    """Network address family of a full node (paper Table I)."""
+
+    IPV4 = "ipv4"
+    IPV6 = "ipv6"
+    TOR = "tor"
+
+    @property
+    def label(self) -> str:
+        """Human-readable label as printed in the paper's tables."""
+        return {"ipv4": "IPv4", "ipv6": "IPv6", "tor": "TOR"}[self.value]
+
+
+class LagBand(enum.Enum):
+    """Consensus-lag bands used by Figure 6's stacked series.
+
+    The paper groups nodes by how many blocks they trail the best chain:
+    up-to-date (green), 1 behind (yellow), 2-4 behind (purple), 5-10
+    behind (blue), and more than 10 behind (magenta).
+    """
+
+    SYNCED = "synced"
+    BEHIND_1 = "behind_1"
+    BEHIND_2_4 = "behind_2_4"
+    BEHIND_5_10 = "behind_5_10"
+    BEHIND_10_PLUS = "behind_10_plus"
+
+    @property
+    def color(self) -> str:
+        """Paper figure color for this band."""
+        return {
+            LagBand.SYNCED: "green",
+            LagBand.BEHIND_1: "yellow",
+            LagBand.BEHIND_2_4: "purple",
+            LagBand.BEHIND_5_10: "blue",
+            LagBand.BEHIND_10_PLUS: "magenta",
+        }[self]
+
+    @property
+    def bounds(self) -> Tuple[int, float]:
+        """Inclusive (low, high) lag bounds in blocks for this band."""
+        return {
+            LagBand.SYNCED: (0, 0),
+            LagBand.BEHIND_1: (1, 1),
+            LagBand.BEHIND_2_4: (2, 4),
+            LagBand.BEHIND_5_10: (5, 10),
+            LagBand.BEHIND_10_PLUS: (11, float("inf")),
+        }[self]
+
+    @classmethod
+    def ordered(cls) -> Tuple["LagBand", ...]:
+        """Bands from most synced to most lagged (stacking order)."""
+        return (
+            cls.SYNCED,
+            cls.BEHIND_1,
+            cls.BEHIND_2_4,
+            cls.BEHIND_5_10,
+            cls.BEHIND_10_PLUS,
+        )
+
+
+def lag_band(lag_blocks: int) -> LagBand:
+    """Classify a block lag (in blocks) into its Figure-6 band."""
+    if lag_blocks < 0:
+        raise ValueError(f"lag must be non-negative, got {lag_blocks}")
+    if lag_blocks == 0:
+        return LagBand.SYNCED
+    if lag_blocks == 1:
+        return LagBand.BEHIND_1
+    if lag_blocks <= 4:
+        return LagBand.BEHIND_2_4
+    if lag_blocks <= 10:
+        return LagBand.BEHIND_5_10
+    return LagBand.BEHIND_10_PLUS
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` in simulation seconds."""
+
+    start: Seconds
+    end: Seconds
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> Seconds:
+        return self.end - self.start
+
+    def contains(self, t: Seconds) -> bool:
+        return self.start <= t < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """Overlapping part of two intervals (zero-length if disjoint)."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end < start:
+            return Interval(start, start)
+        return Interval(start, end)

@@ -1,0 +1,122 @@
+"""Tests for centralization (Table II/III, Fig 3) and hijack (Fig 4) analyses."""
+
+import pytest
+
+from repro.analysis.centralization import (
+    CentralizationChange,
+    cdf_points,
+    centralization_change,
+    coverage_count,
+    top_entities,
+)
+from repro.analysis.hijack import hijack_curve, prefixes_for_fraction
+from repro.errors import AnalysisError
+
+
+class TestTopEntities:
+    def test_ordering_and_shares(self):
+        counts = {"a": 50, "b": 30, "c": 20}
+        top = top_entities(counts, k=2)
+        assert top[0] == ("a", 50, 50.0)
+        assert top[1] == ("b", 30, 30.0)
+
+    def test_deterministic_tie_break(self):
+        counts = {"b": 10, "a": 10}
+        assert top_entities(counts, k=1)[0][0] == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            top_entities({})
+
+
+class TestCoverageCount:
+    def test_basic(self):
+        counts = {"a": 50, "b": 30, "c": 20}
+        assert coverage_count(counts, 0.50) == 1
+        assert coverage_count(counts, 0.80) == 2
+        assert coverage_count(counts, 1.00) == 3
+
+    def test_fraction_validation(self):
+        with pytest.raises(AnalysisError):
+            coverage_count({"a": 1}, 0.0)
+        with pytest.raises(AnalysisError):
+            coverage_count({"a": 1}, 1.5)
+
+
+class TestCdfPoints:
+    def test_monotone_to_one(self):
+        points = cdf_points({"a": 5, "b": 3, "c": 2})
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_ranks_sequential(self):
+        points = cdf_points({"a": 5, "b": 3})
+        assert [rank for rank, _ in points] == [1, 2]
+
+
+class TestCentralizationChange:
+    def test_table3_values(self):
+        """C = (N1 - N2) * 100 / N1 on the paper's numbers."""
+        half = centralization_change(50, 24, 0.50)
+        assert half.change_pct == pytest.approx(52.0)
+        third = centralization_change(13, 8, 0.30)
+        assert third.change_pct == pytest.approx(38.46, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            centralization_change(0, 5, 0.5)
+        with pytest.raises(AnalysisError):
+            CentralizationChange(0.5, 0, 5).change_pct
+
+
+class TestHijackCurve:
+    def test_curve_from_pool(self, tiny_topology):
+        curve = hijack_curve(tiny_topology.pool(100))
+        assert curve.points[0] == (0, 0.0)
+        assert curve.points[-1][1] == pytest.approx(1.0)
+        fractions = [f for _, f in curve.points]
+        assert fractions == sorted(fractions)
+
+    def test_fraction_at_clamps(self, tiny_topology):
+        curve = hijack_curve(tiny_topology.pool(100))
+        assert curve.fraction_at(10_000) == pytest.approx(1.0)
+        with pytest.raises(AnalysisError):
+            curve.fraction_at(-1)
+
+    def test_hijacks_for(self, tiny_topology):
+        curve = hijack_curve(tiny_topology.pool(100))
+        k = curve.hijacks_for(0.5)
+        assert k is not None and 1 <= k <= curve.total_prefixes
+        assert curve.fraction_at(k) >= 0.5
+
+    def test_paper_contrast(self, paper_topology):
+        """AS24940 cheap, AS16509 expensive — the Figure 4 finding."""
+        hetzner = hijack_curve(paper_topology.pool(24940))
+        amazon = hijack_curve(paper_topology.pool(16509))
+        assert hetzner.hijacks_for(0.95) <= 25
+        assert (amazon.hijacks_for(0.95) or 9999) > 140
+        assert hetzner.fraction_at(20) > amazon.fraction_at(20)
+
+    def test_cost_per_node(self, paper_topology):
+        hetzner = hijack_curve(paper_topology.pool(24940))
+        assert hetzner.cost_per_node_at_80pct < 0.05  # few prefixes, many nodes
+
+
+class TestPrefixesForFraction:
+    def test_greedy_selection_sufficient(self, tiny_topology):
+        pool = tiny_topology.pool(100)
+        chosen = prefixes_for_fraction(pool, 0.6)
+        covered = sum(len(pool.nodes_by_prefix()[p]) for p in chosen)
+        assert covered >= 0.6 * pool.num_nodes
+
+    def test_greedy_is_minimal_prefixwise(self, tiny_topology):
+        pool = tiny_topology.pool(100)
+        chosen = prefixes_for_fraction(pool, 0.6)
+        counts = dict(pool.node_counts())
+        without_last = sum(counts[p] for p in chosen[:-1])
+        assert without_last < 0.6 * pool.num_nodes
+
+    def test_validation(self, tiny_topology):
+        with pytest.raises(AnalysisError):
+            prefixes_for_fraction(tiny_topology.pool(100), 0.0)

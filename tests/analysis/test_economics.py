@@ -1,0 +1,76 @@
+"""Tests for the asymmetric-vulnerability economics."""
+
+import pytest
+
+from repro.analysis.economics import AttackEconomics, EconomicModel
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.errors import AnalysisError
+
+
+def result(attack="spatial", victims=1000, effort=15.0):
+    return AttackResult(
+        attack=attack,
+        outcome=AttackOutcome.SUCCESS,
+        victims=tuple(range(victims)),
+        effort=effort,
+    )
+
+
+class TestEconomicModel:
+    def test_value_per_node_order_of_magnitude(self):
+        """The paper: o(10^11) USD over o(10^4) nodes -> o(10^7)/node."""
+        model = EconomicModel()
+        assert 1e6 < model.value_per_node < 1e8
+        assert model.value_per_node == pytest.approx(110e9 / 13_635)
+
+    def test_spatial_pricing(self):
+        model = EconomicModel()
+        economics = model.price_spatial(result(victims=981, effort=15.0))
+        assert economics.attack_cost == pytest.approx(15 * 5_000)
+        assert economics.value_at_risk == pytest.approx(
+            981 * model.value_per_node
+        )
+        # The paper's asymmetry: leverage far above 1.
+        assert economics.leverage > 1_000
+
+    def test_temporal_pricing(self):
+        model = EconomicModel()
+        economics = model.price_temporal(
+            result(attack="temporal", victims=500, effort=10.0),
+            duration_hours=2.0,
+            hash_share=0.30,
+        )
+        assert economics.attack_cost == pytest.approx(0.30 * 100 * 20_000 * 2)
+        assert economics.leverage > 1.0
+
+    def test_logical_pricing(self):
+        model = EconomicModel()
+        economics = model.price_logical(
+            result(attack="logical_crash", victims=11_000, effort=1.0)
+        )
+        assert economics.attack_cost == pytest.approx(100_000)
+        assert economics.leverage > 100_000
+
+    def test_family_mismatch_rejected(self):
+        model = EconomicModel()
+        with pytest.raises(AnalysisError):
+            model.price_spatial(result(attack="temporal"))
+        with pytest.raises(AnalysisError):
+            model.price_temporal(result(), 1.0, 0.3)
+        with pytest.raises(AnalysisError):
+            model.price_logical(result())
+
+    def test_invalid_temporal_params(self):
+        model = EconomicModel()
+        with pytest.raises(AnalysisError):
+            model.price_temporal(
+                result(attack="temporal"), duration_hours=0.0, hash_share=0.3
+            )
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(AnalysisError):
+            AttackEconomics(value_at_risk=1.0, attack_cost=0.0).leverage
+
+    def test_asymmetry_report(self):
+        report = EconomicModel().asymmetry_report()
+        assert report["value_per_node"] > 1e6

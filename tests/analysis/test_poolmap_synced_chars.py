@@ -1,0 +1,97 @@
+"""Tests for Table IV mapping, Table VII joins, and Table I rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characteristics import type_characteristics_table
+from repro.analysis.poolmap import map_pools
+from repro.analysis.synced import synced_as_table, synced_band_lines
+from repro.crawler.timeseries import ConsensusTimeSeries
+from repro.errors import AnalysisError
+from repro.types import AddressType
+
+
+class TestPoolMapping:
+    def test_rows_match_table4(self):
+        mapping = map_pools()
+        names = [row[0] for row in mapping.rows]
+        assert names == ["BTC.com", "Antpool", "ViaBTC", "BTC.TOP", "F2Pool"]
+        assert mapping.covered_share == pytest.approx(0.657)
+
+    def test_dominant_group_is_alibaba(self):
+        group, share = map_pools().dominant_group
+        assert group == "AliBaba"
+        assert share >= 0.594
+
+    def test_three_ases_for_65pct(self):
+        mapping = map_pools()
+        assert len(mapping.top_asns_for_share(0.65)) == 3
+
+    def test_unreachable_share_rejected(self):
+        mapping = map_pools()
+        with pytest.raises(AnalysisError):
+            mapping.top_asns_for_share(0.9)  # only 65.7% mapped
+
+    def test_topology_join_resolves_org_names(self, paper_topology):
+        mapping = map_pools(topology=paper_topology)
+        orgs = dict(
+            (row[0], row[3]) for row in mapping.rows
+        )
+        assert "Hangzhou Alibaba" in orgs["BTC.com"]
+        assert "Chinanet Hubei" in orgs["F2Pool"]
+
+    def test_missing_stratum_as_detected(self, tiny_topology):
+        with pytest.raises(AnalysisError):
+            map_pools(topology=tiny_topology)
+
+
+class TestSyncedJoins:
+    def make_series(self):
+        lags = np.array(
+            [
+                [0, 0, 1, 0],
+                [0, 1, 1, 0],
+                [0, 0, 2, 0],
+            ],
+            dtype=np.int16,
+        )
+        asns = np.array([10, 10, 20, 30])
+        times = np.array([600.0, 1200.0, 1800.0])
+        return ConsensusTimeSeries(times=times, lags=lags, node_asns=asns)
+
+    def test_band_lines(self):
+        lines = synced_band_lines(self.make_series())
+        assert list(lines["synced"]) == [3, 2, 3]
+        assert list(lines["behind_1"]) == [1, 2, 0]
+        assert list(lines["behind_2_4"]) == [0, 0, 1]
+
+    def test_synced_as_table_ranks(self):
+        rows = synced_as_table(self.make_series(), k=2)
+        assert rows[0].asn == 10
+        assert rows[0].mean_synced_nodes == 1  # 5 synced samples / 3 ticks
+        assert rows[0].percentage == pytest.approx(100 * 5 / 8)
+
+    def test_requires_asns(self):
+        series = ConsensusTimeSeries(
+            times=np.array([600.0]), lags=np.zeros((1, 3), dtype=np.int16)
+        )
+        with pytest.raises(AnalysisError):
+            synced_as_table(series)
+
+
+class TestCharacteristicsTable:
+    def test_rows_in_paper_order(self, small_topology):
+        from repro.datagen.population import PopulationGenerator
+
+        snapshot = PopulationGenerator(small_topology, seed=2).generate()
+        rows = type_characteristics_table(snapshot)
+        assert [row.address_type for row in rows] == [
+            AddressType.IPV4,
+            AddressType.IPV6,
+            AddressType.TOR,
+        ]
+        tor = rows[2].stats
+        ipv4 = rows[0].stats
+        # The paper's inversion: Tor fast links, poor latency index.
+        assert tor.link_speed_mean > ipv4.link_speed_mean
+        assert tor.latency_mean < ipv4.latency_mean

@@ -1,0 +1,67 @@
+"""Tests for the propagation probe."""
+
+import pytest
+
+from repro.analysis.propagation import PropagationProbe
+from repro.errors import AnalysisError
+from repro.netsim.latency import ConstantLatency, DiffusionLatency, TrickleLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+def make_network(latency, num_nodes=60, seed=81, failure=0.0):
+    return Network(
+        NetworkConfig(num_nodes=num_nodes, seed=seed, failure_rate=failure),
+        latency=latency,
+    )
+
+
+class TestPropagationProbe:
+    def test_validation(self):
+        net = make_network(ConstantLatency(0.1))
+        with pytest.raises(AnalysisError):
+            PropagationProbe(net, sample_interval=0.0)
+        net.set_offline([3])
+        with pytest.raises(AnalysisError):
+            PropagationProbe(net).measure_block(3)
+
+    def test_full_coverage_on_perfect_network(self):
+        net = make_network(ConstantLatency(0.1))
+        probe = PropagationProbe(net, sample_interval=0.5)
+        stats, curve = probe.measure_block(0, window=60.0)
+        assert stats.coverage_at_end == 1.0
+        assert stats.t50 is not None and stats.t90 is not None
+        assert stats.t50 <= stats.t90 <= (stats.t99 or stats.t90)
+
+    def test_curve_monotone(self):
+        net = make_network(DiffusionLatency(rate=0.8))
+        probe = PropagationProbe(net)
+        _, curve = probe.measure_block(0, window=60.0)
+        coverages = [c for _, c in curve]
+        assert coverages == sorted(coverages)
+
+    def test_diffusion_faster_than_trickle(self):
+        """The D1 premise, measured with the probe itself."""
+        fast = PropagationProbe(make_network(DiffusionLatency(rate=0.8)))
+        slow = PropagationProbe(
+            make_network(TrickleLatency(interval=2.0, peers=8))
+        )
+        fast_stats, _ = fast.measure_block(0, window=300.0)
+        slow_stats, _ = slow.measure_block(0, window=300.0)
+        assert fast_stats.t90 < slow_stats.t90
+
+    def test_offline_nodes_excluded_from_denominator(self):
+        net = make_network(ConstantLatency(0.1))
+        net.set_offline([5, 6])
+        stats, _ = PropagationProbe(net).measure_block(0, window=60.0)
+        assert stats.coverage_at_end == 1.0  # of the online population
+
+    def test_measure_many_and_median(self):
+        net = make_network(ConstantLatency(0.1))
+        probe = PropagationProbe(net)
+        stats = probe.measure_many([0, 1, 2], window=60.0, spacing=10.0)
+        assert len(stats) == 3
+        median = PropagationProbe.median_t90(stats)
+        assert median is not None and median > 0
+
+    def test_median_of_empty(self):
+        assert PropagationProbe.median_t90([]) is None

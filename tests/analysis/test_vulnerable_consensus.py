@@ -1,0 +1,116 @@
+"""Tests for Table V optimization and Figure 6 consensus statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.consensus import behind_fraction_after, consensus_pruning_stats
+from repro.analysis.vulnerable import max_vulnerable_nodes, vulnerable_table
+from repro.crawler.timeseries import NODE_DOWN, ConsensusTimeSeries
+from repro.errors import AnalysisError
+
+
+def series(lags, interval=60.0):
+    lags = np.asarray(lags)
+    times = np.arange(1, lags.shape[0] + 1) * interval
+    return ConsensusTimeSeries(times=times, lags=lags)
+
+
+class TestMaxVulnerableNodes:
+    def test_sustained_window_semantics(self):
+        # Node 0: lagging all 5 ticks; node 1: dips to 0 mid-window;
+        # node 2: never lags.
+        lags = [
+            [1, 1, 0],
+            [1, 1, 0],
+            [2, 0, 0],
+            [1, 1, 0],
+            [1, 1, 0],
+        ]
+        result = max_vulnerable_nodes(series(lags), lag_threshold=1, t_minutes=5)
+        assert result.max_nodes == 1  # only node 0 sustains 5 minutes
+        result2 = max_vulnerable_nodes(series(lags), lag_threshold=1, t_minutes=2)
+        assert result2.max_nodes == 2
+
+    def test_threshold_raises_bar(self):
+        lags = [[2, 1], [2, 1], [2, 1]]
+        assert max_vulnerable_nodes(series(lags), 1, 3).max_nodes == 2
+        assert max_vulnerable_nodes(series(lags), 2, 3).max_nodes == 1
+
+    def test_witness_time_reported(self):
+        lags = [[0], [1], [1], [0]]
+        result = max_vulnerable_nodes(series(lags), 1, 2)
+        assert result.max_nodes == 1
+        assert result.at_time == 120.0  # window starting at the 2nd tick
+
+    def test_down_nodes_never_vulnerable(self):
+        lags = [[NODE_DOWN], [NODE_DOWN]]
+        result = max_vulnerable_nodes(series(lags), 1, 2)
+        assert result.max_nodes == 0
+
+    def test_percentage(self):
+        lags = [[1, 1, 0, 0]] * 3
+        result = max_vulnerable_nodes(series(lags), 1, 3)
+        assert result.percentage == pytest.approx(50.0)
+
+    def test_validation(self):
+        lags = [[1], [1]]
+        with pytest.raises(AnalysisError):
+            max_vulnerable_nodes(series(lags), 0, 1)
+        with pytest.raises(AnalysisError):
+            max_vulnerable_nodes(series(lags), 1, 0)
+        with pytest.raises(AnalysisError):
+            max_vulnerable_nodes(series(lags), 1, 60)  # window > series
+
+    def test_table_monotone_in_t(self):
+        rng = np.random.default_rng(3)
+        lags = (rng.random((120, 300)) < 0.4).astype(np.int16)
+        table = vulnerable_table(series(lags), t_values=(5, 10, 20), lag_thresholds=(1,))
+        counts = [table[t][0].max_nodes for t in (5, 10, 20)]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestBehindFractionAfter:
+    def test_probe_near_block_plus_delay(self):
+        # Lag rises right after each "block" at t=0 and decays.
+        lags = [[1, 1], [1, 0], [0, 0], [0, 0], [0, 0]]
+        fraction = behind_fraction_after(series(lags), block_times=[0.0], delay_seconds=60.0)
+        assert fraction == pytest.approx(1.0)
+        fraction2 = behind_fraction_after(series(lags), block_times=[0.0], delay_seconds=180.0)
+        assert fraction2 == pytest.approx(0.0)
+
+    def test_probes_outside_series_skipped(self):
+        lags = [[1], [1]]
+        with pytest.raises(AnalysisError):
+            behind_fraction_after(series(lags), block_times=[1e9], delay_seconds=0.0)
+
+    def test_validation(self):
+        lags = [[1]]
+        with pytest.raises(AnalysisError):
+            behind_fraction_after(series(lags), [], 60.0)
+        with pytest.raises(AnalysisError):
+            behind_fraction_after(series(lags), [0.0], -1.0)
+
+
+class TestPruningStats:
+    def test_stats_computed(self):
+        lags = [
+            [0, 1, 5],
+            [0, 0, 5],
+            [1, 0, 5],
+            [0, 0, 5],
+        ]
+        stats = consensus_pruning_stats(series(lags))
+        assert stats.peak_behind_fraction == pytest.approx(2 / 3)
+        assert stats.forever_behind_fraction == pytest.approx(1 / 3)
+        assert stats.mean_synced_fraction == pytest.approx(0.5)
+
+    def test_calibrated_generator_hits_paper_shape(self):
+        from repro.datagen.consensus import ConsensusDynamicsGenerator
+
+        ts = ConsensusDynamicsGenerator(num_nodes=1500, seed=11).generate(
+            86_400, 600.0
+        )
+        stats = consensus_pruning_stats(ts)
+        assert stats.forever_behind_fraction == pytest.approx(0.10, abs=0.05)
+        assert stats.peak_behind_fraction >= 0.60
+        assert 0.40 <= stats.mean_synced_fraction <= 0.80

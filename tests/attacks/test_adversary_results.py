@@ -1,0 +1,100 @@
+"""Tests for the threat model and result schema."""
+
+import pytest
+
+from repro.attacks.adversary import Adversary, AdversaryType, AdversaryView, Capability
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.crawler.snapshot import NetworkSnapshot, NodeRecord
+from repro.errors import AttackError
+from repro.types import AddressType
+
+
+class TestAdversaryTypes:
+    def test_every_adversary_can_crawl(self):
+        """§III: every archetype has the Bitnodes-equivalent view."""
+        for kind in AdversaryType:
+            assert Capability.CRAWLING in kind.capabilities
+
+    def test_capability_mapping(self):
+        assert Capability.BGP_ANNOUNCE in AdversaryType.MALICIOUS_AS.capabilities
+        assert Capability.MINING in AdversaryType.MINING_POOL.capabilities
+        assert (
+            Capability.POLICY_ENFORCEMENT
+            in AdversaryType.NATION_STATE.capabilities
+        )
+        assert (
+            Capability.SOFTWARE_DISTRIBUTION
+            in AdversaryType.SOFTWARE_DEVELOPER.capabilities
+        )
+
+    def test_bgp_adversary_requires_asn(self):
+        with pytest.raises(AttackError):
+            Adversary(kind=AdversaryType.MALICIOUS_AS)
+        Adversary(kind=AdversaryType.MALICIOUS_AS, asn=666)
+
+    def test_mining_adversary_requires_share(self):
+        with pytest.raises(AttackError):
+            Adversary(kind=AdversaryType.MINING_POOL)
+        adversary = Adversary(kind=AdversaryType.MINING_POOL, hash_share=0.3)
+        assert adversary.can(Capability.MINING)
+
+    def test_nation_state_requires_country(self):
+        with pytest.raises(AttackError):
+            Adversary(kind=AdversaryType.NATION_STATE)
+        Adversary(kind=AdversaryType.NATION_STATE, country="CN")
+
+
+def make_snapshot():
+    records = []
+    for node_id in range(10):
+        records.append(
+            NodeRecord(
+                node_id=node_id,
+                address_type=AddressType.IPV4,
+                asn=100 if node_id < 6 else 200,
+                org_id="alpha" if node_id < 6 else "beta",
+                up=node_id != 9,
+                block_idx=(0 if node_id < 4 else 2 if node_id < 7 else 8),
+            )
+        )
+    return NetworkSnapshot(0.0, records)
+
+
+class TestAdversaryView:
+    def test_vulnerable_nodes_window(self):
+        view = AdversaryView(snapshot=make_snapshot())
+        # §III: targets 1-5 blocks behind (node 9 is down, excluded).
+        assert set(view.vulnerable_nodes(1, 5)) == {4, 5, 6}
+        assert set(view.vulnerable_nodes(1, 10)) == {4, 5, 6, 7, 8}
+
+    def test_synced_nodes(self):
+        view = AdversaryView(snapshot=make_snapshot())
+        assert set(view.synced_nodes()) == {0, 1, 2, 3}
+
+    def test_top_ases(self):
+        view = AdversaryView(snapshot=make_snapshot())
+        top = view.top_ases(k=1)
+        assert top[0][0] == 100
+        assert top[0][1] == 6
+
+    def test_nodes_in_as(self):
+        view = AdversaryView(snapshot=make_snapshot())
+        assert len(view.nodes_in_as(200)) == 4
+
+    def test_lag_of(self):
+        view = AdversaryView(snapshot=make_snapshot())
+        assert view.lag_of(5) == 2
+
+
+class TestAttackResult:
+    def test_metrics_access(self):
+        result = AttackResult(
+            attack="spatial",
+            outcome=AttackOutcome.SUCCESS,
+            victims=(1, 2, 3),
+            effort=15.0,
+            metrics={"captured_fraction": 0.95},
+        )
+        assert result.num_victims == 3
+        assert result.metric("captured_fraction") == 0.95
+        assert result.metric("missing", default=-1.0) == -1.0

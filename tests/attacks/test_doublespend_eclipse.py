@@ -1,0 +1,96 @@
+"""Tests for the double-spend and eclipse attacks."""
+
+import pytest
+
+from repro.attacks.doublespend import DoubleSpendAttack
+from repro.attacks.eclipse import EclipseAttack
+from repro.attacks.results import AttackOutcome
+from repro.errors import AttackError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+def make_network(num_nodes=40, seed=31, track=()):
+    net = Network(
+        NetworkConfig(
+            num_nodes=num_nodes,
+            seed=seed,
+            failure_rate=0.0,
+            track_utxo_nodes=tuple(track),
+        ),
+        latency=ConstantLatency(0.1),
+    )
+    net.add_pool("honest", 0.7, node_id=1)
+    return net
+
+
+class TestDoubleSpendAttack:
+    def test_victim_must_track_utxo(self):
+        net = make_network()
+        with pytest.raises(AttackError):
+            DoubleSpendAttack(net, attacker_node=0, victim_node=5)
+
+    def test_validation(self):
+        net = make_network(track=[5])
+        with pytest.raises(AttackError):
+            DoubleSpendAttack(net, attacker_node=0, victim_node=999)
+        with pytest.raises(AttackError):
+            DoubleSpendAttack(net, attacker_node=0, victim_node=5, amount=0)
+
+    def test_full_double_spend_cycle(self):
+        """The §V-B implication: the victim sees a confirmed payment on
+        the counterfeit branch, then loses it in the recovery reorg."""
+        net = make_network(seed=33, track=[5])
+        attack = DoubleSpendAttack(
+            net, attacker_node=0, victim_node=5, amount=25, hash_share=0.30
+        )
+        result, outcome = attack.execute(
+            setup_time=4 * 3600, attack_time=8 * 3600, recovery_time=10 * 3600
+        )
+        assert outcome.payment_confirmed_at_peak
+        assert outcome.victim_balance_before == 50
+        # Recovery: the payment is reversed; the victim's money is gone.
+        assert not outcome.payment_survived_recovery
+        assert outcome.victim_balance_after == 0
+        assert outcome.reorg_depth >= 1
+        assert result.outcome is AttackOutcome.SUCCESS
+
+
+class TestEclipseAttack:
+    def test_validation(self):
+        net = make_network()
+        with pytest.raises(AttackError):
+            EclipseAttack(net, victim=999, sybil_ids=[1])
+        with pytest.raises(AttackError):
+            EclipseAttack(net, victim=5, sybil_ids=[5])
+        with pytest.raises(AttackError):
+            EclipseAttack(net, victim=5, sybil_ids=[1], takeover_fraction=0.0)
+
+    def test_takeover_displaces_honest_peers(self):
+        net = make_network(num_nodes=60, seed=35)
+        sybils = list(range(40, 60))
+        attack = EclipseAttack(net, victim=5, sybil_ids=sybils)
+        result = attack.execute(duration=3600.0)
+        assert result.outcome is AttackOutcome.SUCCESS
+        assert result.metric("sybil_share") >= 0.75
+        victim_peers = set(net.node(5).peers)
+        assert victim_peers <= set(sybils)
+
+    def test_eclipsed_victim_stops_hearing_honest_blocks(self):
+        net = make_network(num_nodes=60, seed=36)
+        sybils = list(range(40, 60))
+        EclipseAttack(net, victim=5, sybil_ids=sybils).execute(duration=3600.0)
+        height_at_eclipse = net.node(5).height
+        net.run_for(6 * 3600)
+        # Honest chain grows; the victim (peered only with silent
+        # sybils) stays behind.
+        assert net.network_height() > height_at_eclipse + 2
+        assert net.node(5).lag(net.network_height()) >= 2
+
+    def test_insufficient_sybils_partial(self):
+        net = make_network(num_nodes=60, seed=37)
+        attack = EclipseAttack(
+            net, victim=5, sybil_ids=[40], takeover_fraction=0.9
+        )
+        result = attack.execute(duration=600.0)
+        assert result.outcome in (AttackOutcome.PARTIAL, AttackOutcome.FAILED)

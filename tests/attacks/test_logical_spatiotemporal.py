@@ -1,0 +1,110 @@
+"""Tests for logical and spatio-temporal attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.logical import LogicalAttack
+from repro.attacks.results import AttackOutcome
+from repro.attacks.spatiotemporal import SpatioTemporalAttack, SpatioTemporalPlan
+from repro.datagen.consensus import ConsensusDynamicsGenerator
+from repro.datagen.population import PopulationGenerator
+from repro.errors import AttackError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+@pytest.fixture(scope="module")
+def census_snapshot(small_topology):
+    return PopulationGenerator(small_topology, seed=4).generate()
+
+
+class TestLogicalAttack:
+    def test_assessment(self, census_snapshot):
+        report = LogicalAttack(census_snapshot).assess()
+        assert report.distinct_versions == 288
+        assert report.dominant_version_share == pytest.approx(0.3628, abs=0.01)
+        assert report.cve_exposure["CVE-2018-17144"] == 1.0  # all versions
+        assert report.cve_exposure["CVE-2013-5700"] < 0.05  # ancient range
+
+    def test_crash_victims_respects_version_ranges(self, census_snapshot):
+        attack = LogicalAttack(census_snapshot)
+        all_victims = attack.crash_victims("CVE-2018-17144")
+        assert len(all_victims) == len(census_snapshot.up_nodes())
+        old_victims = attack.crash_victims("CVE-2013-5700")
+        assert len(old_victims) < len(all_victims)
+
+    def test_unknown_cve_rejected(self, census_snapshot):
+        with pytest.raises(AttackError):
+            LogicalAttack(census_snapshot).crash_victims("CVE-0000-0000")
+
+    def test_execute_crash_takes_nodes_offline(self, small_topology):
+        snapshot = PopulationGenerator(small_topology, seed=4).generate()
+        net = Network(
+            NetworkConfig(num_nodes=50, seed=5, failure_rate=0.0),
+            latency=ConstantLatency(0.1),
+        )
+        attack = LogicalAttack(snapshot)
+        result = attack.execute_crash("CVE-2018-17144", network=net)
+        assert result.outcome is AttackOutcome.SUCCESS
+        assert result.effort == 1.0  # one network-wide exploit
+        crashed_in_net = [v for v in result.victims if v in net.nodes]
+        assert all(not net.node(v).online for v in crashed_in_net)
+
+    def test_adoption_reach(self, census_snapshot):
+        reach = LogicalAttack(census_snapshot).adoption_reach(0.1, peers_per_node=8)
+        assert reach["direct"] == pytest.approx(0.1)
+        assert reach["relay"] == pytest.approx(1 - 0.9**8)
+        assert reach["combined"] > reach["relay"]
+
+    def test_adoption_validation(self, census_snapshot):
+        attack = LogicalAttack(census_snapshot)
+        with pytest.raises(AttackError):
+            attack.adoption_reach(1.5)
+        with pytest.raises(AttackError):
+            attack.adoption_reach(0.5, peers_per_node=0)
+
+
+class TestSpatioTemporalPlan:
+    def test_plan_from_series(self, small_topology):
+        node_ids = sorted(small_topology.all_node_ids())
+        asns = np.array([small_topology.asn_of(n) for n in node_ids])
+        series = ConsensusDynamicsGenerator(
+            num_nodes=len(node_ids), seed=3, node_asns=asns
+        ).generate(6 * 3600, 600.0)
+        plan = SpatioTemporalPlan.from_series(series, topology=small_topology)
+        assert len(plan.target_asns) == 5
+        assert plan.synced_count >= 0
+        assert plan.lagging_count > 0
+        assert 0.0 < plan.spatial_coverage <= 1.0
+
+    def test_plan_requires_asns(self):
+        series = ConsensusDynamicsGenerator(num_nodes=100, seed=3).generate(
+            3600, 600.0
+        )
+        with pytest.raises(AttackError):
+            SpatioTemporalPlan.from_series(series)
+
+
+class TestSpatioTemporalAttack:
+    def test_combined_execution(self, tiny_topology):
+        net = Network(
+            NetworkConfig(num_nodes=30, seed=21, failure_rate=0.0),
+            latency=ConstantLatency(0.1),
+        )
+        net.add_pool("honest", 0.6, node_id=0)
+        # Create laggards so the temporal half has targets.
+        net.eclipse([25, 26, 27])
+        net.run_for(6 * 3600)
+        attack = SpatioTemporalAttack(
+            network=net,
+            topology=tiny_topology,
+            attacker_node=0,
+            attacker_asn=300,
+            hash_share=0.30,
+            num_target_ases=2,
+        )
+        result = attack.execute(duration=4 * 3600)
+        assert result.attack == "spatiotemporal"
+        assert result.metric("hijacked_ases") >= 1
+        assert result.num_victims > 0
+        assert result.metric("disrupted_fraction") > 0.0

@@ -1,0 +1,68 @@
+"""Tests for the 51% attack via stratum isolation."""
+
+import pytest
+
+from repro.attacks.majority import MajorityAttack
+from repro.attacks.results import AttackOutcome
+from repro.errors import AttackError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+def make_network(seed=61):
+    net = Network(
+        NetworkConfig(num_nodes=30, seed=seed, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+    # Table IV-like layout: the attacker is a modest pool; competitors
+    # concentrate behind two stratum ASes.
+    net.add_pool("attacker", 0.20, node_id=0, stratum_asn=9999)
+    net.add_pool("BTC.com", 0.25, node_id=1, stratum_asn=37963)
+    net.add_pool("Antpool", 0.124, node_id=2, stratum_asn=45102)
+    net.add_pool("ViaBTC", 0.117, node_id=3, stratum_asn=45102)
+    net.add_pool("BTC.TOP", 0.103, node_id=4, stratum_asn=45102)
+    net.add_pool("independent", 0.15, node_id=5, stratum_asn=7777)
+    return net
+
+
+class TestMajorityAttack:
+    def test_unknown_pool_rejected(self):
+        net = make_network()
+        with pytest.raises(AttackError):
+            MajorityAttack(net, "ghost")
+
+    def test_effective_share_before_attack(self):
+        net = make_network()
+        attack = MajorityAttack(net, "attacker")
+        assert attack.effective_share() == pytest.approx(0.20 / 0.944, abs=0.01)
+
+    def test_plan_reaches_majority_cheaply(self):
+        net = make_network()
+        attack = MajorityAttack(net, "attacker")
+        plan = attack.plan()
+        # Hijacking AS45102 (0.344 competing share) suffices:
+        # 0.20 / (0.944 - 0.344) = 0.33 — not yet; needs AS37963 too.
+        assert 45102 in plan
+        assert len(plan) <= 2
+
+    def test_execute_gains_chain_control(self):
+        net = make_network(seed=62)
+        net.run_for(4 * 3600)  # everyone mining
+        attack = MajorityAttack(net, "attacker")
+        result = attack.execute(horizon=80 * 3600)
+        assert result.metrics["effective_share"] > 0.5
+        assert result.metrics["chain_control"] > 0.5
+        assert result.outcome is AttackOutcome.SUCCESS
+
+    def test_impossible_majority_detected(self):
+        net = Network(
+            NetworkConfig(num_nodes=10, seed=63, failure_rate=0.0),
+            latency=ConstantLatency(0.1),
+        )
+        net.add_pool("attacker", 0.05, node_id=0, stratum_asn=9999)
+        # A giant competitor on an AS the plan will take out... but the
+        # attacker also competes with an untouchable same-AS pool.
+        net.add_pool("giant", 0.90, node_id=1, stratum_asn=9999)
+        attack = MajorityAttack(net, "attacker")
+        with pytest.raises(AttackError):
+            attack.plan()

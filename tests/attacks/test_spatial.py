@@ -1,0 +1,120 @@
+"""Tests for spatial attacks: BGP hijack, stratum isolation, nation block."""
+
+import pytest
+
+from repro.attacks.results import AttackOutcome
+from repro.attacks.spatial import NationStateBlock, SpatialAttack, StratumIsolation
+from repro.errors import AttackError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+class TestSpatialAttack:
+    def test_validation(self, tiny_topology):
+        with pytest.raises(AttackError):
+            SpatialAttack(tiny_topology, attacker_asn=999, target_asn=1234)
+        with pytest.raises(AttackError):
+            SpatialAttack(
+                tiny_topology, attacker_asn=999, target_asn=100, target_fraction=0.0
+            )
+
+    def test_plan_is_greedy_prefix_set(self, tiny_topology):
+        attack = SpatialAttack(
+            tiny_topology, attacker_asn=300, target_asn=100, target_fraction=0.5
+        )
+        plan = attack.plan()
+        assert 1 <= len(plan) <= tiny_topology.pool(100).num_prefixes
+
+    def test_execute_captures_target_fraction(self, tiny_topology):
+        attack = SpatialAttack(
+            tiny_topology, attacker_asn=300, target_asn=100, target_fraction=0.8
+        )
+        result = attack.execute()
+        assert result.outcome is AttackOutcome.SUCCESS
+        assert result.metric("captured_fraction") >= 0.8
+        assert result.effort <= tiny_topology.pool(100).num_prefixes
+        assert all(
+            tiny_topology.asn_of(victim) == 100 for victim in result.victims
+        )
+
+    def test_execute_eclipses_network_victims(self, tiny_topology):
+        net = Network(
+            NetworkConfig(num_nodes=30, seed=1, failure_rate=0.0),
+            latency=ConstantLatency(0.1),
+        )
+        attack = SpatialAttack(
+            tiny_topology, attacker_asn=300, target_asn=100, target_fraction=0.9
+        )
+        result = attack.execute(network=net)
+        for victim in result.victims:
+            assert net.node(victim).eclipsed
+
+    def test_paper_scale_hetzner(self, paper_topology):
+        """§V-A: ~15 prefixes cut 95% of AS24940's 1,030 nodes."""
+        attack = SpatialAttack(
+            paper_topology, attacker_asn=666, target_asn=24940, target_fraction=0.95
+        )
+        result = attack.execute()
+        assert result.outcome is AttackOutcome.SUCCESS
+        assert result.effort <= 25
+        assert result.num_victims >= 0.95 * 1030
+
+    def test_cost_curve_exposed(self, tiny_topology):
+        attack = SpatialAttack(tiny_topology, attacker_asn=300, target_asn=100)
+        curve = attack.cost_curve()
+        assert curve.asn == 100
+
+
+class TestStratumIsolation:
+    def test_plan_minimal_as_set(self):
+        isolation = StratumIsolation(target_hash_share=0.60)
+        plan = isolation.plan()
+        assert len(plan) <= 3
+        assert 45102 in plan
+
+    def test_execute_isolates_share(self):
+        result = StratumIsolation(target_hash_share=0.65).execute()
+        assert result.outcome is AttackOutcome.SUCCESS
+        assert result.metric("isolated_hash_share") >= 0.65
+        assert result.effort == 3  # the paper's 3-AS headline
+
+    def test_execute_stops_network_pools(self):
+        net = Network(
+            NetworkConfig(num_nodes=10, seed=2, failure_rate=0.0),
+            latency=ConstantLatency(0.1),
+        )
+        net.add_pool("Antpool", 0.124, node_id=0, stratum_asn=45102)
+        net.add_pool("Other", 0.1, node_id=1, stratum_asn=7777)
+        result = StratumIsolation(target_hash_share=0.60).execute(network=net)
+        assert result.metric("stopped_pools") == 1
+        assert not net.pools[0].active
+        assert net.pools[1].active
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            StratumIsolation(target_hash_share=0.0)
+
+
+class TestNationStateBlock:
+    def test_china_blocks_majority_of_mining(self, paper_topology):
+        """§III: a Chinese ban severs ~60% of mining traffic."""
+        result = NationStateBlock(paper_topology, "CN").execute()
+        assert result.outcome is AttackOutcome.SUCCESS
+        assert result.metric("blocked_hash_share") >= 0.60
+        assert result.metric("blocked_node_fraction") > 0.05
+
+    def test_unknown_country_raises(self, paper_topology):
+        with pytest.raises(AttackError):
+            NationStateBlock(paper_topology, "ZZ").execute()
+
+    def test_network_side_effects(self, tiny_topology):
+        net = Network(
+            NetworkConfig(num_nodes=30, seed=3, failure_rate=0.0),
+            latency=ConstantLatency(0.1),
+        )
+        net.add_pool("gamma-pool", 0.2, node_id=0, stratum_asn=300)
+        result = NationStateBlock(tiny_topology, "CN").execute(network=net)
+        assert not net.pools[0].active
+        for victim in result.victims:
+            if victim in net.nodes:
+                assert net.node(victim).eclipsed

@@ -1,0 +1,124 @@
+"""Tests for the temporal attack."""
+
+import pytest
+
+from repro.attacks.results import AttackOutcome
+from repro.attacks.temporal import TemporalAttack, TemporalAttackPlan
+from repro.datagen.consensus import ConsensusDynamicsGenerator
+from repro.errors import AttackError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+def attack_network(num_nodes=30, seed=9):
+    net = Network(
+        NetworkConfig(num_nodes=num_nodes, seed=seed, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+    net.add_pool("honest", 0.7, node_id=1)
+    return net
+
+
+class TestTemporalAttackPlan:
+    def test_from_series(self):
+        series = ConsensusDynamicsGenerator(num_nodes=800, seed=2).generate(
+            14_400, 60.0
+        )
+        plan = TemporalAttackPlan.from_series(series, window_minutes=10)
+        assert plan.victim_count > 0
+        assert plan.min_time_seconds > 0
+        assert plan.rate == 0.8
+
+    def test_victim_cap(self):
+        series = ConsensusDynamicsGenerator(num_nodes=800, seed=2).generate(
+            14_400, 60.0
+        )
+        plan = TemporalAttackPlan.from_series(series, victim_cap=50)
+        assert plan.victim_count <= 50
+
+    def test_feasibility_reflects_bound(self):
+        plan = TemporalAttackPlan(
+            victim_count=500,
+            window_minutes=10,
+            min_time_seconds=589,
+            rate=0.8,
+            probability=0.8,
+        )
+        assert plan.feasible  # 589 s fits in 600 s — the paper's example
+        tight = TemporalAttackPlan(
+            victim_count=1500,
+            window_minutes=10,
+            min_time_seconds=1765,
+            rate=0.8,
+            probability=0.8,
+        )
+        assert not tight.feasible
+
+
+class TestTemporalAttackExecution:
+    def test_validation(self):
+        net = attack_network()
+        with pytest.raises(AttackError):
+            TemporalAttack(net, attacker_node=999)
+        with pytest.raises(AttackError):
+            TemporalAttack(net, attacker_node=0, hash_share=0.0)
+
+    def test_select_victims_prefers_laggards(self):
+        net = attack_network()
+        net.eclipse([5, 6])
+        net.run_for(4 * 3600)
+        attack = TemporalAttack(net, attacker_node=0, min_lag=1)
+        victims = attack.select_victims()
+        assert 5 in victims and 6 in victims
+
+    def test_launch_requires_victims(self):
+        net = attack_network()
+        attack = TemporalAttack(net, attacker_node=0, min_lag=1)
+        with pytest.raises(AttackError):
+            attack.launch()  # nobody lags yet
+
+    def test_attack_misleads_lagging_victims(self):
+        net = attack_network(seed=12)
+        net.eclipse([5, 6, 7])  # spatial pre-isolation creates laggards
+        net.run_for(6 * 3600)
+        attack = TemporalAttack(
+            net, attacker_node=0, hash_share=0.30, min_lag=1, sever_victims=True
+        )
+        attack.launch()
+        net.run_for(8 * 3600)
+        result = attack.measure()
+        attack.stop()
+        assert result.metric("misled") >= 1
+        assert result.metric("counterfeit_blocks") >= 1
+        assert result.outcome in (AttackOutcome.SUCCESS, AttackOutcome.PARTIAL)
+        # The honest partition is untouched.
+        assert net.node(1).tree.counterfeit_on_main() == 0
+
+    def test_stop_idles_attacker_pool(self):
+        net = attack_network(seed=13)
+        net.eclipse([5])
+        net.run_for(4 * 3600)
+        attack = TemporalAttack(net, attacker_node=0, min_lag=1, sever_victims=True)
+        attack.launch()
+        net.run_for(3600)
+        attack.stop()
+        mined_at_stop = attack.pool.blocks_mined
+        net.run_for(4 * 3600)
+        assert attack.pool.blocks_mined == mined_at_stop
+
+    def test_run_convenience(self):
+        net = attack_network(seed=14)
+        net.eclipse([5, 6])
+        net.run_for(6 * 3600)
+        attack = TemporalAttack(
+            net, attacker_node=0, min_lag=1, sever_victims=True
+        )
+        result = attack.run(6 * 3600)
+        assert result.attack == "temporal"
+        assert result.metric("targeted") >= 2
+
+    def test_measure_before_launch_rejected(self):
+        net = attack_network()
+        attack = TemporalAttack(net, attacker_node=0)
+        with pytest.raises(AttackError):
+            attack.measure()

@@ -1,0 +1,81 @@
+"""Tests for blocks, headers, and merkle commitments."""
+
+import pytest
+
+from repro.blockchain.block import (
+    Block,
+    BlockHeader,
+    GENESIS_HASH,
+    genesis_block,
+    merkle_root,
+)
+from repro.blockchain.tx import Transaction, TxOutput
+from repro.errors import InvalidBlockError
+
+
+class TestMerkleRoot:
+    def test_empty_is_stable_sentinel(self):
+        assert merkle_root([]) == merkle_root([])
+
+    def test_single_leaf(self):
+        assert merkle_root(["abc"]) == "abc"
+
+    def test_order_sensitive(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+
+    def test_odd_level_duplicates_last(self):
+        # Bitcoin-style: [a, b, c] pairs as (a,b), (c,c).
+        assert merkle_root(["a", "b", "c"]) == merkle_root(["a", "b", "c", "c"])
+
+    def test_content_sensitive(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["a", "c"])
+
+
+class TestBlockHeader:
+    def test_hash_commits_to_fields(self):
+        base = dict(parent_hash="p" * 16, height=3, miner_id=1, timestamp=10.0)
+        h1 = BlockHeader(**base).hash
+        assert BlockHeader(**{**base, "miner_id": 2}).hash != h1
+        assert BlockHeader(**{**base, "timestamp": 11.0}).hash != h1
+        assert BlockHeader(**{**base, "counterfeit": True}).hash != h1
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(InvalidBlockError):
+            BlockHeader(parent_hash="p", height=-1, miner_id=0, timestamp=0.0)
+
+
+class TestBlock:
+    def test_genesis(self):
+        g = genesis_block()
+        assert g.is_genesis
+        assert g.height == 0
+        assert g.parent_hash == GENESIS_HASH
+
+    def test_create_computes_merkle(self):
+        tx = Transaction.make_coinbase(miner=1, value=50)
+        block = Block.create("p" * 16, 1, 1, 600.0, [tx])
+        assert block.header.merkle == merkle_root([tx.txid])
+
+    def test_tampered_transactions_detected(self):
+        tx = Transaction.make_coinbase(miner=1, value=50)
+        block = Block.create("p" * 16, 1, 1, 600.0, [tx])
+        other = Transaction.make_coinbase(miner=2, value=50)
+        with pytest.raises(InvalidBlockError):
+            Block(header=block.header, transactions=(other,))
+
+    def test_extends(self):
+        g = genesis_block()
+        child = Block.create(g.hash, 1, 0, 600.0)
+        assert child.extends(g)
+        assert not g.extends(child)
+
+    def test_counterfeit_flag_changes_identity(self):
+        honest = Block.create("p" * 16, 1, 0, 1.0)
+        forged = Block.create("p" * 16, 1, 0, 1.0, counterfeit=True)
+        assert honest.hash != forged.hash
+        assert forged.counterfeit
+
+    def test_deterministic_hash(self):
+        a = Block.create("p" * 16, 1, 0, 1.0)
+        b = Block.create("p" * 16, 1, 0, 1.0)
+        assert a.hash == b.hash

@@ -1,0 +1,165 @@
+"""Tests for transactions and the UTXO set."""
+
+import pytest
+
+from repro.blockchain.tx import OutPoint, Transaction, TxOutput, UtxoSet
+from repro.errors import DoubleSpendError, InvalidTransactionError
+
+
+def coinbase(owner=1, value=50, nonce=0):
+    return Transaction.make_coinbase(miner=owner, value=value, nonce=nonce)
+
+
+class TestTransaction:
+    def test_coinbase_cannot_have_inputs(self):
+        from repro.blockchain.tx import TxInput
+
+        with pytest.raises(InvalidTransactionError):
+            Transaction(
+                inputs=(TxInput(OutPoint("a" * 16, 0)),),
+                outputs=(TxOutput(1, 50),),
+                coinbase=True,
+            )
+
+    def test_payment_requires_inputs(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction.make_payment([], [TxOutput(1, 5)])
+
+    def test_outputs_required(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(inputs=(), outputs=(), coinbase=True)
+
+    def test_duplicate_inputs_rejected(self):
+        """CVE-2018-17144's trigger: duplicate inputs in one tx."""
+        op = OutPoint("a" * 16, 0)
+        with pytest.raises(InvalidTransactionError):
+            Transaction.make_payment([op, op], [TxOutput(1, 5)])
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            TxOutput(owner=1, value=-1)
+
+    def test_txid_content_derived(self):
+        assert coinbase(nonce=1).txid != coinbase(nonce=2).txid
+        assert coinbase(nonce=1).txid == coinbase(nonce=1).txid
+
+    def test_outpoints_enumerated(self):
+        cb = coinbase()
+        points = cb.outpoints()
+        assert points == [OutPoint(cb.txid, 0)]
+
+
+class TestUtxoSet:
+    def test_coinbase_mints(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=9, value=50)
+        utxo.apply_transaction(cb)
+        assert utxo.balance(9) == 50
+        assert utxo.total_value == 50
+
+    def test_payment_moves_value(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        utxo.apply_transaction(cb)
+        pay = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 30), TxOutput(1, 20)])
+        utxo.apply_transaction(pay)
+        assert utxo.balance(1) == 20
+        assert utxo.balance(2) == 30
+
+    def test_double_spend_detected(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        utxo.apply_transaction(cb)
+        pay1 = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 50)])
+        pay2 = Transaction.make_payment(cb.outpoints(), [TxOutput(3, 50)], nonce=1)
+        utxo.apply_transaction(pay1)
+        with pytest.raises(DoubleSpendError):
+            utxo.apply_transaction(pay2)
+
+    def test_value_creation_rejected(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1, value=50)
+        utxo.apply_transaction(cb)
+        inflate = Transaction.make_payment(cb.outpoints(), [TxOutput(1, 51)])
+        with pytest.raises(InvalidTransactionError):
+            utxo.apply_transaction(inflate)
+
+    def test_fees_allowed(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1, value=50)
+        utxo.apply_transaction(cb)
+        pay = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 45)])
+        utxo.apply_transaction(pay)
+        assert utxo.total_value == 45  # 5 burned as fee
+
+    def test_revert_restores_inputs(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        utxo.apply_transaction(cb)
+        pay = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 50)])
+        utxo.apply_transaction(pay)
+        utxo.revert_transaction(pay)
+        assert utxo.balance(1) == 50
+        assert utxo.balance(2) == 0
+
+    def test_revert_requires_spenders_reverted_first(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        utxo.apply_transaction(cb)
+        pay = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 50)])
+        utxo.apply_transaction(pay)
+        pay2 = Transaction.make_payment(pay.outpoints(), [TxOutput(3, 50)])
+        utxo.apply_transaction(pay2)
+        with pytest.raises(InvalidTransactionError):
+            utxo.revert_transaction(pay)  # pay's output is spent by pay2
+        utxo.revert_transaction(pay2)
+        utxo.revert_transaction(pay)
+        assert utxo.balance(1) == 50
+
+    def test_apply_twice_rejected(self):
+        utxo = UtxoSet()
+        cb = coinbase()
+        utxo.apply_transaction(cb)
+        with pytest.raises(InvalidTransactionError):
+            utxo.apply_transaction(cb)
+
+    def test_block_apply_atomic_rollback(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        utxo.apply_transaction(cb)
+        good = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 50)])
+        bad = Transaction.make_payment(cb.outpoints(), [TxOutput(3, 50)], nonce=9)
+        with pytest.raises(DoubleSpendError):
+            utxo.apply_block_txs([good, bad])
+        # Rollback: the good tx must also be undone.
+        assert utxo.balance(1) == 50
+        assert utxo.balance(2) == 0
+
+    def test_revert_block_txs_order(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        pay = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 50)])
+        utxo.apply_block_txs([cb, pay])
+        utxo.revert_block_txs([cb, pay])
+        assert utxo.total_value == 0
+
+    def test_would_double_spend(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        utxo.apply_transaction(cb)
+        pay = Transaction.make_payment(cb.outpoints(), [TxOutput(2, 50)])
+        assert not utxo.would_double_spend(pay)
+        utxo.apply_transaction(pay)
+        again = Transaction.make_payment(cb.outpoints(), [TxOutput(3, 50)], nonce=1)
+        assert utxo.would_double_spend(again)
+
+    def test_outpoints_of_owner(self):
+        utxo = UtxoSet()
+        cb = coinbase(owner=1)
+        utxo.apply_transaction(cb)
+        assert utxo.outpoints_of(1) == cb.outpoints()
+        assert utxo.outpoints_of(2) == []
+
+    def test_value_of_unknown_raises(self):
+        with pytest.raises(InvalidTransactionError):
+            UtxoSet().value_of(OutPoint("x" * 16, 0))

@@ -1,0 +1,90 @@
+"""Tests for stratum distribution and route-guard countermeasures."""
+
+import pytest
+
+from repro.countermeasures.routing import RouteGuard, detect_bogus_routes
+from repro.countermeasures.stratum import StratumDistribution, distribution_cost
+from repro.errors import ConfigurationError
+from repro.topology.bgp import BgpHijack
+
+
+class TestDistributionCost:
+    def test_greedy_cost(self):
+        shares = {1: 0.5, 2: 0.3, 3: 0.2}
+        assert distribution_cost(shares, 0.5) == 1
+        assert distribution_cost(shares, 0.6) == 2
+        assert distribution_cost(shares, 1.0) == 3
+
+    def test_unreachable_returns_all(self):
+        assert distribution_cost({1: 0.2}, 0.9) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            distribution_cost({1: 0.5}, 0.0)
+
+
+class TestStratumDistribution:
+    def test_baseline_matches_table4(self):
+        dist = StratumDistribution()
+        baseline = dist.baseline_shares()
+        assert baseline[45102] == pytest.approx(0.5005, abs=1e-3)
+
+    def test_redistribution_raises_attack_cost(self):
+        """§VI: spreading stratum servers raises the hijack cost."""
+        dist = StratumDistribution(spread=4)
+        comparison = dist.cost_comparison(target_share=0.60)
+        assert comparison["baseline"] <= 3
+        assert comparison["redistributed"] > comparison["baseline"] * 3
+
+    def test_more_spread_more_cost(self):
+        low = StratumDistribution(spread=2).cost_comparison(0.6)["redistributed"]
+        high = StratumDistribution(spread=8, as_pool_size=64).cost_comparison(0.6)[
+            "redistributed"
+        ]
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StratumDistribution(spread=0)
+        with pytest.raises(ConfigurationError):
+            StratumDistribution(spread=20, as_pool_size=10)
+
+
+class TestRouteGuard:
+    def test_detects_and_purges_hijack(self, tiny_topology):
+        table = tiny_topology.build_routing_table()
+        pool = tiny_topology.pool(100)
+        hijack = BgpHijack(attacker_asn=666, victim_prefixes=pool.prefixes[:2])
+        hijack.apply(table)
+        bogus = detect_bogus_routes(table, tiny_topology)
+        assert bogus
+        assert all(b.origin_asn == 666 for b in bogus)
+
+        guard = RouteGuard(tiny_topology)
+        stats = guard.purge_and_promote(table)
+        assert stats["purged"] == len(bogus)
+        # Every node routes to its legitimate origin again.
+        for node_id in tiny_topology.nodes_in_as(100):
+            ip = tiny_topology.ip_of(node_id)
+            assert table.origin_of(ip) == 100
+
+    def test_clean_table_untouched(self, tiny_topology):
+        table = tiny_topology.build_routing_table()
+        assert detect_bogus_routes(table, tiny_topology) == []
+        stats = RouteGuard(tiny_topology).purge_and_promote(table)
+        assert stats["purged"] == 0
+
+    def test_guard_undoes_spatial_attack(self, tiny_topology):
+        from repro.attacks.spatial import SpatialAttack
+
+        table = tiny_topology.build_routing_table()
+        attack = SpatialAttack(
+            tiny_topology, attacker_asn=300, target_asn=100, target_fraction=0.9
+        )
+        result = attack.execute(table=table)
+        assert result.num_victims > 0
+        RouteGuard(tiny_topology).purge_and_promote(table)
+        # Re-run the capture check: nobody routes to the attacker now.
+        pool = tiny_topology.pool(100)
+        for node_id in tiny_topology.nodes_in_as(100):
+            assert table.origin_of(pool.node_ip(node_id)) == 100

@@ -1,0 +1,91 @@
+"""Tests for the simulated Bitnodes crawler."""
+
+import pytest
+
+from repro.crawler.bitnodes import BitnodesCrawler, CrawlerConfig
+from repro.errors import CrawlerError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+from repro.topology.topology import Topology
+from repro.types import AddressType
+
+
+@pytest.fixture()
+def crawl_setup():
+    net = Network(
+        NetworkConfig(num_nodes=12, seed=6, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+    net.add_pool("honest", 1.0, node_id=0)
+    topo = Topology()
+    topo.add_organization("alpha", "Alpha", "DE")
+    topo.add_as(100, "AS100", "alpha", "DE", num_prefixes=2)
+    pool = topo.pool(100)
+    for node_id in range(12):
+        topo.host_node(node_id, 100, prefix=pool.prefixes[0])
+    return net, topo
+
+
+class TestCrawlerConfig:
+    def test_validation(self):
+        with pytest.raises(CrawlerError):
+            CrawlerConfig(probes_per_crawl=0)
+
+
+class TestBitnodesCrawler:
+    def test_snapshot_covers_all_nodes(self, crawl_setup):
+        net, topo = crawl_setup
+        crawler = BitnodesCrawler(net, topo)
+        snapshot = crawler.crawl()
+        assert len(snapshot) == 12
+        assert all(r.asn == 100 for r in snapshot)
+        assert all(r.org_id == "alpha" for r in snapshot)
+
+    def test_block_index_tracks_lag(self, crawl_setup):
+        net, topo = crawl_setup
+        net.eclipse([7])
+        net.run_for(4 * 3600.0)
+        crawler = BitnodesCrawler(net, topo)
+        snapshot = crawler.crawl()
+        tip = net.network_height()
+        assert tip > 0
+        assert snapshot.get(7).block_idx == tip
+        assert snapshot.get(1).block_idx <= 1
+
+    def test_offline_nodes_marked_down(self, crawl_setup):
+        net, topo = crawl_setup
+        net.set_offline([3])
+        crawler = BitnodesCrawler(net, topo)
+        snapshot = crawler.crawl()
+        assert not snapshot.get(3).up
+        assert snapshot.get(4).up
+
+    def test_uptime_index_accumulates_over_crawls(self, crawl_setup):
+        net, topo = crawl_setup
+        crawler = BitnodesCrawler(net, topo)
+        crawler.crawl()
+        net.set_offline([3])
+        net.run_for(600.0)
+        crawler.crawl()
+        snapshot = crawler.crawl()
+        assert snapshot.get(3).uptime_idx == pytest.approx(1 / 3)
+        assert snapshot.get(4).uptime_idx == 1.0
+
+    def test_crawl_every_advances_and_collects(self, crawl_setup):
+        net, topo = crawl_setup
+        crawler = BitnodesCrawler(net, topo)
+        taken = crawler.crawl_every(interval=600.0, duration=3000.0)
+        assert len(taken) == 5
+        assert crawler.snapshots == taken
+        assert taken[-1].timestamp == pytest.approx(3000.0)
+
+    def test_crawl_every_validation(self, crawl_setup):
+        net, topo = crawl_setup
+        with pytest.raises(CrawlerError):
+            BitnodesCrawler(net, topo).crawl_every(0.0, 100.0)
+
+    def test_without_topology_defaults(self, crawl_setup):
+        net, _ = crawl_setup
+        snapshot = BitnodesCrawler(net).crawl()
+        assert all(r.address_type == AddressType.IPV4 for r in snapshot)
+        assert all(r.asn == 0 for r in snapshot)

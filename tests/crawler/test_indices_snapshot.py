@@ -1,0 +1,138 @@
+"""Tests for crawler indices and the snapshot schema."""
+
+import pytest
+
+from repro.crawler.indices import block_index, latency_index, uptime_index
+from repro.crawler.snapshot import NetworkSnapshot, NodeRecord
+from repro.errors import CrawlerError
+from repro.types import AddressType, LagBand
+
+
+class TestIndices:
+    def test_latency_index_decreases_with_rtt(self):
+        fast = latency_index([0.01, 0.02])
+        slow = latency_index([2.0, 3.0])
+        assert 0 < slow < fast <= 1.0
+
+    def test_latency_index_tor_like(self):
+        """High RTTs give the ~0.24 index Tor nodes show in Table I."""
+        assert latency_index([1.6]) == pytest.approx(0.24, abs=0.03)
+
+    def test_latency_index_validation(self):
+        with pytest.raises(CrawlerError):
+            latency_index([])
+        with pytest.raises(CrawlerError):
+            latency_index([-0.1])
+
+    def test_uptime_index(self):
+        assert uptime_index(8, 10) == pytest.approx(0.8)
+        with pytest.raises(CrawlerError):
+            uptime_index(11, 10)
+        with pytest.raises(CrawlerError):
+            uptime_index(0, 0)
+
+    def test_block_index(self):
+        assert block_index(10, 12) == 2
+        assert block_index(12, 12) == 0
+        assert block_index(13, 12) == 0  # ahead counts as synced
+        with pytest.raises(CrawlerError):
+            block_index(-1, 0)
+
+
+def record(node_id, **kwargs):
+    defaults = dict(
+        node_id=node_id,
+        address_type=AddressType.IPV4,
+        asn=100,
+        org_id="alpha",
+    )
+    defaults.update(kwargs)
+    return NodeRecord(**defaults)
+
+
+class TestNodeRecord:
+    def test_validation(self):
+        with pytest.raises(CrawlerError):
+            record(1, link_speed_mbps=-1.0)
+        with pytest.raises(CrawlerError):
+            record(1, latency_idx=1.5)
+        with pytest.raises(CrawlerError):
+            record(1, block_idx=-1)
+
+    def test_band_property(self):
+        assert record(1, block_idx=0).band is LagBand.SYNCED
+        assert record(1, block_idx=3).band is LagBand.BEHIND_2_4
+
+    def test_with_block_idx(self):
+        updated = record(1, block_idx=0).with_block_idx(7)
+        assert updated.block_idx == 7
+        assert updated.node_id == 1
+
+
+class TestNetworkSnapshot:
+    def make(self):
+        records = [
+            record(0, block_idx=0),
+            record(1, block_idx=1),
+            record(2, block_idx=3, asn=200, org_id="beta"),
+            record(3, up=False),
+            record(4, address_type=AddressType.TOR, asn=999, org_id="tor"),
+            record(5, software_version="B. Core v0.15.1"),
+        ]
+        return NetworkSnapshot(timestamp=0.0, records=records)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CrawlerError):
+            NetworkSnapshot(0.0, [])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(CrawlerError):
+            NetworkSnapshot(0.0, [record(1), record(1)])
+
+    def test_partitions(self):
+        snap = self.make()
+        assert len(snap.up_nodes()) == 5
+        assert len(snap.down_nodes()) == 1
+        assert {r.node_id for r in snap.synced_nodes()} == {0, 4, 5}
+        assert {r.node_id for r in snap.behind_nodes(2)} == {2}
+
+    def test_nodes_per_as_org(self):
+        snap = self.make()
+        assert snap.nodes_per_as() == {100: 4, 200: 1, 999: 1}
+        assert snap.nodes_per_org()["alpha"] == 4
+        assert snap.nodes_per_as(up_only=True)[100] == 3
+
+    def test_band_counts_exclude_down(self):
+        counts = self.make().band_counts()
+        assert counts[LagBand.SYNCED] == 3
+        assert counts[LagBand.BEHIND_1] == 1
+        assert counts[LagBand.BEHIND_2_4] == 1
+        assert sum(counts.values()) == 5
+
+    def test_synced_per_as(self):
+        assert self.make().synced_per_as() == {100: 2, 999: 1}
+
+    def test_type_stats(self):
+        stats = self.make().type_stats(AddressType.IPV4)
+        assert stats.count == 5
+        with pytest.raises(CrawlerError):
+            self.make().type_stats(AddressType.IPV6)
+
+    def test_nodes_per_version(self):
+        versions = self.make().nodes_per_version()
+        assert versions["B. Core v0.15.1"] == 1
+        assert versions["B. Core v0.16.0"] == 5
+
+    def test_filter(self):
+        sub = self.make().filter(lambda r: r.asn == 100)
+        assert len(sub) == 4
+
+    def test_summary(self):
+        summary = self.make().summary()
+        assert summary["total"] == 6.0
+        assert summary["up"] == 5.0
+        assert summary["synced"] == 3.0
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(CrawlerError):
+            self.make().get(99)

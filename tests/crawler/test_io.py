@@ -1,0 +1,105 @@
+"""Tests for snapshot/series persistence."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.io import (
+    load_series,
+    load_snapshot,
+    save_series,
+    save_snapshot,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.crawler.snapshot import NetworkSnapshot, NodeRecord
+from repro.crawler.timeseries import ConsensusTimeSeries
+from repro.errors import CrawlerError
+from repro.types import AddressType
+
+
+def make_snapshot():
+    records = [
+        NodeRecord(
+            node_id=i,
+            address_type=AddressType.TOR if i == 2 else AddressType.IPV4,
+            asn=100 + i,
+            org_id=f"org-{i}",
+            country="DE",
+            up=i != 3,
+            link_speed_mbps=10.0 + i,
+            latency_idx=0.5,
+            uptime_idx=0.9,
+            block_idx=i,
+            software_version="B. Core v0.16.0",
+        )
+        for i in range(4)
+    ]
+    return NetworkSnapshot(timestamp=1234.5, records=records)
+
+
+class TestSnapshotJson:
+    def test_roundtrip(self):
+        original = make_snapshot()
+        restored = snapshot_from_json(snapshot_to_json(original))
+        assert restored.timestamp == original.timestamp
+        assert len(restored) == len(original)
+        for a, b in zip(original.records, restored.records):
+            assert a == b
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CrawlerError):
+            snapshot_from_json("{not json")
+
+    def test_wrong_schema_rejected(self):
+        import json
+
+        payload = json.loads(snapshot_to_json(make_snapshot()))
+        payload["schema"] = 99
+        with pytest.raises(CrawlerError):
+            snapshot_from_json(json.dumps(payload))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(make_snapshot(), path)
+        restored = load_snapshot(path)
+        assert restored.get(2).address_type is AddressType.TOR
+
+
+class TestSeriesNpz:
+    def make_series(self):
+        lags = np.array([[0, 1, -1], [2, 0, 4]], dtype=np.int16)
+        return ConsensusTimeSeries(
+            times=np.array([600.0, 1200.0]),
+            lags=lags,
+            node_asns=np.array([10, 20, 30]),
+        )
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "series.npz"
+        original = self.make_series()
+        save_series(original, path)
+        restored = load_series(path)
+        assert np.array_equal(restored.lags, original.lags)
+        assert np.array_equal(restored.times, original.times)
+        assert np.array_equal(restored.node_asns, original.node_asns)
+
+    def test_roundtrip_without_asns(self, tmp_path):
+        path = tmp_path / "series.npz"
+        series = ConsensusTimeSeries(
+            times=np.array([600.0]),
+            lags=np.zeros((1, 3), dtype=np.int16),
+        )
+        save_series(series, path)
+        restored = load_series(path)
+        assert restored.node_asns is None
+
+    def test_generator_output_roundtrip(self, tmp_path):
+        from repro.datagen.consensus import ConsensusDynamicsGenerator
+
+        series = ConsensusDynamicsGenerator(num_nodes=100, seed=1).generate(
+            3600, 600
+        )
+        path = tmp_path / "gen.npz"
+        save_series(series, path)
+        restored = load_series(path)
+        assert np.array_equal(restored.lags, series.lags)

@@ -1,0 +1,123 @@
+"""Tests for the consensus time series."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.snapshot import NetworkSnapshot, NodeRecord
+from repro.crawler.timeseries import NODE_DOWN, ConsensusTimeSeries
+from repro.errors import CrawlerError
+from repro.types import AddressType, LagBand
+
+
+def series(lags, asns=None, times=None):
+    lags = np.asarray(lags)
+    if times is None:
+        times = np.arange(1, lags.shape[0] + 1) * 60.0
+    return ConsensusTimeSeries(times=times, lags=lags, node_asns=asns)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(CrawlerError):
+            ConsensusTimeSeries(times=np.array([1.0]), lags=np.array([1, 2]))
+        with pytest.raises(CrawlerError):
+            ConsensusTimeSeries(
+                times=np.array([1.0, 2.0]), lags=np.zeros((3, 2))
+            )
+        with pytest.raises(CrawlerError):
+            ConsensusTimeSeries(
+                times=np.array([1.0]),
+                lags=np.zeros((1, 3)),
+                node_asns=np.array([1, 2]),
+            )
+
+    def test_from_snapshots(self):
+        def rec(node_id, lag, up=True):
+            return NodeRecord(
+                node_id=node_id,
+                address_type=AddressType.IPV4,
+                asn=100 + node_id,
+                org_id="o",
+                up=up,
+                block_idx=lag,
+            )
+
+        snaps = [
+            NetworkSnapshot(0.0, [rec(0, 0), rec(1, 2)]),
+            NetworkSnapshot(600.0, [rec(0, 1), rec(1, 0, up=False)]),
+        ]
+        ts = ConsensusTimeSeries.from_snapshots(snaps)
+        assert ts.num_samples == 2
+        assert ts.lags[0, 1] == 2
+        assert ts.lags[1, 1] == NODE_DOWN
+        assert list(ts.node_asns) == [100, 101]
+
+
+class TestProjections:
+    def test_band_count_series(self):
+        ts = series([[0, 1, 3], [0, 0, 12]])
+        bands = ts.band_count_series()
+        assert list(bands[LagBand.SYNCED]) == [1, 2]
+        assert list(bands[LagBand.BEHIND_1]) == [1, 0]
+        assert list(bands[LagBand.BEHIND_2_4]) == [1, 0]
+        assert list(bands[LagBand.BEHIND_10_PLUS]) == [0, 1]
+
+    def test_down_nodes_excluded_everywhere(self):
+        ts = series([[NODE_DOWN, 0, 1]])
+        assert ts.up_matrix().sum() == 2
+        bands = ts.band_count_series()
+        assert sum(int(b[0]) for b in bands.values()) == 2
+
+    def test_stacked_series_cumulative(self):
+        ts = series([[0, 1, 2, 5, 11]])
+        stacked = ts.stacked_series()
+        totals = [int(curve[0]) for _, curve in stacked]
+        assert totals == [1, 2, 3, 4, 5]  # monotone stacking
+
+    def test_behind_at_least(self):
+        ts = series([[0, 1, 2, 5]])
+        assert int(ts.behind_at_least_series(1)[0]) == 3
+        assert int(ts.behind_at_least_series(2)[0]) == 2
+        assert int(ts.behind_at_least_series(5)[0]) == 1
+
+    def test_synced_fraction(self):
+        ts = series([[0, 0, 1, NODE_DOWN]])
+        assert ts.synced_fraction_series()[0] == pytest.approx(2 / 3)
+
+    def test_to_points(self):
+        ts = series([[0, 1]])
+        points = ts.to_points()
+        assert points[0].counts[LagBand.SYNCED] == 1
+        assert points[0].total_up == 2
+
+
+class TestAsJoins:
+    def test_synced_per_as_series(self):
+        ts = series([[0, 0, 1], [0, 1, 1]], asns=np.array([10, 10, 20]))
+        per_as = ts.synced_per_as_series([10, 20])
+        assert list(per_as[10]) == [2, 1]
+        assert list(per_as[20]) == [0, 0]
+
+    def test_top_synced_ases(self):
+        ts = series([[0, 0, 0], [0, 0, 1]], asns=np.array([10, 10, 20]))
+        top = ts.top_synced_ases(k=2)
+        assert top[0][0] == 10
+        assert top[0][1] == 2  # mean synced per sample
+
+    def test_requires_asns(self):
+        ts = series([[0, 1]])
+        with pytest.raises(CrawlerError):
+            ts.top_synced_ases()
+
+
+class TestSlicing:
+    def test_slice_time(self):
+        ts = series([[0], [1], [2]], times=np.array([60.0, 120.0, 180.0]))
+        sliced = ts.slice_time(100.0, 200.0)
+        assert sliced.num_samples == 2
+        assert sliced.lags[0, 0] == 1
+
+    def test_empty_slice_rejected(self):
+        ts = series([[0]])
+        with pytest.raises(CrawlerError):
+            ts.slice_time(1e6, 2e6)

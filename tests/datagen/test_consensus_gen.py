@@ -1,0 +1,81 @@
+"""Tests for the consensus-lag dynamics generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.consensus import ConsensusDynamicsGenerator, ConsensusModelParams
+from repro.errors import DataGenError
+
+
+class TestParams:
+    def test_class_mix_must_sum_to_one(self):
+        with pytest.raises(DataGenError):
+            ConsensusModelParams(synced_fraction=0.5, waverer_fraction=0.5, stuck_fraction=0.5)
+
+    def test_positive_delays_required(self):
+        with pytest.raises(DataGenError):
+            ConsensusModelParams(synced_median_delay=0.0)
+
+
+class TestGenerator:
+    def test_shape(self):
+        gen = ConsensusDynamicsGenerator(num_nodes=300, seed=1)
+        ts = gen.generate(duration=7200, sample_interval=600)
+        assert ts.lags.shape == (12, 300)
+        assert ts.num_nodes == 300
+
+    def test_deterministic_per_seed(self):
+        a = ConsensusDynamicsGenerator(num_nodes=200, seed=5).generate(3600, 600)
+        b = ConsensusDynamicsGenerator(num_nodes=200, seed=5).generate(3600, 600)
+        assert np.array_equal(a.lags, b.lags)
+
+    def test_seed_changes_output(self):
+        a = ConsensusDynamicsGenerator(num_nodes=200, seed=5).generate(3600, 600)
+        b = ConsensusDynamicsGenerator(num_nodes=200, seed=6).generate(3600, 600)
+        assert not np.array_equal(a.lags, b.lags)
+
+    def test_lags_bounded(self):
+        params = ConsensusModelParams(max_lag=30)
+        ts = ConsensusDynamicsGenerator(num_nodes=200, seed=2, params=params).generate(
+            86_400, 600
+        )
+        assert ts.lags.max() <= 30
+        assert ts.lags.min() >= 0
+
+    def test_validation(self):
+        with pytest.raises(DataGenError):
+            ConsensusDynamicsGenerator(num_nodes=0)
+        gen = ConsensusDynamicsGenerator(num_nodes=10)
+        with pytest.raises(DataGenError):
+            gen.generate(duration=0)
+        with pytest.raises(DataGenError):
+            ConsensusDynamicsGenerator(num_nodes=3, node_asns=[1, 2])
+        with pytest.raises(DataGenError):
+            ConsensusDynamicsGenerator(num_nodes=3, default_quality=0.0)
+
+    def test_as_quality_changes_sync_rate(self):
+        asns = np.array([1] * 300 + [2] * 300)
+        gen = ConsensusDynamicsGenerator(
+            num_nodes=600, seed=3, node_asns=asns, as_quality={1: 0.2, 2: 4.0}
+        )
+        ts = gen.generate(duration=43_200, sample_interval=600)
+        synced = ts.lags == 0
+        good = synced[:, :300].mean()
+        bad = synced[:, 300:].mean()
+        assert good > bad + 0.2
+
+    def test_calibration_mix(self):
+        """Steady-state shape targets from Figure 6(a)."""
+        gen = ConsensusDynamicsGenerator(num_nodes=2000, seed=7)
+        ts = gen.generate(duration=2 * 86_400, sample_interval=600)
+        synced_fraction = ts.synced_fraction_series().mean()
+        assert 0.45 <= synced_fraction <= 0.80  # "majority synchronized"
+        # ~10% forever behind.
+        ever_synced = (ts.lags == 0).any(axis=0)
+        assert (~ever_synced).mean() == pytest.approx(0.10, abs=0.04)
+
+    def test_burn_in_gives_steady_start(self):
+        gen = ConsensusDynamicsGenerator(num_nodes=500, seed=4)
+        ts = gen.generate(duration=7200, sample_interval=60)
+        # Even the first sample must show the stuck class behind.
+        assert ts.behind_at_least_series(5)[0] >= 20

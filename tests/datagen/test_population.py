@@ -1,0 +1,98 @@
+"""Tests for the population generator (Table I / §IV-C calibration)."""
+
+import pytest
+
+from repro.datagen import profiles
+from repro.datagen.population import PopulationGenerator, sample_index, sample_link_speed
+from repro.errors import DataGenError
+from repro.types import AddressType
+
+
+@pytest.fixture(scope="module")
+def snapshot(paper_topology):
+    return PopulationGenerator(paper_topology, seed=3).generate()
+
+
+class TestSamplers:
+    def test_link_speed_moments(self, rng):
+        samples = [sample_link_speed(rng, 25.04, 258.8) for _ in range(60_000)]
+        mean = sum(samples) / len(samples)
+        # Heavy tail: the mean converges slowly; wide tolerance.
+        assert mean == pytest.approx(25.04, rel=0.5)
+        assert min(samples) > 0
+
+    def test_link_speed_validation(self, rng):
+        with pytest.raises(DataGenError):
+            sample_link_speed(rng, 0.0, 1.0)
+
+    def test_index_bernoulli_limit(self, rng):
+        # Latency 0.70 +/- 0.45 is near the Bernoulli bound.
+        samples = [sample_index(rng, 0.70, 0.45) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(0.70, abs=0.02)
+        assert all(0.0 <= s <= 1.0 for s in samples)
+
+    def test_index_beta_case(self, rng):
+        # Tor latency 0.24 +/- 0.25 is Beta-feasible.
+        samples = [sample_index(rng, 0.24, 0.25) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        std = (sum((s - mean) ** 2 for s in samples) / len(samples)) ** 0.5
+        assert mean == pytest.approx(0.24, abs=0.02)
+        assert std == pytest.approx(0.25, abs=0.03)
+
+    def test_index_validation(self, rng):
+        with pytest.raises(DataGenError):
+            sample_index(rng, 0.0, 0.1)
+
+
+class TestPopulationSnapshot:
+    def test_headline_counts(self, snapshot):
+        summary = snapshot.summary()
+        assert summary["total"] == profiles.TOTAL_NODES
+        assert summary["up"] == profiles.UP_NODES
+        assert summary["synced"] == profiles.SYNCED_NODES
+
+    def test_type_counts_pinned(self, snapshot):
+        for addr_type, profile in profiles.TYPE_PROFILES.items():
+            assert len(snapshot.by_type(addr_type)) == profile.count
+
+    def test_tor_nodes_in_tor_as(self, snapshot):
+        from repro.topology.asn import TOR_PSEUDO_ASN
+
+        for rec in snapshot.by_type(AddressType.TOR):
+            assert rec.asn == TOR_PSEUDO_ASN
+
+    def test_type_moments_close_to_table1(self, snapshot):
+        stats = snapshot.type_stats(AddressType.IPV4)
+        assert stats.latency_mean == pytest.approx(0.70, abs=0.03)
+        assert stats.uptime_mean == pytest.approx(0.68, abs=0.03)
+        tor = snapshot.type_stats(AddressType.TOR)
+        assert tor.latency_mean == pytest.approx(0.24, abs=0.06)
+        assert tor.link_speed_mean > stats.link_speed_mean
+
+    def test_version_census(self, snapshot):
+        versions = snapshot.nodes_per_version()
+        assert len(versions) == 288
+        top = max(versions.values())
+        assert top == pytest.approx(0.3628 * profiles.TOTAL_NODES, rel=0.01)
+
+    def test_behind_lags_distribution(self, snapshot):
+        behind = snapshot.behind_nodes(1)
+        assert len(behind) == profiles.UP_NODES - profiles.SYNCED_NODES
+        ones = sum(1 for r in behind if r.block_idx == 1)
+        deep = sum(1 for r in behind if r.block_idx > 10)
+        assert ones > deep  # 1-block lag dominates (Figure 6)
+
+    def test_deterministic(self, paper_topology):
+        a = PopulationGenerator(paper_topology, seed=9).generate()
+        b = PopulationGenerator(paper_topology, seed=9).generate()
+        assert [r.block_idx for r in a.records[:100]] == [
+            r.block_idx for r in b.records[:100]
+        ]
+        assert [r.software_version for r in a.records[:50]] == [
+            r.software_version for r in b.records[:50]
+        ]
+
+    def test_spatial_join_consistent(self, snapshot, paper_topology):
+        for rec in list(snapshot)[:200]:
+            assert rec.asn == paper_topology.asn_of(rec.node_id)

@@ -1,0 +1,135 @@
+"""Tests for the static datasets: profiles, versions, pools, NVD."""
+
+import pytest
+
+from repro.datagen import profiles
+from repro.datagen.nvd import CVE_RECORDS, cves_affecting
+from repro.datagen.pools import (
+    MINING_POOLS,
+    OTHERS_HASH_SHARE,
+    group_shares,
+    pool_asn_shares,
+    pool_org_shares,
+    top_pool_coverage,
+)
+from repro.datagen.versions import (
+    SOFTWARE_VERSIONS,
+    TOTAL_VARIANTS,
+    top_versions,
+    version_distribution,
+)
+from repro.errors import DataGenError
+from repro.types import AddressType
+
+
+class TestProfiles:
+    def test_population_identity(self):
+        """§IV-C's counts are internally consistent."""
+        assert profiles.UP_NODES + profiles.DOWN_NODES == profiles.TOTAL_NODES
+        assert profiles.SYNCED_NODES + profiles.BEHIND_NODES == profiles.TOTAL_NODES
+        type_total = sum(p.count for p in profiles.TYPE_PROFILES.values())
+        assert type_total == profiles.TOTAL_NODES
+
+    def test_table5_axes(self):
+        ts = [t for t, _, _ in profiles.TABLE_V_ROWS]
+        assert ts == sorted(ts)
+        for _, counts, _ in profiles.TABLE_V_ROWS:
+            # More blocks behind -> fewer nodes qualify.
+            assert counts[0] >= counts[1] >= counts[2]
+
+    def test_table6_reference_monotone(self):
+        for lam, row in profiles.TABLE_VI_REFERENCE.items():
+            assert list(row) == sorted(row)  # T grows with m
+        for i, lam in enumerate(profiles.TABLE_VI_LAMBDAS[:-1]):
+            nxt = profiles.TABLE_VI_LAMBDAS[i + 1]
+            for a, b in zip(
+                profiles.TABLE_VI_REFERENCE[lam], profiles.TABLE_VI_REFERENCE[nxt]
+            ):
+                assert a >= b  # T shrinks as lambda grows
+
+
+class TestVersions:
+    def test_pinned_rows_match_paper(self):
+        assert SOFTWARE_VERSIONS[0].version == "B. Core v0.16.0"
+        assert SOFTWARE_VERSIONS[0].users_pct == pytest.approx(36.28)
+        assert SOFTWARE_VERSIONS[1].users_pct == pytest.approx(27.52)
+
+    def test_distribution_exact_total_and_variants(self):
+        counts = version_distribution(13_635)
+        assert sum(counts.values()) == 13_635
+        assert len(counts) == TOTAL_VARIANTS
+        assert all(count >= 1 for count in counts.values())
+
+    def test_distribution_shares(self):
+        counts = version_distribution(13_635)
+        assert counts["B. Core v0.16.0"] / 13_635 == pytest.approx(0.3628, abs=0.001)
+
+    def test_top_versions_ordering(self):
+        counts = version_distribution(13_635)
+        top = top_versions(counts, k=5)
+        assert top[0][0] == "B. Core v0.16.0"
+        assert top[1][0] == "B. Core v0.15.1"
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(DataGenError):
+            version_distribution(100)
+
+
+class TestPools:
+    def test_shares_sum_to_one(self):
+        assert top_pool_coverage() + OTHERS_HASH_SHARE == pytest.approx(1.0)
+
+    def test_top5_coverage_matches_paper(self):
+        assert top_pool_coverage() == pytest.approx(0.657)
+
+    def test_alibaba_group_dominates(self):
+        shares = group_shares()
+        # BTC.com + Antpool + ViaBTC + BTC.TOP + F2Pool's AS45102 leg.
+        assert shares["AliBaba"] >= 0.594
+
+    def test_as45102_carries_most_pool_traffic(self):
+        asn_shares = pool_asn_shares()
+        assert max(asn_shares, key=asn_shares.get) == 45102
+        assert sum(asn_shares.values()) == pytest.approx(0.657)
+
+    def test_org_view_counts_full_pool_share(self):
+        org_shares = pool_org_shares()
+        # AliBaba (China) hosts an endpoint of all five pools.
+        assert org_shares["AliBaba (China)"] == pytest.approx(0.657)
+
+    def test_record_validation(self):
+        from repro.datagen.pools import MiningPoolRecord
+
+        with pytest.raises(DataGenError):
+            MiningPoolRecord(
+                name="bad", hash_share=0.5, stratum_asns=(1, 2),
+                org_names=("only-one",), org_group="g",
+            )
+
+
+class TestNvd:
+    def test_paper_cves_present(self):
+        ids = {record.cve_id for record in CVE_RECORDS}
+        assert {
+            "CVE-2018-17144",
+            "CVE-2017-9230",
+            "CVE-2013-5700",
+            "CVE-2013-4627",
+        } <= ids
+
+    def test_cve_2018_17144_affects_all(self):
+        affecting = cves_affecting("B. Core v0.16.0")
+        assert any(c.cve_id == "CVE-2018-17144" for c in affecting)
+        affecting_old = cves_affecting("B. Core v0.8.0")
+        assert any(c.cve_id == "CVE-2013-5700" for c in affecting_old)
+
+    def test_version_range_joins(self):
+        modern = {c.cve_id for c in cves_affecting("B. Core v0.15.1")}
+        assert "CVE-2013-5700" not in modern  # fixed in 0.8.4
+        old = {c.cve_id for c in cves_affecting("B. Core v0.8.2")}
+        assert "CVE-2013-4627" in old
+
+    def test_unparseable_version(self):
+        affecting = cves_affecting("weird-client-1.0")
+        # Only affects-all records match arbitrary strings.
+        assert all(c.affects_all for c in affecting)

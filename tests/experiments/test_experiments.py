@@ -1,0 +1,106 @@
+"""Tests for the experiment regenerators (fast configurations).
+
+These validate that every table/figure regenerator runs end to end and
+that its headline metrics land in the paper's neighbourhood.  Full-
+scale numeric audits live in the benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "figure3", "figure4", "figure6", "figure7",
+            "figure8",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    @pytest.mark.parametrize("experiment_id", sorted(REGISTRY))
+    def test_runs_fast_and_renders(self, experiment_id):
+        result = run_experiment(experiment_id, seed=0, fast=True)
+        assert result.experiment_id == experiment_id
+        assert result.rows
+        text = result.render()
+        assert experiment_id in text
+
+
+class TestHeadlineMetrics:
+    def test_table2_pins(self):
+        result = run_experiment("table2", fast=True)
+        assert result.metrics["top_as_nodes"] == 1030
+        assert result.metrics["amazon_org_nodes"] == 756
+
+    def test_table3_change(self):
+        result = run_experiment("table3", fast=True)
+        assert result.metrics["measured_50"] == 24
+        assert abs(result.metrics["measured_30"] - 8) <= 1
+        assert result.metrics["change_50"] == pytest.approx(52.0)
+
+    def test_table4_shares(self):
+        result = run_experiment("table4", fast=True)
+        assert result.metrics["covered_share"] == pytest.approx(0.657)
+        assert result.metrics["asns_for_65pct"] == 3
+
+    def test_table6_exactness(self):
+        result = run_experiment("table6", fast=True)
+        assert result.metrics["max_abs_delta_seconds"] <= 2
+
+    def test_figure4_contrast(self):
+        result = run_experiment("figure4", fast=True)
+        assert result.metrics["as24940_prefixes_for_95pct"] <= 25
+        assert result.metrics["as16509_prefixes_for_95pct"] > 140
+
+    def test_figure7_narrative(self):
+        result = run_experiment("figure7", fast=True)
+        assert result.metrics["fork_b_peak_fraction"] > 0.0
+        assert result.metrics["final_chain_a_fraction"] >= 0.9
+        assert result.metrics["tdelay_10k_nodes_seconds"] == pytest.approx(3.0)
+
+    def test_table8_census(self):
+        result = run_experiment("table8", fast=True)
+        assert result.metrics["distinct_versions"] == 288
+        assert result.metrics["dominant_share"] == pytest.approx(0.3628, abs=0.01)
+
+    def test_figure6_shape(self):
+        result = run_experiment("figure6", fast=True)
+        assert result.metrics["forever_behind_fraction"] == pytest.approx(0.10, abs=0.05)
+        assert result.metrics["peak_behind_fraction_c"] >= 0.6
+
+    def test_determinism(self):
+        a = run_experiment("table5", seed=3, fast=True)
+        b = run_experiment("table5", seed=3, fast=True)
+        assert a.rows == b.rows
+
+
+class TestRunnerCli:
+    def test_main_selected(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--fast", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "AliBaba" in out
+
+    def test_main_unknown_id(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_main_csv_dump(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "series"
+        assert main(["--fast", "--csv", str(out), "figure4"]) == 0
+        files = list(out.glob("figure4_*.csv"))
+        assert len(files) == 5  # one per Figure-4 AS curve
+        header = files[0].read_text().splitlines()[0]
+        assert header.startswith("tick,")

@@ -1,0 +1,55 @@
+"""Tests for addr-gossip peer discovery."""
+
+import pytest
+
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.messages import AddrMsg
+from repro.netsim.network import Network, NetworkConfig
+
+
+def make_network(num_nodes=20, seed=97, outbound=4):
+    return Network(
+        NetworkConfig(
+            num_nodes=num_nodes, seed=seed, failure_rate=0.0, outbound_peers=outbound
+        ),
+        latency=ConstantLatency(0.1),
+    )
+
+
+class TestAddrDiscovery:
+    def test_addr_adds_new_peers(self):
+        net = make_network()
+        node = net.node(0)
+        strangers = [n for n in range(20) if n != 0 and n not in node.peers][:2]
+        before = len(node.peers)
+        node.receive(node.peers[0], AddrMsg(addresses=tuple(strangers)))
+        assert len(node.peers) == before + len(strangers)
+        for stranger in strangers:
+            assert stranger in node.peers
+            assert 0 in net.node(stranger).peers  # bidirectional
+
+    def test_addr_respects_budget_cap(self):
+        net = make_network(outbound=3)
+        node = net.node(0)
+        # Flood with every other node's address: the node caps at 2x
+        # its outbound budget.
+        node.receive(
+            node.peers[0],
+            AddrMsg(addresses=tuple(n for n in range(1, 20))),
+        )
+        assert len(node.peers) <= 3 * 2
+
+    def test_addr_ignores_self_and_existing(self):
+        net = make_network()
+        node = net.node(0)
+        before = list(node.peers)
+        node.receive(before[0], AddrMsg(addresses=(0, before[0])))
+        assert node.peers == before
+
+    def test_offline_node_ignores_addr(self):
+        net = make_network()
+        node = net.node(0)
+        node.online = False
+        before = list(node.peers)
+        node.receive(before[0], AddrMsg(addresses=(15,)))
+        assert node.peers == before

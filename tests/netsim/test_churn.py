@@ -1,0 +1,94 @@
+"""Tests for the node-churn process."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.churn import ChurnConfig, ChurnProcess
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+def make_network(num_nodes=60, seed=41):
+    net = Network(
+        NetworkConfig(num_nodes=num_nodes, seed=seed, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+    net.add_pool("honest", 0.9, node_id=0)
+    return net
+
+
+class TestChurnConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(mean_uptime=0.0)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(churning_fraction=1.5)
+
+    def test_availability(self):
+        config = ChurnConfig(mean_uptime=20 * 3600, mean_downtime=4 * 3600)
+        # The paper's ~83.5% up share.
+        assert config.availability == pytest.approx(0.833, abs=0.01)
+
+
+class TestChurnProcess:
+    def test_selects_configured_fraction(self):
+        net = make_network()
+        churn = ChurnProcess(net, ChurnConfig(churning_fraction=0.5))
+        assert len(churn.node_ids) == 30
+
+    def test_transitions_happen(self):
+        net = make_network()
+        churn = ChurnProcess(
+            net,
+            ChurnConfig(mean_uptime=3600.0, mean_downtime=1800.0),
+        )
+        churn.start()
+        net.run_for(24 * 3600)
+        assert churn.total_transitions() > 10
+        # Some nodes should currently be down.
+        down = sum(1 for node in net.nodes.values() if not node.online)
+        assert down >= 1
+
+    def test_steady_state_availability(self):
+        net = make_network(num_nodes=200, seed=43)
+        config = ChurnConfig(
+            mean_uptime=5 * 3600.0,
+            mean_downtime=1 * 3600.0,
+            churning_fraction=1.0,
+        )
+        churn = ChurnProcess(net, config)
+        churn.start()
+        # Sample the online fraction over a long horizon.
+        samples = []
+        for _ in range(40):
+            net.run_for(3600.0)
+            samples.append(churn.online_fraction())
+        mean_online = sum(samples) / len(samples)
+        assert mean_online == pytest.approx(config.availability, abs=0.06)
+
+    def test_returning_nodes_lag_then_catch_up(self):
+        """Churn produces the paper's lagging-node population."""
+        net = make_network(seed=44)
+        net.set_offline([10])
+        net.run_for(4 * 3600)
+        net.set_offline([10], offline=False)
+        tip = net.network_height()
+        assert net.node(10).lag(tip) >= 1  # returned behind
+        net.run_for(2 * 3600)
+        tip = net.network_height()
+        assert net.node(10).lag(tip) <= 1  # gossip caught it up
+
+    def test_stop(self):
+        net = make_network()
+        churn = ChurnProcess(net, ChurnConfig(mean_uptime=600.0, mean_downtime=600.0))
+        churn.start()
+        net.run_for(3600)
+        churn.stop()
+        count = churn.total_transitions()
+        net.run_for(3600)
+        assert churn.total_transitions() == count
+
+    def test_explicit_node_ids(self):
+        net = make_network()
+        churn = ChurnProcess(net, node_ids=[3, 4, 5])
+        assert churn.node_ids == [3, 4, 5]

@@ -1,0 +1,99 @@
+"""Tests for the attacker's private counterfeit branch mechanics."""
+
+import pytest
+
+from repro.blockchain.tx import Transaction, TxOutput
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import Network, NetworkConfig
+
+
+def make_network(seed=91):
+    net = Network(
+        NetworkConfig(num_nodes=20, seed=seed, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+    net.attacker_ids.add(0)
+    net.add_pool("honest", 0.7, node_id=1)
+    return net
+
+
+class TestPrivateBranch:
+    def test_counterfeit_blocks_chain_together(self):
+        net = make_network()
+        attacker = net.add_pool("attacker", 0.3, node_id=0)
+        net.connect(0, 5)
+        attacker.enter_counterfeit_mode([5])
+        net.eclipse([5])
+        net.run_for(30 * 600.0)
+        assert attacker.blocks_mined >= 2
+        tip = attacker.private_tip
+        assert tip is not None and tip.counterfeit
+        # Walk the private branch: every ancestor up to the fork point
+        # is counterfeit and heights decrease by one.
+        tree = net.node(0).tree
+        cursor = tip
+        length = 0
+        while cursor.counterfeit:
+            length += 1
+            cursor = tree.get(cursor.parent_hash)
+        assert length == attacker.blocks_mined
+
+    def test_exit_resets_private_branch(self):
+        net = make_network(seed=92)
+        attacker = net.add_pool("attacker", 0.3, node_id=0)
+        attacker.enter_counterfeit_mode([5])
+        net.run_for(20 * 600.0)
+        attacker.exit_counterfeit_mode()
+        assert attacker.private_tip is None
+        assert attacker.counterfeit_txs == []
+        assert attacker.victim_ids == []
+
+    def test_counterfeit_txs_ride_the_branch(self):
+        net = make_network(seed=93)
+        attacker = net.add_pool("attacker", 0.3, node_id=0)
+        net.connect(0, 5)
+        attacker.enter_counterfeit_mode([5])
+        net.eclipse([5])
+        payment = Transaction.make_coinbase(miner=42, value=10, nonce=55)
+        attacker.counterfeit_txs.append(payment)
+        net.run_for(40 * 600.0)
+        assert attacker.counterfeit_txs == []  # consumed into a block
+        victim_chain = net.node(5).tree.main_chain()
+        carried = any(
+            tx.txid == payment.txid
+            for block in victim_chain
+            for tx in block.transactions
+        )
+        assert carried
+
+    def test_public_mempool_not_packed_in_counterfeit_mode(self):
+        net = make_network(seed=94)
+        attacker = net.add_pool("attacker", 0.3, node_id=0)
+        net.connect(0, 5)
+        attacker.enter_counterfeit_mode([5])
+        net.eclipse([5])
+        stray = Transaction.make_coinbase(miner=77, value=10, nonce=66)
+        net.node(0).mempool[stray.txid] = stray
+        net.run_for(40 * 600.0)
+        victim_chain = net.node(5).tree.main_chain()
+        packed = any(
+            tx.txid == stray.txid
+            for block in victim_chain
+            for tx in block.transactions
+            if block.counterfeit
+        )
+        assert not packed
+
+    def test_inv_suppression_blocks_honest_leak(self):
+        """The attacker node must not announce honest blocks to victims."""
+        net = make_network(seed=95)
+        attacker = net.add_pool("attacker", 0.3, node_id=0)
+        net.connect(0, 5)
+        attacker.enter_counterfeit_mode([5])
+        net.eclipse([5])
+        net.run_for(30 * 600.0)
+        assert 5 in net.node(0).suppress_inv_to
+        victim = net.node(5)
+        # The victim's main chain carries the counterfeit branch, not
+        # the (longer) honest chain the attacker also knows about.
+        assert victim.tree.counterfeit_on_main() >= 1

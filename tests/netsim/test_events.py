@@ -1,0 +1,119 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.netsim.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda: order.append("a"))
+        queue.push(5.0, lambda: order.append("b"))
+        while True:
+            item = queue.pop()
+            if item is None:
+                break
+            item[2]()
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(9.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        assert queue.pop()[0] == 3.0
+
+    def test_cancel(self):
+        queue = EventQueue()
+        token = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(token)
+        assert queue.pop()[0] == 2.0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        token = queue.push(1.0, lambda: None)
+        queue.cancel(token)
+        assert queue.peek_time() is None
+        assert not queue
+
+    def test_len_accounts_for_cancellations(self):
+        queue = EventQueue()
+        token = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(token)
+        assert len(queue) == 1
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10.0, lambda: times.append(sim.now))
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0, 10.0]
+
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.schedule(15.0, lambda: fired.append(15))
+        processed = sim.run_until(10.0)
+        assert processed == 1
+        assert fired == [5]
+        assert sim.now == 10.0
+        sim.run_until(20.0)
+        assert fired == [5, 15]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(3.0)
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_past_horizon_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SchedulingError):
+            sim.run_until(5.0)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [7.0]
+
+    def test_cancel_via_simulator(self):
+        sim = Simulator()
+        fired = []
+        token = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(token)
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(max_events=4) == 4
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2

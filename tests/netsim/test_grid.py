@@ -1,0 +1,165 @@
+"""Tests for the grid simulator (the paper's R model)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.grid import (
+    ForkChain,
+    GridConfig,
+    GridSimulator,
+    span_ratio_delay,
+)
+
+
+class TestSpanRatioDelay:
+    def test_paper_value_10k_nodes(self):
+        """Rspan=2.0 with 10,000 nodes gives the paper's 3-second step."""
+        assert span_ratio_delay(10_000, 2.0) == pytest.approx(3.0)
+
+    def test_scaling_with_network_size(self):
+        """T_delay shrinks as 1/sqrt(N) — the paper's synchronization law."""
+        assert span_ratio_delay(400) == pytest.approx(2 * span_ratio_delay(1600))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            span_ratio_delay(0)
+        with pytest.raises(ConfigurationError):
+            span_ratio_delay(100, span_ratio=0)
+
+
+class TestForkChain:
+    def test_md5_linkage(self):
+        fork = ForkChain(label="A", parent=None, branch_height=0)
+        h1 = fork.extend()
+        h2 = fork.extend()
+        assert h1 != h2
+        assert fork.tip_height == 2
+        assert fork.hash_at(1) == h1
+        assert fork.hash_at(0) == "genesis"
+
+    def test_branch_shares_prefix(self):
+        main = ForkChain(label="A", parent=None, branch_height=0)
+        main.extend()
+        main.extend()
+        branch = ForkChain(label="B", parent=main, branch_height=1)
+        branch.extend()
+        assert branch.shares_prefix_with(main, 1)
+        assert not branch.shares_prefix_with(main, 2)
+
+    def test_deterministic_hashes(self):
+        a = ForkChain(label="A", parent=None, branch_height=0)
+        b = ForkChain(label="A", parent=None, branch_height=0)
+        assert a.extend() == b.extend()
+
+
+class TestGridConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GridConfig(size=1)
+        with pytest.raises(ConfigurationError):
+            GridConfig(failure_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            GridConfig(attacker_cell=(99, 0))
+        with pytest.raises(ConfigurationError):
+            GridConfig(natural_fork_rate=2.0)
+
+    def test_span_ratio_property(self):
+        assert GridConfig(size=25, steps_per_block=50).span_ratio == pytest.approx(2.0)
+
+    def test_num_nodes(self):
+        assert GridConfig(size=25).num_nodes == 625
+
+
+class TestGridSimulator:
+    def test_moore_neighbourhood(self):
+        sim = GridSimulator(GridConfig(size=5, attacker_share=0.0, attacker_cell=(1, 1)))
+        for cell, neighbors in sim._neighbors.items():
+            assert len(neighbors) == 8  # the default 8 Bitcoin peers
+            assert cell not in neighbors
+
+    def test_no_attack_stays_on_chain_a(self):
+        sim = GridSimulator(GridConfig(size=10, seed=1, attacker_share=0.0,
+                                       steps_per_block=20))
+        sim.run(400)
+        fractions = sim.fork_fractions()
+        assert fractions.get("A", 0.0) >= 0.9
+        assert sim.attacker_fraction() == 0.0
+
+    def test_natural_forks_resolve_within_few_intervals(self):
+        """Paper §IV-B: forks resolve within 2-3 block intervals."""
+        sim = GridSimulator(GridConfig(size=10, seed=3, attacker_share=0.0,
+                                       steps_per_block=20))
+        sim.run(1500)
+        lifetimes = sim.fork_lifetimes_in_blocks()
+        if lifetimes:  # natural forks occurred
+            assert max(lifetimes.values()) <= 6.0
+
+    def test_attack_creates_counterfeit_fork(self):
+        found = False
+        for seed in range(6):
+            sim = GridSimulator(
+                GridConfig(size=15, seed=seed, attacker_share=0.3,
+                           attack_start_step=50, steps_per_block=15)
+            )
+            sim.run(600)
+            if sim.attacker_fork is not None:
+                found = True
+                assert sim.attacker_fork.counterfeit
+                break
+        assert found
+
+    def test_chain_a_overwhelms_attacker_eventually(self):
+        """Paper Figure 7(c): the longer chain A overwhelms fork B."""
+        recovered = 0
+        for seed in range(4):
+            sim = GridSimulator(
+                GridConfig(size=15, seed=seed, attacker_share=0.3,
+                           attack_start_step=50, steps_per_block=15)
+            )
+            sim.run(1200)
+            fractions = sim.fork_fractions()
+            honest_share = sum(
+                share
+                for label, share in fractions.items()
+                if not sim.fork_of(label).counterfeit
+            )
+            if honest_share >= 0.9:
+                recovered += 1
+        assert recovered >= 3
+
+    def test_attacker_cell_pinned(self):
+        sim = GridSimulator(
+            GridConfig(size=10, seed=2, attacker_share=0.3,
+                       attacker_cell=(3, 3), attack_start_step=0,
+                       steps_per_block=10)
+        )
+        sim.run(400)
+        if sim.attacker_fork is not None:
+            r, c = 3, 3
+            assert sim.labels[r][c] == sim.attacker_fork.label
+
+    def test_snapshot_render(self):
+        sim = GridSimulator(GridConfig(size=4, attacker_share=0.0, attacker_cell=(1, 1)))
+        sim.run(10)
+        art = sim.snapshot().render()
+        assert len(art.splitlines()) == 4
+
+    def test_fork_fractions_sum_to_one(self):
+        sim = GridSimulator(GridConfig(size=10, seed=5, steps_per_block=15,
+                                       attack_start_step=20))
+        sim.run(300)
+        assert sum(sim.fork_fractions().values()) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = GridSimulator(GridConfig(size=10, seed=9, steps_per_block=15))
+        b = GridSimulator(GridConfig(size=10, seed=9, steps_per_block=15))
+        a.run(200)
+        b.run(200)
+        assert a.snapshot().labels == b.snapshot().labels
+        assert a.snapshot().heights == b.snapshot().heights
+
+    def test_synced_fraction(self):
+        sim = GridSimulator(GridConfig(size=8, seed=1, attacker_share=0.0,
+                                       steps_per_block=30))
+        sim.run(500)
+        assert 0.0 < sim.synced_fraction() <= 1.0

@@ -1,0 +1,61 @@
+"""Property-based tests on grid-simulator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.grid import GridConfig, GridSimulator
+
+
+@st.composite
+def grid_configs(draw):
+    size = draw(st.integers(min_value=4, max_value=12))
+    return GridConfig(
+        size=size,
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        failure_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+        steps_per_block=draw(st.integers(min_value=5, max_value=30)),
+        attacker_share=draw(st.sampled_from([0.0, 0.2, 0.3])),
+        attacker_cell=(draw(st.integers(0, size - 1)), draw(st.integers(0, size - 1))),
+        attack_start_step=draw(st.integers(min_value=0, max_value=50)),
+    )
+
+
+class TestGridInvariants:
+    @given(config=grid_configs(), steps=st.integers(min_value=1, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_fractions_partition_the_grid(self, config, steps):
+        sim = GridSimulator(config)
+        sim.run(steps)
+        fractions = sim.fork_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(0.0 < f <= 1.0 for f in fractions.values())
+
+    @given(config=grid_configs(), steps=st.integers(min_value=1, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_cell_heights_never_exceed_fork_tips(self, config, steps):
+        sim = GridSimulator(config)
+        sim.run(steps)
+        for r in range(config.size):
+            for c in range(config.size):
+                fork = sim.fork_of(sim.labels[r][c])
+                assert 0 <= sim.heights[r][c] <= fork.tip_height
+
+    @given(config=grid_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_hash_linkage_consistent(self, config):
+        sim = GridSimulator(config)
+        sim.run(120)
+        for label, fork in sim.forks.items():
+            if fork.parent is not None:
+                # The branch agrees with its parent at the branch point.
+                assert fork.shares_prefix_with(fork.parent, fork.branch_height)
+
+    @given(config=grid_configs(), steps=st.integers(min_value=10, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, config, steps):
+        a = GridSimulator(config)
+        b = GridSimulator(config)
+        a.run(steps)
+        b.run(steps)
+        assert a.snapshot() == b.snapshot()

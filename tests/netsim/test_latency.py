@@ -1,0 +1,82 @@
+"""Tests for link-latency models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.latency import (
+    ConstantLatency,
+    DiffusionLatency,
+    TrickleLatency,
+    UniformLatency,
+)
+
+
+class TestConstantLatency:
+    def test_fixed_value(self, rng):
+        model = ConstantLatency(0.25)
+        assert model.delay(1, 2, rng) == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-0.1)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(0.1, 0.5)
+        for _ in range(200):
+            assert 0.1 <= model.delay(1, 2, rng) <= 0.5
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(0.5, 0.1)
+
+
+class TestDiffusionLatency:
+    def test_mean_matches_rate(self, rng):
+        """Diffusion = Exp(lambda): the paper's eq. (1) model."""
+        model = DiffusionLatency(rate=0.8)
+        samples = [model.delay(1, 2, rng) for _ in range(40_000)]
+        assert sum(samples) / len(samples) == pytest.approx(1.25, rel=0.05)
+        assert model.mean == pytest.approx(1.25)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            DiffusionLatency(rate=0.0)
+
+    @pytest.mark.parametrize("rate", [0.4, 0.6, 0.9])
+    def test_table6_lambda_range_supported(self, rate, rng):
+        model = DiffusionLatency(rate=rate)
+        assert model.delay(1, 2, rng) >= 0.0
+
+
+class TestTrickleLatency:
+    def test_quantized_to_intervals(self, rng):
+        model = TrickleLatency(interval=0.1, peers=8)
+        for _ in range(100):
+            delay = model.delay(1, 2, rng)
+            rounds = delay / 0.1
+            assert rounds == pytest.approx(round(rounds))
+            assert rounds >= 1
+
+    def test_mean_roughly_peers_intervals(self, rng):
+        model = TrickleLatency(interval=0.1, peers=8)
+        samples = [model.delay(1, 2, rng) for _ in range(20_000)]
+        # Geometric(1/8) has mean 8 rounds.
+        assert sum(samples) / len(samples) == pytest.approx(0.8, rel=0.1)
+
+    def test_trickle_slower_than_diffusion_on_average(self, rng):
+        """The D1 ablation's premise: trickle spreads slower."""
+        trickle = TrickleLatency(interval=0.5, peers=8)
+        diffusion = DiffusionLatency(rate=0.8)
+        t = sum(trickle.delay(1, 2, rng) for _ in range(5000)) / 5000
+        d = sum(diffusion.delay(1, 2, rng) for _ in range(5000)) / 5000
+        assert t > d
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            TrickleLatency(interval=0.0)
+        with pytest.raises(ConfigurationError):
+            TrickleLatency(peers=0)

@@ -1,0 +1,82 @@
+"""Tests for the in-simulation lag sampler."""
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.metrics import LagSampler
+from repro.netsim.network import Network, NetworkConfig
+from repro.types import LagBand
+
+
+def network(num_nodes=20, seed=4):
+    return Network(
+        NetworkConfig(num_nodes=num_nodes, seed=seed, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+
+
+class TestLagSampler:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            LagSampler(network(), interval=0.0)
+
+    def test_samples_at_interval(self):
+        net = network()
+        sampler = LagSampler(net, interval=100.0)
+        sampler.start()
+        net.run_for(500.0)
+        # t=0, 100, ..., 500.
+        assert len(sampler.samples) == 6
+
+    def test_all_synced_initially(self):
+        net = network()
+        sampler = LagSampler(net, interval=100.0)
+        sample = sampler.sample_now()
+        assert sample.counts[LagBand.SYNCED] == 20
+        assert sample.synced_fraction == 1.0
+
+    def test_eclipsed_nodes_fall_behind(self):
+        net = network()
+        net.eclipse([5, 6])
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.node(0).accept_block(block)
+        net.run_for(60.0)
+        sampler = LagSampler(net)
+        sample = sampler.sample_now()
+        assert sample.counts[LagBand.BEHIND_1] == 2
+        assert sample.behind_at_least(1) == 2
+        assert sample.behind_at_least(2) == 0
+
+    def test_offline_nodes_excluded(self):
+        net = network()
+        net.set_offline([3])
+        sample = LagSampler(net).sample_now()
+        assert sample.total == 19
+
+    def test_stacked_series_shape(self):
+        net = network()
+        sampler = LagSampler(net, interval=50.0)
+        sampler.start()
+        net.run_for(200.0)
+        series = sampler.stacked_series()
+        assert set(series) == set(LagBand.ordered())
+        assert all(len(counts) == len(sampler.samples) for counts in series.values())
+
+    def test_stop(self):
+        net = network()
+        sampler = LagSampler(net, interval=50.0)
+        sampler.start()
+        net.run_for(100.0)
+        sampler.stop()
+        count = len(sampler.samples)
+        net.run_for(200.0)
+        assert len(sampler.samples) == count
+
+    def test_min_synced_fraction(self):
+        net = network()
+        sampler = LagSampler(net, interval=50.0)
+        assert sampler.min_synced_fraction() is None
+        sampler.start()
+        net.run_for(100.0)
+        assert sampler.min_synced_fraction() == 1.0

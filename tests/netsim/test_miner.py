@@ -1,0 +1,116 @@
+"""Tests for miners, pools, and stratum servers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.miner import MiningPool, StratumServer
+from repro.netsim.network import Network, NetworkConfig
+
+
+def network(num_nodes=30, seed=3, failure=0.0):
+    return Network(
+        NetworkConfig(num_nodes=num_nodes, seed=seed, failure_rate=failure),
+        latency=ConstantLatency(0.1),
+    )
+
+
+class TestMiningPool:
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MiningPool(name="x", hash_share=0.0, node_id=0)
+        with pytest.raises(ConfigurationError):
+            MiningPool(name="x", hash_share=1.5, node_id=0)
+
+    def test_counterfeit_mode_toggles(self):
+        pool = MiningPool(name="x", hash_share=0.3, node_id=0)
+        pool.enter_counterfeit_mode([1, 2])
+        assert pool.counterfeit_mode and pool.victim_ids == [1, 2]
+        pool.exit_counterfeit_mode()
+        assert not pool.counterfeit_mode and pool.victim_ids == []
+
+    def test_unreachable_stratum_deactivates(self):
+        pool = MiningPool(
+            name="x",
+            hash_share=0.3,
+            node_id=0,
+            stratum=StratumServer(pool_name="x", asn=45102),
+        )
+        assert pool.active
+        pool.stratum.reachable = False
+        assert not pool.active
+
+
+class TestMinerProduction:
+    def test_pool_produces_blocks_at_expected_rate(self):
+        net = network()
+        pool = net.add_pool("honest", 1.0, node_id=0)
+        net.run_for(10 * 600.0)
+        # Full hash power: ~10 blocks in 10 intervals (Poisson noise).
+        assert 3 <= pool.blocks_mined <= 20
+        assert net.network_height() >= 3
+
+    def test_hash_share_ratio_respected(self):
+        net = network(seed=8)
+        big = net.add_pool("big", 0.7, node_id=0)
+        small = net.add_pool("small", 0.3, node_id=1)
+        net.run_for(150 * 600.0)
+        total = big.blocks_mined + small.blocks_mined
+        assert total > 60
+        assert big.blocks_mined / total == pytest.approx(0.7, abs=0.12)
+
+    def test_inactive_pool_mines_nothing(self):
+        net = network()
+        pool = net.add_pool("pool", 0.9, node_id=0, stratum_asn=45102)
+        pool.stratum.reachable = False
+        net.run_for(20 * 600.0)
+        assert pool.blocks_mined == 0
+        assert net.network_height() == 0
+
+    def test_counterfeit_blocks_capture_eclipsed_victim_only(self):
+        """Figure 5: the attacker feeds its chain to an isolated victim;
+        the honest network (with the majority hash share) stays on the
+        honest chain."""
+        net = network(num_nodes=20, seed=11)
+        net.attacker_ids.add(0)
+        net.add_pool("honest", 0.7, node_id=1)
+        attacker = net.add_pool("attacker", 0.3, node_id=0)
+        attacker.enter_counterfeit_mode([5])
+        net.connect(0, 5)  # the attacker's own connection to the victim
+        net.eclipse([5])  # victim severed from honest peers (Figure 5)
+        net.run_for(40 * 600.0)
+        assert attacker.blocks_mined >= 1
+        assert net.node(5).tree.counterfeit_on_main() >= 1
+        # The honest majority never follows the counterfeit chain.
+        for node_id in (1, 2, 3):
+            assert net.node(node_id).tree.counterfeit_on_main() == 0
+
+    def test_blocks_include_coinbase(self):
+        net = network()
+        net.add_pool("honest", 1.0, node_id=0)
+        net.run_for(5 * 600.0)
+        tip = net.node(0).tree.best_tip
+        if tip.height > 0:
+            assert tip.transactions[0].coinbase
+
+    def test_mempool_txs_packed_into_blocks(self):
+        from repro.blockchain.tx import Transaction
+
+        net = network()
+        net.add_pool("honest", 1.0, node_id=0)
+        cb = Transaction.make_coinbase(miner=42, value=50, nonce=99)
+        net.submit_transaction(0, cb)
+        net.run_for(20 * 600.0)
+        chain = net.node(0).tree.main_chain()
+        packed = any(
+            tx.txid == cb.txid for block in chain for tx in block.transactions
+        )
+        assert packed
+
+    def test_miner_stop(self):
+        net = network()
+        net.add_pool("honest", 1.0, node_id=0)
+        miner = net.miners[0]
+        miner.stop()
+        net.run_for(10 * 600.0)
+        assert net.pools[0].blocks_mined == 0

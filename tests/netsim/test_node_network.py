@@ -1,0 +1,198 @@
+"""Tests for full-node behaviour and network assembly."""
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.tx import Transaction, TxOutput
+from repro.errors import ConfigurationError, SimulationError
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.messages import GetTipMsg, InvMsg, InvType, TipMsg
+from repro.netsim.network import Network, NetworkConfig
+from repro.netsim.node import NodeConfig
+
+
+def perfect_network(num_nodes=20, seed=1):
+    """Zero-failure, constant-latency network (base scenario, §V-B)."""
+    return Network(
+        NetworkConfig(num_nodes=num_nodes, seed=seed, failure_rate=0.0),
+        latency=ConstantLatency(0.1),
+    )
+
+
+class TestNetworkConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(num_nodes=10, failure_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(num_nodes=10, outbound_peers=10)
+
+
+class TestPeerGraph:
+    def test_every_node_has_outbound_budget(self):
+        net = perfect_network(40)
+        for node in net.nodes.values():
+            assert len(node.peers) >= net.config.outbound_peers
+
+    def test_links_are_bidirectional(self):
+        net = perfect_network(40)
+        for node_id, node in net.nodes.items():
+            for peer in node.peers:
+                assert node_id in net.nodes[peer].peers
+
+    def test_no_self_loops(self):
+        net = perfect_network(40)
+        for node_id, node in net.nodes.items():
+            assert node_id not in node.peers
+
+    def test_self_connection_rejected(self):
+        net = perfect_network()
+        with pytest.raises(SimulationError):
+            net.connect(1, 1)
+
+    def test_disconnect(self):
+        net = perfect_network()
+        a = net.node(0).peers[0]
+        net.disconnect(0, a)
+        assert a not in net.node(0).peers
+        assert 0 not in net.node(a).peers
+
+
+class TestBlockPropagation:
+    def test_block_reaches_all_nodes_perfect_network(self):
+        net = perfect_network(30)
+        genesis = net.genesis
+        block = Block.create(genesis.hash, 1, 0, 0.0)
+        net.node(0).accept_block(block)
+        net.run_for(30.0)
+        assert all(node.height == 1 for node in net.nodes.values())
+
+    def test_propagation_with_failures_recovers_via_retries(self):
+        net = Network(
+            NetworkConfig(num_nodes=40, seed=2, failure_rate=0.2),
+            latency=ConstantLatency(0.1),
+        )
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.node(0).accept_block(block)
+        net.run_for(600.0)
+        heights = [node.height for node in net.nodes.values()]
+        assert sum(h == 1 for h in heights) >= 39  # retries close the gaps
+
+    def test_mining_extends_chain(self, small_network):
+        small_network.run_for(3 * 3600)
+        assert small_network.network_height() >= 5
+        # Every node within a block of the tip in a healthy network.
+        lags = small_network.lags()
+        assert sum(1 for lag in lags.values() if lag <= 1) >= 55
+
+    def test_transaction_propagation(self):
+        net = perfect_network(20)
+        cb = Transaction.make_coinbase(miner=1, value=50)
+        net.submit_transaction(0, cb)
+        net.run_for(30.0)
+        reached = sum(1 for node in net.nodes.values() if cb.txid in node.mempool)
+        assert reached == 20
+
+
+class TestEclipse:
+    def test_eclipsed_nodes_receive_nothing(self):
+        net = perfect_network(20)
+        victims = [5, 6, 7]
+        net.eclipse(victims)
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.node(0).accept_block(block)
+        net.run_for(60.0)
+        for victim in victims:
+            assert net.node(victim).height == 0
+        assert net.node(1).height == 1
+
+    def test_heal_restores_flow_via_next_block(self):
+        """A healed node misses blocks announced during its eclipse but
+        catches up through orphan resolution when the next block's inv
+        arrives (it requests the missing ancestry)."""
+        net = perfect_network(20)
+        net.eclipse([5])
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.node(0).accept_block(block)
+        net.run_for(60.0)
+        assert net.node(5).height == 0
+        net.heal([5])
+        block2 = Block.create(block.hash, 2, 0, 60.0)
+        net.node(0).accept_block(block2)
+        net.run_for(300.0)
+        assert net.node(5).height == 2
+
+    def test_attacker_crosses_eclipse_boundary(self):
+        net = perfect_network(20)
+        net.eclipse([5])
+        net.attacker_ids.add(3)
+        net.connect(3, 5)
+        block = Block.create(net.genesis.hash, 1, 0, 0.0, counterfeit=True)
+        net.node(3).tree.add_block(block)
+        net.deliver_direct(3, 5, block)
+        net.run_for(10.0)
+        assert net.node(5).height == 1
+        assert net.node(5).tree.counterfeit_on_main() == 1
+
+    def test_offline_nodes_ignore_traffic(self):
+        net = perfect_network(10)
+        net.set_offline([4])
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.node(0).accept_block(block)
+        net.run_for(60.0)
+        assert net.node(4).height == 0
+        net.set_offline([4], offline=False)
+        assert net.node(4).online
+
+
+class TestTipProbes:
+    def test_gettip_reply_and_catchup(self):
+        net = perfect_network(10)
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.eclipse([9])
+        net.node(0).accept_block(block)
+        net.run_for(30.0)
+        assert net.node(9).height == 0
+        net.heal([9])
+        # BlockAware-style probe: stale node asks a peer for its tip.
+        net.node(9).send(0, GetTipMsg())
+        net.run_for(120.0)
+        assert net.node(9).height == 1
+
+    def test_stale_tip_ignored(self):
+        net = perfect_network(10)
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.node(0).accept_block(block)
+        net.run_for(30.0)
+        # A tip claim not better than ours triggers no request.
+        pending_before = len(net.node(0)._pending)
+        net.node(0).receive(1, TipMsg(tip_hash=net.genesis.hash, height=0))
+        assert len(net.node(0)._pending) == pending_before
+
+
+class TestNodeStats:
+    def test_counters_accumulate(self, small_network):
+        small_network.run_for(3600)
+        total_sent = sum(n.stats.messages_sent for n in small_network.nodes.values())
+        total_received = sum(
+            n.stats.messages_received for n in small_network.nodes.values()
+        )
+        assert total_sent > 0
+        assert total_received > 0
+        assert small_network.delivered_messages > 0
+
+    def test_node_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(node_id=0, outbound_peers=0)
+
+    def test_partition_views_groups_by_tip(self):
+        net = perfect_network(10)
+        views = net.partition_views()
+        assert len(views) == 1
+        block = Block.create(net.genesis.hash, 1, 0, 0.0)
+        net.eclipse([9])
+        net.node(0).accept_block(block)
+        net.run_for(60.0)
+        views = net.partition_views()
+        assert len(views) == 2

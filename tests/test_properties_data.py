@@ -1,0 +1,98 @@
+"""Property-based tests on data-layer invariants (serialization,
+version census, prefix plans, sampling helpers)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.io import snapshot_from_json, snapshot_to_json
+from repro.crawler.snapshot import NetworkSnapshot, NodeRecord
+from repro.datagen.population import sample_index, sample_link_speed
+from repro.datagen.versions import TOTAL_VARIANTS, version_distribution
+from repro.topology.prefix import AddressPlan
+from repro.types import AddressType
+
+record_strategy = st.builds(
+    NodeRecord,
+    node_id=st.integers(min_value=0, max_value=10**6),
+    address_type=st.sampled_from(list(AddressType)),
+    asn=st.integers(min_value=0, max_value=400_000),
+    org_id=st.text(min_size=1, max_size=12),
+    country=st.sampled_from(["DE", "US", "CN", "??"]),
+    up=st.booleans(),
+    link_speed_mbps=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    latency_idx=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    uptime_idx=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    block_idx=st.integers(min_value=0, max_value=500),
+    software_version=st.text(min_size=1, max_size=20),
+)
+
+
+class TestSnapshotJsonProperties:
+    @given(records=st.lists(record_strategy, min_size=1, max_size=20, unique_by=lambda r: r.node_id))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_identity(self, records):
+        snapshot = NetworkSnapshot(timestamp=42.0, records=records)
+        restored = snapshot_from_json(snapshot_to_json(snapshot))
+        assert restored.records == snapshot.records
+        assert restored.timestamp == snapshot.timestamp
+
+
+class TestVersionDistributionProperties:
+    @given(total=st.integers(min_value=2000, max_value=50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_total_and_variant_count(self, total):
+        counts = version_distribution(total)
+        assert sum(counts.values()) == total
+        assert len(counts) == TOTAL_VARIANTS
+        assert min(counts.values()) >= 1
+
+
+class TestAddressPlanProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=200),  # count
+                st.integers(min_value=16, max_value=28),  # prefix_len
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_allocations_disjoint(self, requests):
+        plan = AddressPlan()
+        allocated = []
+        for asn, (count, prefix_len) in enumerate(requests, start=1):
+            allocated.extend(plan.allocate(asn, count, prefix_len))
+        networks = [p.network for p in allocated]
+        # Pairwise disjoint (sort by address and check adjacency only).
+        networks.sort(key=lambda n: int(n.network_address))
+        for a, b in zip(networks, networks[1:]):
+            assert not a.overlaps(b)
+
+
+class TestSamplerProperties:
+    @given(
+        mean=st.floats(min_value=0.05, max_value=0.95),
+        std=st.floats(min_value=0.01, max_value=0.49),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_index_sampler_in_unit_interval(self, mean, std):
+        rng = random.Random(7)
+        for _ in range(50):
+            value = sample_index(rng, mean, std)
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        mean=st.floats(min_value=0.5, max_value=500.0),
+        std=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_link_speed_positive(self, mean, std):
+        rng = random.Random(7)
+        for _ in range(20):
+            assert sample_link_speed(rng, mean, std) > 0.0

@@ -1,0 +1,56 @@
+"""Tests for table and figure rendering."""
+
+import pytest
+
+from repro.reporting.figures import series_to_csv, sparkline
+from repro.reporting.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Long header"], [["x", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        text = format_table(["A"], [["x"]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text and "3.14159" not in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestSeriesToCsv:
+    def test_roundtrip_shape(self):
+        csv = series_to_csv({"x": [1.0, 2.0], "y": [3.0, 4.0]}, index=[0.0, 600.0])
+        lines = csv.splitlines()
+        assert lines[0] == "t,x,y"
+        assert lines[1] == "0,1,3"
+        assert len(lines) == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"x": [1.0]}, index=[0.0, 1.0])
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_range_mapping(self):
+        art = sparkline([0, 1, 2, 3])
+        assert art[0] == "▁"
+        assert art[-1] == "█"
+
+    def test_downsampling(self):
+        art = sparkline(list(range(1000)), width=50)
+        assert len(art) == 50
+
+    def test_constant_series(self):
+        art = sparkline([5, 5, 5])
+        assert len(art) == 3

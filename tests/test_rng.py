@@ -1,0 +1,61 @@
+"""Tests for the deterministic RNG streams."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "topology") == derive_seed(42, "topology")
+
+    def test_distinct_names_distinct_seeds(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_seed(1, "")
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RngStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_independent_of_creation_order(self):
+        a = RngStreams(7)
+        first = a.stream("one").random()
+        b = RngStreams(7)
+        b.stream("two")  # interleave another stream first
+        assert b.stream("one").random() == first
+
+    def test_numpy_stream_independent_namespace(self):
+        streams = RngStreams(7)
+        stdlib_draw = streams.stream("x").random()
+        numpy_draw = float(streams.numpy_stream("x").random())
+        assert stdlib_draw != pytest.approx(numpy_draw)
+
+    def test_numpy_stream_cached(self):
+        streams = RngStreams(7)
+        assert streams.numpy_stream("n") is streams.numpy_stream("n")
+
+    def test_fork_reproducible(self):
+        a = RngStreams(7).fork("trial-3").stream("s").random()
+        b = RngStreams(7).fork("trial-3").stream("s").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RngStreams(7)
+        child = parent.fork("t")
+        assert parent.stream("s").random() != child.stream("s").random()
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngStreams("abc")  # type: ignore[arg-type]
+
+    def test_spawn_seed_matches_derive(self):
+        assert RngStreams(5).spawn_seed("x") == derive_seed(5, "x")

@@ -1,0 +1,69 @@
+"""Tests for the canned scenario builders."""
+
+import pytest
+
+from repro.attacks.spatial import StratumIsolation
+from repro.errors import ConfigurationError
+from repro.scenarios import paper_network
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return paper_network(scale=0.2, num_nodes=800, seed=3, failure_rate=0.0)
+
+
+class TestPaperNetwork:
+    def test_ids_align_with_topology(self, scenario):
+        for node_id in list(scenario.network.nodes)[:100]:
+            assert scenario.topology.asn_of(node_id) is not None
+
+    def test_pools_attached_in_their_stratum_ases(self, scenario):
+        # The scaled 800-node slice covers the first few ASes; pools
+        # whose stratum AS is inside get attached there.
+        for pool in scenario.pools.values():
+            if pool.name == "others":
+                continue
+            host_asn = scenario.topology.asn_of(pool.node_id)
+            assert host_asn == pool.stratum.asn
+
+    def test_total_hash_rate_complete(self):
+        scenario = paper_network(scale=1.0, num_nodes=5000, seed=1, with_pools=True)
+        total = sum(pool.hash_share for pool in scenario.pools.values())
+        assert total == pytest.approx(1.0)
+
+    def test_without_pools(self):
+        scenario = paper_network(scale=0.2, num_nodes=300, seed=2, with_pools=False)
+        assert scenario.pools == {}
+        assert scenario.network.pools == []
+
+    def test_oversized_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_network(scale=0.2, num_nodes=10**6)
+
+    def test_host_outside(self, scenario):
+        host = scenario.host_outside([24940])
+        assert scenario.topology.asn_of(host) != 24940
+
+    def test_pool_for_stratum(self):
+        scenario = paper_network(scale=1.0, num_nodes=8000, seed=1)
+        at_45102 = scenario.pool_for_stratum(45102)
+        names = {pool.name for pool in at_45102}
+        assert "Antpool" in names
+
+    def test_stratum_isolation_integrates(self):
+        """The Table IV prediction holds on the wired scenario: the
+        3-AS isolation stops the pools it names."""
+        scenario = paper_network(scale=1.0, num_nodes=8000, seed=4)
+        result = StratumIsolation(target_hash_share=0.65).execute(
+            network=scenario.network
+        )
+        stopped = {
+            pool.name for pool in scenario.pools.values() if not pool.active
+        }
+        assert {"BTC.com", "Antpool", "ViaBTC", "BTC.TOP", "F2Pool"} <= stopped
+        assert scenario.pools["others"].active
+        assert result.metric("isolated_hash_share") >= 0.65
+
+    def test_simulation_runs(self, scenario):
+        scenario.network.run_for(2 * 3600)
+        assert scenario.network.network_height() >= 1

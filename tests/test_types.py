@@ -1,0 +1,84 @@
+"""Tests for shared value types."""
+
+import pytest
+
+from repro.types import AddressType, Interval, LagBand, lag_band
+
+
+class TestAddressType:
+    def test_labels_match_paper(self):
+        assert AddressType.IPV4.label == "IPv4"
+        assert AddressType.IPV6.label == "IPv6"
+        assert AddressType.TOR.label == "TOR"
+
+
+class TestLagBand:
+    def test_ordered_is_stacking_order(self):
+        ordered = LagBand.ordered()
+        assert ordered[0] is LagBand.SYNCED
+        assert ordered[-1] is LagBand.BEHIND_10_PLUS
+        assert len(ordered) == len(LagBand)
+
+    def test_colors_match_figure6(self):
+        assert LagBand.SYNCED.color == "green"
+        assert LagBand.BEHIND_1.color == "yellow"
+        assert LagBand.BEHIND_2_4.color == "purple"
+        assert LagBand.BEHIND_5_10.color == "blue"
+        assert LagBand.BEHIND_10_PLUS.color == "magenta"
+
+    @pytest.mark.parametrize(
+        "lag,expected",
+        [
+            (0, LagBand.SYNCED),
+            (1, LagBand.BEHIND_1),
+            (2, LagBand.BEHIND_2_4),
+            (4, LagBand.BEHIND_2_4),
+            (5, LagBand.BEHIND_5_10),
+            (10, LagBand.BEHIND_5_10),
+            (11, LagBand.BEHIND_10_PLUS),
+            (500, LagBand.BEHIND_10_PLUS),
+        ],
+    )
+    def test_lag_band_classification(self, lag, expected):
+        assert lag_band(lag) is expected
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            lag_band(-1)
+
+    def test_bounds_cover_all_lags_disjointly(self):
+        for lag in range(0, 40):
+            matches = [
+                band
+                for band in LagBand
+                if band.bounds[0] <= lag <= band.bounds[1]
+            ]
+            assert len(matches) == 1
+            assert matches[0] is lag_band(lag)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(10.0, 25.0).duration == 15.0
+
+    def test_contains_half_open(self):
+        interval = Interval(10.0, 20.0)
+        assert interval.contains(10.0)
+        assert interval.contains(19.999)
+        assert not interval.contains(20.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 4.0)
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))
+
+    def test_intersection(self):
+        inter = Interval(0, 10).intersection(Interval(5, 15))
+        assert (inter.start, inter.end) == (5, 10)
+
+    def test_disjoint_intersection_is_empty(self):
+        inter = Interval(0, 5).intersection(Interval(8, 10))
+        assert inter.duration == 0.0

@@ -1,0 +1,87 @@
+"""Figure 2 fidelity: the paper's illustrative org/AS/BGP scenario.
+
+Figure 2 shows organizations A-F, multi-AS ownership, and two attacks:
+organization D hijacking F and organization E hijacking B, each "by
+broadcasting more specific prefixes".  This test builds that exact
+world and verifies both attacks behave as the caption describes.
+"""
+
+import pytest
+
+from repro.attacks.spatial import SpatialAttack
+from repro.topology.topology import Topology
+
+
+@pytest.fixture()
+def figure2_topology():
+    topo = Topology()
+    # Six organizations; B and F are the victims, D and E the attackers.
+    for org_id, country in (
+        ("org-a", "US"),
+        ("org-b", "DE"),
+        ("org-c", "FR"),
+        ("org-d", "RU"),
+        ("org-e", "CN"),
+        ("org-f", "NL"),
+    ):
+        topo.add_organization(org_id, f"Org {org_id[-1].upper()}", country)
+    # Multi-AS ownership (the Amazon/OVH pattern): A and F own two ASes.
+    specs = [
+        (11, "org-a", 6),
+        (12, "org-a", 4),
+        (21, "org-b", 8),
+        (31, "org-c", 5),
+        (41, "org-d", 2),
+        (51, "org-e", 3),
+        (61, "org-f", 7),
+        (62, "org-f", 5),
+    ]
+    node_id = 0
+    for asn, org_id, nodes in specs:
+        topo.add_as(asn, f"AS{asn}", org_id, num_prefixes=max(2, nodes // 2))
+        pool = topo.pool(asn)
+        for i in range(nodes):
+            topo.host_node(node_id, asn, prefix=pool.prefixes[i % pool.num_prefixes])
+            node_id += 1
+    return topo
+
+
+class TestFigure2Scenario:
+    def test_multi_as_orgs_amplify(self, figure2_topology):
+        per_org = figure2_topology.nodes_per_org()
+        per_as = figure2_topology.nodes_per_as()
+        assert per_org["org-f"] == per_as[61] + per_as[62] == 12
+        assert per_org["org-a"] == 10
+        orgs = figure2_topology.orgs
+        assert {o.org_id for o in orgs.multi_as_organizations()} == {
+            "org-a",
+            "org-f",
+        }
+
+    def test_d_attacks_f(self, figure2_topology):
+        """Organization D hijacks F's primary AS."""
+        table = figure2_topology.build_routing_table()
+        attack = SpatialAttack(
+            figure2_topology, attacker_asn=41, target_asn=61, target_fraction=1.0
+        )
+        result = attack.execute(table=table)
+        assert result.num_victims == 7
+        # F's second AS is untouched: the hijack is per-AS.
+        for node_id in figure2_topology.nodes_in_as(62):
+            ip = figure2_topology.ip_of(node_id)
+            assert table.origin_of(ip) == 62
+
+    def test_e_attacks_b_concurrently(self, figure2_topology):
+        """Both Figure-2 attacks can run on one routing table."""
+        table = figure2_topology.build_routing_table()
+        d_vs_f = SpatialAttack(
+            figure2_topology, attacker_asn=41, target_asn=61, target_fraction=1.0
+        ).execute(table=table)
+        e_vs_b = SpatialAttack(
+            figure2_topology, attacker_asn=51, target_asn=21, target_fraction=1.0
+        ).execute(table=table)
+        assert d_vs_f.num_victims == 7
+        assert e_vs_b.num_victims == 8
+        # Bystander organizations still route legitimately.
+        for node_id in figure2_topology.nodes_in_as(31):
+            assert table.origin_of(figure2_topology.ip_of(node_id)) == 31

@@ -1,0 +1,108 @@
+"""Tests for organization and AS registries."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.asn import ASRegistry, AutonomousSystem, TOR_PSEUDO_ASN
+from repro.topology.org import Organization, OrganizationRegistry
+
+
+class TestOrganizationRegistry:
+    def test_create_and_get(self):
+        registry = OrganizationRegistry()
+        org = registry.create("hetzner", "Hetzner Online GmbH", "DE")
+        assert registry.get("hetzner") is org
+        assert registry.get_by_name("Hetzner Online GmbH") is org
+
+    def test_duplicate_id_rejected(self):
+        registry = OrganizationRegistry()
+        registry.create("x", "X Corp")
+        with pytest.raises(TopologyError):
+            registry.create("x", "Other")
+
+    def test_duplicate_name_rejected(self):
+        registry = OrganizationRegistry()
+        registry.create("x", "Same Name")
+        with pytest.raises(TopologyError):
+            registry.create("y", "Same Name")
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(TopologyError):
+            OrganizationRegistry().get("missing")
+
+    def test_find_returns_none_for_missing(self):
+        assert OrganizationRegistry().find("missing") is None
+
+    def test_attach_asn_and_multi_as(self):
+        registry = OrganizationRegistry()
+        registry.create("amazon", "Amazon")
+        registry.attach_asn("amazon", 16509)
+        registry.attach_asn("amazon", 14618)
+        registry.attach_asn("amazon", 16509)  # idempotent
+        org = registry.get("amazon")
+        assert org.asns == [16509, 14618]
+        assert org.multi_as
+        assert org.owns(16509)
+        assert registry.multi_as_organizations() == [org]
+
+    def test_len_contains_iter(self):
+        registry = OrganizationRegistry()
+        registry.create("a", "A")
+        registry.create("b", "B")
+        assert len(registry) == 2
+        assert "a" in registry
+        assert {org.org_id for org in registry} == {"a", "b"}
+
+
+class TestASRegistry:
+    def test_create_and_get(self):
+        registry = ASRegistry()
+        asys = registry.create(24940, "AS24940", "hetzner", "DE")
+        assert registry.get(24940) is asys
+        assert asys.country == "DE"
+
+    def test_duplicate_asn_rejected(self):
+        registry = ASRegistry()
+        registry.create(1, "AS1", "o")
+        with pytest.raises(TopologyError):
+            registry.create(1, "AS1-again", "o")
+
+    def test_negative_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=-1, name="bad", org_id="o")
+
+    def test_connect_is_bidirectional(self):
+        registry = ASRegistry()
+        registry.create(1, "AS1", "o")
+        registry.create(2, "AS2", "o")
+        registry.connect(1, 2)
+        assert 2 in registry.get(1).neighbors
+        assert 1 in registry.get(2).neighbors
+
+    def test_connect_idempotent(self):
+        registry = ASRegistry()
+        registry.create(1, "AS1", "o")
+        registry.create(2, "AS2", "o")
+        registry.connect(1, 2)
+        registry.connect(1, 2)
+        assert registry.get(1).neighbors == [2]
+
+    def test_in_country(self):
+        registry = ASRegistry()
+        registry.create(1, "AS1", "o", "CN")
+        registry.create(2, "AS2", "o", "US")
+        registry.create(3, "AS3", "o", "CN")
+        assert {a.asn for a in registry.in_country("CN")} == {1, 3}
+
+    def test_owned_by(self):
+        registry = ASRegistry()
+        registry.create(1, "AS1", "amazon")
+        registry.create(2, "AS2", "amazon")
+        registry.create(3, "AS3", "ovh")
+        assert {a.asn for a in registry.owned_by("amazon")} == {1, 2}
+
+    def test_tor_pseudo_as(self):
+        registry = ASRegistry()
+        tor = registry.create(TOR_PSEUDO_ASN, "TOR", "tor")
+        assert tor.is_tor
+        assert not registry.create(1, "AS1", "o").is_tor

@@ -1,0 +1,95 @@
+"""Tests for the aggregate Topology and the geo/nation-state layer."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.geo import BANNED_COUNTRIES, Country, CountryRegistry, NationStatePolicy
+from repro.topology.topology import Topology
+
+
+class TestCountryRegistry:
+    def test_ensure_creates_placeholder(self):
+        registry = CountryRegistry()
+        country = registry.ensure("DE")
+        assert country.code == "DE"
+        assert registry.ensure("DE") is country
+
+    def test_banned_countries_flagged_on_ensure(self):
+        registry = CountryRegistry()
+        for code in BANNED_COUNTRIES:
+            assert registry.ensure(code).bitcoin_banned
+        assert not registry.ensure("US").bitcoin_banned
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(TopologyError):
+            Country(code="DEU", name="Germany")
+
+    def test_duplicate_rejected(self):
+        registry = CountryRegistry()
+        registry.create("DE", "Germany")
+        with pytest.raises(TopologyError):
+            registry.create("DE", "Germany again")
+
+
+class TestTopology:
+    def test_summary_counts(self, tiny_topology):
+        summary = tiny_topology.summary()
+        assert summary["organizations"] == 3
+        assert summary["ases"] == 4
+        assert summary["nodes"] == 30
+        assert summary["prefixes"] == 15
+
+    def test_as_requires_registered_org(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_as(1, "AS1", "ghost")
+
+    def test_host_node_assigns_ip(self, tiny_topology):
+        ip = tiny_topology.ip_of(0)
+        assert tiny_topology.pool(100).prefix_of(0).contains(ip)
+
+    def test_host_node_twice_rejected(self, tiny_topology):
+        with pytest.raises(TopologyError):
+            tiny_topology.host_node(0, 100)
+
+    def test_org_of_follows_as_ownership(self, tiny_topology):
+        assert tiny_topology.org_of(0).org_id == "alpha"
+        assert tiny_topology.org_of(20).org_id == "beta"  # node in AS201
+
+    def test_nodes_per_org_aggregates_multi_as(self, tiny_topology):
+        per_org = tiny_topology.nodes_per_org()
+        assert per_org["beta"] == 12  # AS200 (8) + AS201 (4)
+
+    def test_nodes_per_country(self, tiny_topology):
+        per_country = tiny_topology.nodes_per_country()
+        assert per_country == {"DE": 12, "US": 12, "CN": 6}
+
+    def test_build_routing_table_routes_all_nodes(self, tiny_topology):
+        table = tiny_topology.build_routing_table()
+        for node_id in tiny_topology.all_node_ids():
+            asn = tiny_topology.asn_of(node_id)
+            assert table.origin_of(tiny_topology.ip_of(node_id)) == asn
+
+    def test_unknown_node_raises(self, tiny_topology):
+        with pytest.raises(TopologyError):
+            tiny_topology.asn_of(999)
+
+
+class TestNationStatePolicy:
+    def test_for_country_collects_ases(self, tiny_topology):
+        policy = NationStatePolicy.for_country("US", tiny_topology.ases)
+        assert sorted(policy.blocked_asns) == [200, 201]
+
+    def test_blocked_fraction(self, tiny_topology):
+        policy = NationStatePolicy.for_country("US", tiny_topology.ases)
+        fraction = policy.blocked_fraction(tiny_topology.nodes_per_as())
+        assert fraction == pytest.approx(12 / 30)
+
+    def test_blocked_fraction_empty(self):
+        policy = NationStatePolicy(country_code="XX")
+        assert policy.blocked_fraction({}) == 0.0
+
+    def test_blocks_predicate(self, tiny_topology):
+        policy = NationStatePolicy.for_country("CN", tiny_topology.ases)
+        assert policy.blocks(tiny_topology.ases.get(300))
+        assert not policy.blocks(tiny_topology.ases.get(100))
