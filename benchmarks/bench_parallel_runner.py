@@ -1,0 +1,152 @@
+"""Smoke benchmark: serial vs parallel wall time for a ``--fast`` sweep.
+
+Runs the selected experiments once with ``jobs=1`` and once with
+``jobs=N``, verifies the two sweeps produced identical results (the
+parallel engine's core guarantee), and writes the timings to a
+pytest-benchmark-style JSON file (``BENCH_parallel.json`` by default):
+
+    {"benchmarks": [{"name": "fast_sweep[jobs=1]", "stats": {...}}, ...],
+     "extra_info": {...per-experiment breakdown...}}
+
+Runnable from tier-1 environments without pytest::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py \
+        --jobs 4 --out BENCH_parallel.json
+
+On a single-core box the parallel sweep mostly measures pool overhead;
+the JSON still records both numbers plus per-trial metrics so the
+crossover is visible wherever the script runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.parallel import METRICS
+
+__all__ = ["main", "run_sweep"]
+
+
+def run_sweep(
+    experiments: List[str], seed: int, fast: bool, jobs: int
+) -> Dict[str, Dict[str, float]]:
+    """Time one full sweep; returns per-experiment seconds and trials."""
+    timings: Dict[str, Dict[str, float]] = {}
+    for experiment_id in experiments:
+        records_before = len(METRICS.records)
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, seed=seed, fast=fast, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        new_records = METRICS.records[records_before:]
+        timings[experiment_id] = {
+            "seconds": elapsed,
+            "trials": len(new_records),
+            "workers": len({record.worker for record in new_records}),
+            "result": result,  # stripped before JSON; used for equality audit
+        }
+    return timings
+
+
+def _stats_entry(name: str, seconds: float) -> Dict:
+    return {
+        "name": name,
+        "stats": {
+            "mean": seconds,
+            "min": seconds,
+            "max": seconds,
+            "rounds": 1,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial-vs-parallel smoke benchmark for the experiment runner."
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="*",
+        default=sorted(REGISTRY),
+        help="artifact ids to sweep (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=max(2, min(4, multiprocessing.cpu_count())),
+        help="worker count for the parallel sweep",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale workloads instead of the --fast CI sizing",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_parallel.json",
+        help="output JSON path (pytest-benchmark-compatible shape)",
+    )
+    args = parser.parse_args(argv)
+
+    unknown = [e for e in args.experiments if e not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+    fast = not args.full
+
+    serial = run_sweep(args.experiments, args.seed, fast, jobs=1)
+    parallel = run_sweep(args.experiments, args.seed, fast, jobs=args.jobs)
+
+    mismatched = [
+        experiment_id
+        for experiment_id in args.experiments
+        if serial[experiment_id]["result"] != parallel[experiment_id]["result"]
+    ]
+    if mismatched:
+        raise AssertionError(
+            f"serial and parallel sweeps diverged for: {', '.join(mismatched)}"
+        )
+
+    serial_total = sum(t["seconds"] for t in serial.values())
+    parallel_total = sum(t["seconds"] for t in parallel.values())
+    report = {
+        "benchmarks": [
+            _stats_entry("fast_sweep[jobs=1]", serial_total),
+            _stats_entry(f"fast_sweep[jobs={args.jobs}]", parallel_total),
+        ],
+        "extra_info": {
+            "experiments": args.experiments,
+            "seed": args.seed,
+            "fast": fast,
+            "jobs": args.jobs,
+            "cpu_count": multiprocessing.cpu_count(),
+            "speedup": serial_total / parallel_total if parallel_total else 0.0,
+            "results_identical": True,
+            "per_experiment": {
+                experiment_id: {
+                    "serial_seconds": serial[experiment_id]["seconds"],
+                    "parallel_seconds": parallel[experiment_id]["seconds"],
+                    "trials": parallel[experiment_id]["trials"],
+                    "workers": parallel[experiment_id]["workers"],
+                }
+                for experiment_id in args.experiments
+            },
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True), encoding="utf-8")
+    print(
+        f"serial {serial_total:.2f}s vs parallel(jobs={args.jobs}) "
+        f"{parallel_total:.2f}s -> speedup {report['extra_info']['speedup']:.2f}x "
+        f"(results identical; wrote {out})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,13 +5,24 @@ full scale, times it with pytest-benchmark, prints the artifact next to
 the paper's reference numbers, and asserts the reproduction's shape
 targets (see DESIGN.md §4).  Absolute timings are informational; the
 assertions are the reproduction audit.
+
+Set ``REPRO_BENCH_JOBS=N`` to fan each artifact's independent trials
+over N worker processes (results are bit-identical for every N; the
+per-trial records printed after each run make the fan-out observable).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import run_experiment
+from repro.parallel import METRICS
+
+
+def _bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture()
@@ -19,15 +30,25 @@ def run_artifact(benchmark):
     """Run one experiment under the benchmark timer and print it."""
 
     def _run(experiment_id: str, seed: int = 0):
+        jobs = _bench_jobs()
+        records_before = len(METRICS.records)
         result = benchmark.pedantic(
             run_experiment,
             args=(experiment_id,),
-            kwargs={"seed": seed, "fast": False},
+            kwargs={"seed": seed, "fast": False, "jobs": jobs},
             rounds=1,
             iterations=1,
         )
         print()
         print(result.render())
+        trial_records = METRICS.records[records_before:]
+        if trial_records:
+            workers = len({record.worker for record in trial_records})
+            print(
+                f"trials: {len(trial_records)} executed on {workers} "
+                f"worker(s) (jobs={jobs}), "
+                f"{sum(r.seconds for r in trial_records):.2f}s trial time"
+            )
         paper_pairs = [
             (key[: -len("_paper")], value)
             for key, value in result.metrics.items()

@@ -1,12 +1,16 @@
 """Experiment registry: one regenerator per paper table/figure.
 
-Each module exposes ``run(seed=0, fast=False) -> ExperimentResult``;
-the :data:`REGISTRY` maps artifact ids to those callables and the
-:mod:`repro.experiments.runner` CLI executes them.
+Each module exposes ``run(seed=0, fast=False, jobs=1) ->
+ExperimentResult``; the :data:`REGISTRY` maps artifact ids to those
+callables and the :mod:`repro.experiments.runner` CLI executes them.
+:func:`run_experiment` is the single entry point: it validates the
+worker budget, consults the optional on-disk result cache, and only
+then dispatches to the experiment module.
 """
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..parallel import ResultCache, resolve_jobs
 from . import (
     figure3,
     figure4,
@@ -43,6 +47,41 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, seed: int = 0, fast: bool = False) -> ExperimentResult:
-    """Run one experiment by id (raises KeyError for unknown ids)."""
-    return REGISTRY[experiment_id](seed=seed, fast=fast)
+def run_experiment(
+    experiment_id: str,
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    """Run one experiment by id (raises KeyError for unknown ids).
+
+    Parameters:
+        seed: Root experiment seed.
+        fast: Reduced, CI-sized workload.
+        jobs: Worker processes for the experiment's independent trials
+            (validated here; must be an int >= 1).  Results are
+            bit-identical for every value of ``jobs``.
+        cache: Optional :class:`~repro.parallel.ResultCache`.  On a hit
+            the stored result is returned without executing any trial;
+            on a miss the computed result is stored.  The key covers
+            the experiment id, the config (``fast``), the seed, and the
+            cache's code-version tag, so any input change recomputes.
+            An entry that fails to deserialize is discarded and
+            recomputed rather than raising.
+    """
+    fn = REGISTRY[experiment_id]
+    jobs = resolve_jobs(jobs)
+    config = {"fast": bool(fast)}
+    if cache is not None:
+        payload = cache.get(experiment_id, config, seed)
+        if payload is not None:
+            try:
+                return ExperimentResult.from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                cache.corrupt_entries += 1
+                cache.discard(experiment_id, config, seed)
+    result = fn(seed=seed, fast=fast, jobs=jobs)
+    if cache is not None:
+        cache.put(experiment_id, config, seed, result.to_dict())
+    return result

@@ -1,9 +1,17 @@
 """Common experiment result schema and helpers.
 
-Every experiment module exposes ``run(seed=0, fast=False) ->
+Every experiment module exposes ``run(seed=0, fast=False, jobs=1) ->
 ExperimentResult``.  ``fast=True`` shrinks the workload (shorter
 series, smaller populations) for use in the test suite; the default
-parameters regenerate the artifact at paper scale.
+parameters regenerate the artifact at paper scale.  ``jobs`` is the
+worker-process budget for experiments whose independent trials fan out
+through :class:`repro.parallel.TrialEngine`; single-pass experiments
+accept and ignore it so the registry surface stays uniform.
+
+Results round-trip through plain dicts (:meth:`ExperimentResult.to_dict`
+/ :meth:`ExperimentResult.from_dict`) so the on-disk result cache can
+store them as JSON.  The round trip is equality-preserving: numpy
+scalars are coerced to Python numbers and rows come back as tuples.
 """
 
 from __future__ import annotations
@@ -11,9 +19,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from ..reporting.tables import format_table
 
 __all__ = ["ExperimentResult"]
+
+
+def _plain(value: Any) -> Any:
+    """Coerce numpy scalars/arrays to JSON-serializable Python values."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
 
 
 @dataclass
@@ -38,6 +61,31 @@ class ExperimentResult:
     metrics: Dict[str, float] = field(default_factory=dict)
     series: Dict[str, Sequence[float]] = field(default_factory=dict)
     notes: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the result-cache payload)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": [_plain(h) for h in self.headers],
+            "rows": [_plain(row) for row in self.rows],
+            "metrics": {key: _plain(value) for key, value in self.metrics.items()},
+            "series": {key: _plain(list(value)) for key, value in self.series.items()},
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (rows as tuples)."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[tuple(row) for row in payload["rows"]],
+            metrics=dict(payload["metrics"]),
+            series={key: list(value) for key, value in payload["series"].items()},
+            notes=payload.get("notes", ""),
+        )
 
     def render(self) -> str:
         """Human-readable block for the runner's output."""

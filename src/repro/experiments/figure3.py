@@ -12,7 +12,7 @@ __all__ = ["run"]
 SAMPLE_RANKS = (1, 8, 13, 21, 24, 50, 100, 400, 800, 1600)
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
     """Regenerate Figure 3's two CDFs."""
     if fast:
         topo = build_paper_topology(seed=seed, scale=0.3)

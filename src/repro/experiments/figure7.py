@@ -6,14 +6,18 @@ representative run: fork B emerging at node [7,7], growing to control
 the lost synchronization permits a new fork C.  Since individual runs
 vary (block arrivals are Bernoulli), the experiment — like the paper —
 presents a representative seed: the first whose fork-B trajectory
-peaks visibly without sweeping the whole grid.
+peaks visibly without sweeping the whole grid.  Candidate seeds are
+independent trials, so the search fans out over workers; selection is
+always the lowest-numbered matching candidate, making the outcome
+identical for every worker count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..netsim.grid import GridConfig, GridSimulator, span_ratio_delay
+from ..parallel import Trial, TrialEngine
 from .base import ExperimentResult
 
 __all__ = ["run", "run_simulation", "PANEL_STEPS"]
@@ -54,27 +58,53 @@ def run_simulation(
     return sim, trajectory
 
 
-def _representative(seed: int, size: int, attempts: int = 12):
-    """First seed whose run matches the paper's panel narrative:
-    fork B visibly captures part of the grid (but not all of it) and
+def _candidate_trial(trial: Trial) -> Dict[str, Any]:
+    """One candidate seed's run, reduced to the panel-selection facts."""
+    sim, trajectory = run_simulation(seed=trial.seed, size=trial.param("size"))
+    return {
+        "seed": trial.seed,
+        "trajectory": trajectory,
+        "fork_births": dict(sim.fork_births),
+        "peak_b": max(f.get("B", 0.0) for f in trajectory.values()),
+        "final_a": trajectory[HORIZON].get("A", 0.0),
+    }
+
+
+def _matches_narrative(payload: Dict[str, Any]) -> bool:
+    """Fork B visibly captures part of the grid (but not all of it) and
     chain A holds the grid again by the horizon."""
-    fallback = None
-    for attempt in range(attempts):
-        candidate = seed + attempt
-        sim, trajectory = run_simulation(seed=candidate, size=size)
-        peak_b = max(f.get("B", 0.0) for f in trajectory.values())
-        final_a = trajectory[HORIZON].get("A", 0.0)
-        if fallback is None and peak_b > 0.0:
-            fallback = (candidate, sim, trajectory, peak_b, final_a)
-        if 0.02 <= peak_b <= 0.60 and final_a >= 0.90:
-            return candidate, sim, trajectory, peak_b, final_a
-    return fallback  # pragma: no cover - calibration keeps this unused
+    return 0.02 <= payload["peak_b"] <= 0.60 and payload["final_a"] >= 0.90
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+def _representative(
+    seed: int, size: int, attempts: int = 12, jobs: int = 1
+) -> Optional[Dict[str, Any]]:
+    """First candidate seed matching the paper's panel narrative.
+
+    Candidate ``seed + attempt`` layouts are pinned (they predate the
+    trial engine, and the published panel seed depends on them).  The
+    serial path stops at the first match; the parallel path evaluates
+    wave-by-wave and selects the same lowest-index candidate.
+    """
+    trials = [
+        Trial("figure7", attempt, seed + attempt, (("size", size),))
+        for attempt in range(attempts)
+    ]
+    hit = TrialEngine(jobs=jobs).first_match(
+        _candidate_trial,
+        trials,
+        predicate=_matches_narrative,
+        fallback=lambda payload: payload["peak_b"] > 0.0,
+    )
+    return None if hit is None else hit[1]  # pragma: no branch
+
+
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
     """Regenerate Figure 7's fork-fraction trajectory."""
     size = 15 if fast else 25
-    candidate_seed, sim, trajectory, peak_b, final_a = _representative(seed, size)
+    panel = _representative(seed, size, jobs=jobs)
+    trajectory = panel["trajectory"]
+    peak_b, final_a = panel["peak_b"], panel["final_a"]
 
     rows = []
     for step in PANEL_STEPS:
@@ -88,7 +118,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
             )
         )
     natural_forks = len(
-        [label for label in sim.fork_births if label not in ("A", "B")]
+        [label for label in panel["fork_births"] if label not in ("A", "B")]
     )
     metrics = {
         "fork_b_peak_fraction": peak_b,
@@ -98,7 +128,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
         "natural_forks_observed": float(natural_forks),
         "tdelay_10k_nodes_seconds": span_ratio_delay(10_000, 2.0),
         "tdelay_10k_nodes_seconds_paper": 3.0,
-        "panel_seed": float(candidate_seed),
+        "panel_seed": float(panel["seed"]),
     }
     return ExperimentResult(
         experiment_id="figure7",

@@ -6,9 +6,15 @@ Usage::
     repro-experiments table5 figure7  # run selected artifacts
     repro-experiments --fast --seed 3 # smaller workloads
     repro-experiments figure6 --csv out/   # also dump figure series
+    repro-experiments --fast --jobs 4 --cache .repro-cache  # parallel + cached
 
 The ``--csv`` directory receives one file per figure series
 (``<experiment>_<series>.csv``), ready for external plotting.
+``--jobs N`` fans each experiment's independent trials over N worker
+processes; results are bit-identical for every N.  ``--cache DIR``
+keys finished results by (experiment, config, seed, code version) so
+re-runs skip completed work; ``--no-cache`` bypasses the cache without
+forgetting the directory flag.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from ..parallel import METRICS, ResultCache, resolve_jobs
 from ..reporting.figures import series_to_csv
 from . import REGISTRY, run_experiment
 
@@ -37,7 +44,7 @@ def _dump_series(result, directory: Path) -> List[Path]:
     return written
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -53,17 +60,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fast", action="store_true", help="reduced workloads (CI-sized)"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per experiment's trial sweep (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="on-disk result cache directory (reruns skip completed work)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even when --cache is given",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         default=None,
         help="directory to dump figure series as CSV files",
     )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     chosen = args.experiments or sorted(REGISTRY)
     unknown = [e for e in chosen if e not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    jobs = resolve_jobs(args.jobs)
+    cache: Optional[ResultCache] = None
+    if args.cache is not None and not args.no_cache:
+        cache = ResultCache(args.cache)
 
     csv_dir: Optional[Path] = None
     if args.csv is not None:
@@ -73,8 +108,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     for experiment_id in chosen:
         start = time.perf_counter()
+        records_before = len(METRICS.records)
+        hits_before = cache.hits if cache is not None else 0
         try:
-            result = run_experiment(experiment_id, seed=args.seed, fast=args.fast)
+            result = run_experiment(
+                experiment_id, seed=args.seed, fast=args.fast, jobs=jobs, cache=cache
+            )
         except Exception as exc:  # pragma: no cover - CLI surface
             failures += 1
             print(f"[FAIL] {experiment_id}: {exc}", file=sys.stderr)
@@ -84,8 +123,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if csv_dir is not None and result.series:
             written = _dump_series(result, csv_dir)
             print(f"(wrote {len(written)} series files to {csv_dir})")
-        print(f"({experiment_id} completed in {elapsed:.1f}s)")
+        new_records = METRICS.records[records_before:]
+        if cache is not None and cache.hits > hits_before:
+            detail = "cache hit"
+        else:
+            workers = len({record.worker for record in new_records})
+            detail = f"{len(new_records)} trial(s), {workers} worker(s), jobs={jobs}"
+        print(f"({experiment_id} completed in {elapsed:.1f}s; {detail})")
         print()
+    if cache is not None:
+        print(cache.format_stats())
     return 1 if failures else 0
 
 

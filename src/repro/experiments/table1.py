@@ -11,7 +11,7 @@ from .base import ExperimentResult
 __all__ = ["run"]
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
     """Regenerate Table I from a synthetic snapshot.
 
     ``fast`` shrinks the population ~10x; counts then scale

@@ -9,7 +9,7 @@ from .base import ExperimentResult
 __all__ = ["run"]
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
     """Regenerate Table II from the calibrated topology.
 
     The top-10 AS counts are pinned to the paper, so this experiment

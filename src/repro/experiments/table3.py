@@ -10,7 +10,7 @@ from .base import ExperimentResult
 __all__ = ["run"]
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
     """Regenerate Table III.
 
     The 2018 coverage counts are *measured* from the calibrated

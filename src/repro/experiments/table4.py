@@ -10,7 +10,7 @@ from .base import ExperimentResult
 __all__ = ["run"]
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
     """Regenerate Table IV via the topology join."""
     topo = None if fast else build_paper_topology(seed=seed)
     mapping = map_pools(topology=topo)

@@ -2,22 +2,47 @@
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..analysis.timing import timing_table
 from ..datagen import profiles
+from ..parallel import Trial, TrialEngine, make_trials
 from .base import ExperimentResult
 
 __all__ = ["run"]
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+def _lambda_trial(trial: Trial) -> Tuple[int, ...]:
+    """Bisect the minimum-T row for one block-loss rate lambda.
+
+    Closed-form and seed-free; each lambda is an independent trial so
+    the row computations fan out with the rest of the sweep."""
+    row = timing_table(
+        m_values=trial.param("m_values"),
+        lambdas=(trial.param("lam"),),
+        p=trial.param("p"),
+    )
+    return row[trial.param("lam")]
+
+
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
     """Regenerate Table VI exactly (closed-form; seed unused).
 
     The bound b(m,T) = C(T,m)(1-e^{-lambda T/m})^m is evaluated in log
-    space and bisected for the minimum integer T with b >= 0.8.
+    space and bisected for the minimum integer T with b >= 0.8, one
+    trial per lambda row.
     """
     lambdas = profiles.TABLE_VI_LAMBDAS[:2] if fast else profiles.TABLE_VI_LAMBDAS
     m_values = profiles.TABLE_VI_M_VALUES[:3] if fast else profiles.TABLE_VI_M_VALUES
-    table = timing_table(m_values=m_values, lambdas=lambdas, p=0.8)
+    trials = make_trials(
+        "table6",
+        seed,
+        count=len(lambdas),
+        params=[
+            {"lam": lam, "m_values": tuple(m_values), "p": 0.8} for lam in lambdas
+        ],
+    )
+    table = dict(zip(lambdas, TrialEngine(jobs=jobs).map(_lambda_trial, trials)))
     rows = []
     metrics = {}
     max_abs_delta = 0.0

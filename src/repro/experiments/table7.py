@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from ..analysis.synced import synced_as_table
 from ..datagen import profiles
 from ..datagen.consensus import ConsensusDynamicsGenerator
+from ..parallel import Trial, TrialEngine
 from ..topology.builder import build_paper_topology
 from .base import ExperimentResult
 
@@ -32,25 +35,36 @@ PAPER_DAY_AS_QUALITY = {
 PAPER_DAY_DEFAULT_QUALITY = 2.6
 
 
-def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
-    """Regenerate Table VII: simulate the Figure 6(b) day and rank ASes."""
-    if fast:
-        topo = build_paper_topology(seed=seed, scale=0.25)
-        duration, interval = 6 * 3600, 600.0
-    else:
-        topo = build_paper_topology(seed=seed)
-        duration, interval = 86_400, 600.0
+def _ranking_trial(trial: Trial) -> List:
+    """Simulate the paper day in-worker and return the ranked AS rows."""
+    p = trial.param_dict
+    topo = build_paper_topology(seed=trial.seed, scale=p["scale"])
     node_ids = sorted(topo.all_node_ids())
     node_asns = np.array([topo.asn_of(nid) for nid in node_ids])
     generator = ConsensusDynamicsGenerator(
         num_nodes=len(node_ids),
-        seed=seed,
+        seed=trial.seed,
         node_asns=node_asns,
         as_quality=PAPER_DAY_AS_QUALITY,
         default_quality=PAPER_DAY_DEFAULT_QUALITY,
     )
-    series = generator.generate(duration=duration, sample_interval=interval)
-    table = synced_as_table(series, topology=topo, k=5)
+    series = generator.generate(duration=p["duration"], sample_interval=p["interval"])
+    return synced_as_table(series, topology=topo, k=5)
+
+
+def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
+    """Regenerate Table VII: simulate the Figure 6(b) day and rank ASes."""
+    if fast:
+        scale, duration, interval = 0.25, 6 * 3600, 600.0
+    else:
+        scale, duration, interval = 1.0, 86_400, 600.0
+    trial = Trial(
+        "table7",
+        0,
+        seed,
+        (("scale", scale), ("duration", duration), ("interval", interval)),
+    )
+    (table,) = TrialEngine(jobs=jobs).map(_ranking_trial, [trial])
 
     rows = [
         (f"AS{row.asn}", row.org_name, row.mean_synced_nodes, f"{row.percentage:.2f}%")

@@ -15,7 +15,6 @@ broadcast — the temporal attack's feeding mechanism (Figure 5).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
@@ -56,9 +55,16 @@ class StratumServer:
 
 
 class MiningPool:
-    """A mining pool mining on top of one full node's chain view."""
+    """A mining pool mining on top of one full node's chain view.
 
-    _ids = itertools.count()
+    ``pool_id`` feeds the coinbase and the block header's ``miner_id``,
+    so it is part of every mined block's hash.  It must therefore be a
+    *per-network* ordinal (assigned by :meth:`Network.add_pool` from the
+    pool's position), never drawn from process-global state: a shared
+    counter would make block hashes depend on how many pools any other
+    simulation in the process (or in a forked worker's inherited state)
+    had already created, silently breaking same-seed reproducibility.
+    """
 
     def __init__(
         self,
@@ -66,10 +72,11 @@ class MiningPool:
         hash_share: float,
         node_id: int,
         stratum: Optional[StratumServer] = None,
+        pool_id: int = 0,
     ) -> None:
         if not 0.0 < hash_share <= 1.0:
             raise ConfigurationError("hash share must be in (0,1]", share=hash_share)
-        self.pool_id = next(self._ids)
+        self.pool_id = pool_id
         self.name = name
         self.hash_share = hash_share
         self.node_id = node_id

@@ -15,7 +15,6 @@ attack mechanics are injected:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -153,6 +152,7 @@ class Network:
             hash_share=hash_share,
             node_id=node_id,
             stratum=StratumServer(pool_name=name, asn=stratum_asn),
+            pool_id=len(self.pools),
         )
         self.pools.append(pool)
         miner = Miner(pool, self, self.mining_model)

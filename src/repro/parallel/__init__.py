@@ -1,0 +1,39 @@
+"""Parallel trial execution and result caching.
+
+The paper's temporal artifacts (Figures 6-8, Tables V-VIII) are
+aggregates over independent seeded simulations — exactly the workload
+shape that fans out over processes without coordination.  This package
+provides the two pieces of infrastructure that let the experiment layer
+scale past one core while staying bit-reproducible:
+
+- :mod:`repro.parallel.trials` — a :class:`TrialEngine` that executes
+  independent :class:`Trial` units serially or over a
+  ``multiprocessing`` pool.  Each trial carries its own seed (derived
+  from ``(root_seed, experiment_id, trial_index)`` via
+  :func:`repro.rng.derive_seed`), so the results are identical
+  regardless of worker count or scheduling order;
+- :mod:`repro.parallel.cache` — a content-keyed on-disk
+  :class:`ResultCache` that lets re-runs and ``--fast`` CI sweeps skip
+  completed work.  Keys hash the experiment id, the config dict, the
+  seed, and a code-version tag, so any input change invalidates;
+- :mod:`repro.parallel.metrics` — per-trial timing/worker records so
+  speedups (and cache-driven *non*-executions) are observable.
+"""
+
+from .cache import CODE_VERSION, ResultCache, cache_key
+from .metrics import METRICS, TrialMetricsCollector, TrialRecord
+from .trials import Trial, TrialEngine, make_trials, resolve_jobs, trial_seed
+
+__all__ = [
+    "CODE_VERSION",
+    "METRICS",
+    "ResultCache",
+    "Trial",
+    "TrialEngine",
+    "TrialMetricsCollector",
+    "TrialRecord",
+    "cache_key",
+    "make_trials",
+    "resolve_jobs",
+    "trial_seed",
+]

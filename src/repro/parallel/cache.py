@@ -1,0 +1,180 @@
+"""Content-keyed on-disk cache for experiment results.
+
+Entries are JSON files named by a SHA-256 over the *content key*: the
+experiment id, the canonicalized config dict, the seed, and a
+code-version tag.  Any change to any component produces a different
+key, so stale results are never served — they are simply orphaned on
+disk.  The cache stores plain JSON payloads (the experiment layer
+converts :class:`~repro.experiments.base.ExperimentResult` to/from
+dicts), which keeps this module free of upward dependencies.
+
+Robustness rules:
+
+- writes are atomic (temp file + ``os.replace``), so a crashed run
+  never leaves a half-written entry under a valid name;
+- unreadable, truncated, or schema-mismatched entries count as misses:
+  the entry is deleted and the caller recomputes instead of crashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .. import __version__
+
+__all__ = ["CODE_VERSION", "ResultCache", "cache_key"]
+
+#: Tag mixed into every key; bump :data:`repro.__version__` (or override
+#: per-cache) when a code change alters experiment outputs.
+CODE_VERSION = f"repro-{__version__}"
+
+#: On-disk envelope layout version (distinct from the code tag: this
+#: guards the *file format*, the tag guards the *computed content*).
+_SCHEMA_VERSION = 1
+
+
+def _canonical(config: Mapping[str, Any]) -> str:
+    """Stable text form of a config dict (sorted keys, no whitespace)."""
+    return json.dumps(config, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def cache_key(
+    experiment_id: str,
+    config: Mapping[str, Any],
+    seed: int,
+    code_version: str = CODE_VERSION,
+) -> str:
+    """Content key for one (experiment, config, seed, code) quadruple."""
+    payload = "\x1f".join(
+        [experiment_id, _canonical(config), str(seed), code_version]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem cache of experiment payloads, keyed by content.
+
+    Parameters:
+        directory: Cache root; created on demand.
+        code_version: Overrides :data:`CODE_VERSION` (tests use this to
+            exercise invalidation without touching the package version).
+
+    Attributes:
+        hits / misses / stores / corrupt_entries: Counters for
+            observability; the CLI prints them after a sweep.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        code_version: str = CODE_VERSION,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.code_version = code_version
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt_entries = 0
+
+    # ------------------------------------------------------------------
+    def key(self, experiment_id: str, config: Mapping[str, Any], seed: int) -> str:
+        return cache_key(experiment_id, config, seed, self.code_version)
+
+    def entry_path(
+        self, experiment_id: str, config: Mapping[str, Any], seed: int
+    ) -> Path:
+        return self.directory / f"{self.key(experiment_id, config, seed)}.json"
+
+    # ------------------------------------------------------------------
+    def get(
+        self, experiment_id: str, config: Mapping[str, Any], seed: int
+    ) -> Optional[Dict[str, Any]]:
+        """Stored payload dict, or ``None`` on miss/corruption.
+
+        A corrupt entry (unparsable JSON, wrong envelope schema, or a
+        key mismatch from a renamed file) is deleted so the caller's
+        recompute will overwrite it with a good copy.
+        """
+        path = self.entry_path(experiment_id, config, seed)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != _SCHEMA_VERSION
+                or envelope.get("key") != self.key(experiment_id, config, seed)
+                or not isinstance(envelope.get("payload"), dict)
+            ):
+                raise ValueError("bad cache envelope")
+        except (ValueError, OSError):
+            self.corrupt_entries += 1
+            self.misses += 1
+            self.discard(experiment_id, config, seed)
+            return None
+        self.hits += 1
+        return envelope["payload"]
+
+    def put(
+        self,
+        experiment_id: str,
+        config: Mapping[str, Any],
+        seed: int,
+        payload: Mapping[str, Any],
+    ) -> Path:
+        """Atomically store ``payload`` for the given content key."""
+        path = self.entry_path(experiment_id, config, seed)
+        envelope = {
+            "schema": _SCHEMA_VERSION,
+            "key": self.key(experiment_id, config, seed),
+            "experiment_id": experiment_id,
+            "seed": seed,
+            "config": dict(config),
+            "code_version": self.code_version,
+            "payload": dict(payload),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def discard(
+        self, experiment_id: str, config: Mapping[str, Any], seed: int
+    ) -> bool:
+        """Remove one entry (returns whether a file was deleted)."""
+        path = self.entry_path(experiment_id, config, seed)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+    def format_stats(self) -> str:
+        s = self.stats()
+        return (
+            f"cache: {s['hits']} hit(s), {s['misses']} miss(es), "
+            f"{s['stores']} store(s)"
+        )

@@ -1,0 +1,91 @@
+"""Per-trial execution metrics.
+
+The engine reports one :class:`TrialRecord` per *executed* trial into a
+:class:`TrialMetricsCollector` (the module-level :data:`METRICS` by
+default).  Two consumers rely on this:
+
+- the CLI runner and the benchmark harness print per-experiment trial
+  counts, worker fan-out, and wall-clock totals, making the parallel
+  speedup observable;
+- the cache tests assert that a warm cache produces *zero* new records
+  across a full sweep — the "no trial re-executions" guarantee.
+
+Records live in the parent process only: parallel workers return their
+timings to the parent, which files them, so collectors never need
+cross-process synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TrialRecord", "TrialMetricsCollector", "METRICS"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Timing for one executed trial.
+
+    Attributes:
+        experiment_id: Owning experiment ("figure6", ...).
+        trial_index: The trial's index within its experiment.
+        seconds: Wall-clock execution time inside the worker.
+        worker: PID of the process that executed the trial.
+    """
+
+    experiment_id: str
+    trial_index: int
+    seconds: float
+    worker: int
+
+
+class TrialMetricsCollector:
+    """Accumulates :class:`TrialRecord` entries from trial engines."""
+
+    def __init__(self) -> None:
+        self._records: List[TrialRecord] = []
+
+    def record(self, record: TrialRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> Tuple[TrialRecord, ...]:
+        return tuple(self._records)
+
+    def reset(self) -> None:
+        self._records.clear()
+
+    def executed(self, experiment_id: Optional[str] = None) -> int:
+        """Number of executed trials (optionally for one experiment)."""
+        if experiment_id is None:
+            return len(self._records)
+        return sum(1 for r in self._records if r.experiment_id == experiment_id)
+
+    def summary(self, experiment_id: Optional[str] = None) -> Dict[str, float]:
+        """Aggregate view: trial count, distinct workers, time totals."""
+        records = [
+            r
+            for r in self._records
+            if experiment_id is None or r.experiment_id == experiment_id
+        ]
+        if not records:
+            return {"trials": 0, "workers": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+        return {
+            "trials": len(records),
+            "workers": len({r.worker for r in records}),
+            "total_seconds": sum(r.seconds for r in records),
+            "max_seconds": max(r.seconds for r in records),
+        }
+
+    def format_summary(self, experiment_id: Optional[str] = None) -> str:
+        """One-line human-readable summary for CLI output."""
+        s = self.summary(experiment_id)
+        return (
+            f"{s['trials']} trial(s) on {s['workers']} worker(s), "
+            f"{s['total_seconds']:.2f}s trial time"
+        )
+
+
+#: Default process-wide collector used by :class:`~repro.parallel.trials.TrialEngine`.
+METRICS = TrialMetricsCollector()

@@ -1,0 +1,221 @@
+"""Deterministic parallel execution of independent simulation trials.
+
+A *trial* is one self-contained unit of stochastic work: a seeded
+simulation or generator run plus its reduction to a compact, picklable
+payload.  The :class:`TrialEngine` executes a batch of trials either
+inline (``jobs=1``) or across a ``multiprocessing`` pool (``jobs>1``)
+and always returns payloads in trial-index order, so downstream code is
+oblivious to scheduling.
+
+Determinism rests on two rules:
+
+1. every trial owns its seed — either derived from
+   ``(root_seed, experiment_id, trial_index)`` via :func:`trial_seed`
+   (new Monte-Carlo sweeps) or passed explicitly (experiments whose
+   published outputs pin a historical seed layout);
+2. trial functions must build *all* randomness from ``trial.seed``
+   (through :class:`~repro.rng.RngStreams`) and must not touch shared
+   mutable state.  Under those rules, worker count, submission order,
+   and OS scheduling cannot perturb results — the property pinned by
+   ``tests/parallel/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..rng import derive_seed
+from .metrics import METRICS, TrialMetricsCollector, TrialRecord
+
+__all__ = ["Trial", "TrialEngine", "make_trials", "resolve_jobs", "trial_seed"]
+
+
+def trial_seed(root_seed: int, experiment_id: str, trial_index: int) -> int:
+    """Derive the seed for one trial of one experiment.
+
+    The derivation goes through :func:`repro.rng.derive_seed`, so child
+    seeds are statistically independent across trial indices and across
+    experiments, and stable across platforms and Python versions.
+    """
+    if not experiment_id:
+        raise ConfigurationError("experiment_id must be non-empty")
+    if trial_index < 0:
+        raise ConfigurationError(
+            "trial_index must be non-negative", index=trial_index
+        )
+    return derive_seed(root_seed, f"{experiment_id}:trial:{trial_index}")
+
+
+def resolve_jobs(jobs: Any) -> int:
+    """Validate a worker count (``--jobs``); returns it as a plain int."""
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigurationError("jobs must be an integer", jobs=jobs)
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1", jobs=jobs)
+    return jobs
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One unit of seeded work.
+
+    Attributes:
+        experiment_id: Owning experiment, also the metrics label.
+        index: Position within the experiment's trial sweep; results
+            are always returned in ascending index order.
+        seed: Root seed for *all* randomness inside the trial.
+        params: Extra picklable parameters as a tuple of ``(name,
+            value)`` pairs (a tuple keeps the dataclass hashable).
+    """
+
+    experiment_id: str
+    index: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.param_dict.get(name, default)
+
+
+def make_trials(
+    experiment_id: str,
+    root_seed: int,
+    count: int,
+    params: Optional[Sequence[Dict[str, Any]]] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Trial]:
+    """Build ``count`` trials with derived (or explicitly given) seeds.
+
+    ``params`` optionally supplies one parameter dict per trial;
+    ``seeds`` overrides the default :func:`trial_seed` derivation for
+    experiments that must preserve a historical seed layout.
+    """
+    if count < 1:
+        raise ConfigurationError("count must be >= 1", count=count)
+    if params is not None and len(params) != count:
+        raise ConfigurationError(
+            "need one params dict per trial", params=len(params), count=count
+        )
+    if seeds is not None and len(seeds) != count:
+        raise ConfigurationError(
+            "need one seed per trial", seeds=len(seeds), count=count
+        )
+    trials = []
+    for index in range(count):
+        seed = seeds[index] if seeds is not None else trial_seed(
+            root_seed, experiment_id, index
+        )
+        param_items = tuple(sorted((params[index] or {}).items())) if params else ()
+        trials.append(Trial(experiment_id, index, seed, param_items))
+    return trials
+
+
+def _invoke(task: Tuple[Callable[[Trial], Any], Trial]) -> Tuple[int, Any, float, int]:
+    """Worker entry point: run one trial, time it, tag the worker PID."""
+    fn, trial = task
+    start = time.perf_counter()
+    payload = fn(trial)
+    return trial.index, payload, time.perf_counter() - start, os.getpid()
+
+
+class TrialEngine:
+    """Executes batches of independent trials serially or in a pool.
+
+    Parameters:
+        jobs: Worker processes; ``1`` executes inline in this process.
+        collector: Destination for per-trial timing records (defaults
+            to the process-wide :data:`~repro.parallel.metrics.METRICS`).
+    """
+
+    def __init__(
+        self, jobs: int = 1, collector: Optional[TrialMetricsCollector] = None
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.collector = METRICS if collector is None else collector
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Trial], Any], trials: Iterable[Trial]) -> List[Any]:
+        """Run every trial; payloads come back in ascending index order.
+
+        ``fn`` must be a module-level callable (picklable by reference)
+        and every payload must be picklable.  The returned order — and,
+        given rule-abiding trial functions, the payloads themselves —
+        do not depend on ``jobs`` or on the order of ``trials``.
+        """
+        batch = list(trials)
+        indices = [t.index for t in batch]
+        if len(set(indices)) != len(indices):
+            raise ConfigurationError("trial indices must be unique", indices=indices)
+        if not batch:
+            return []
+        if self.jobs == 1 or len(batch) == 1:
+            outcomes = [_invoke((fn, trial)) for trial in batch]
+        else:
+            outcomes = self._map_pool(fn, batch)
+        outcomes.sort(key=lambda outcome: outcome[0])
+        by_index = {trial.index: trial for trial in batch}
+        for index, _, seconds, worker in outcomes:
+            self.collector.record(
+                TrialRecord(by_index[index].experiment_id, index, seconds, worker)
+            )
+        return [payload for _, payload, _, _ in outcomes]
+
+    def _map_pool(
+        self, fn: Callable[[Trial], Any], batch: List[Trial]
+    ) -> List[Tuple[int, Any, float, int]]:
+        workers = min(self.jobs, len(batch))
+        pool = multiprocessing.Pool(processes=workers)
+        try:
+            outcomes = list(pool.imap_unordered(_invoke, [(fn, t) for t in batch]))
+        except BaseException:
+            pool.terminate()
+            raise
+        else:
+            pool.close()
+            return outcomes
+        finally:
+            pool.join()
+
+    # ------------------------------------------------------------------
+    def first_match(
+        self,
+        fn: Callable[[Trial], Any],
+        trials: Iterable[Trial],
+        predicate: Callable[[Any], bool],
+        fallback: Optional[Callable[[Any], bool]] = None,
+    ) -> Optional[Tuple[Trial, Any]]:
+        """Lowest-index trial whose payload satisfies ``predicate``.
+
+        If no trial matches, returns the lowest-index trial satisfying
+        ``fallback`` (when given), else ``None``.  Serial engines stop
+        executing at the first match (the pre-parallel early-exit
+        behaviour); parallel engines evaluate in waves of ``jobs``
+        trials.  Both select the same trial: waves are scanned in index
+        order, so the first wave containing a match always yields the
+        global minimum matching index.
+        """
+        ordered = sorted(trials, key=lambda trial: trial.index)
+        fallback_hit: Optional[Tuple[Trial, Any]] = None
+        wave_size = self.jobs if self.jobs > 1 else 1
+        for start in range(0, len(ordered), wave_size):
+            wave = ordered[start : start + wave_size]
+            payloads = self.map(fn, wave)
+            for trial, payload in zip(wave, payloads):
+                if predicate(payload):
+                    return trial, payload
+                if (
+                    fallback is not None
+                    and fallback_hit is None
+                    and fallback(payload)
+                ):
+                    fallback_hit = (trial, payload)
+        return fallback_hit

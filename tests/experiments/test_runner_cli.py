@@ -1,0 +1,106 @@
+"""CLI tests for the runner's parallel/caching flags.
+
+Covers ``--jobs`` (including the ConfigurationError rejection of zero
+and negative worker counts), ``--cache`` round trips, the ``--no-cache``
+bypass, and a snapshot of the ``--help`` text so flag/wording changes
+are deliberate.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import main
+
+HELP_SNAPSHOT = textwrap.dedent(
+    """\
+    usage: repro-experiments [-h] [--seed SEED] [--fast] [--jobs N] [--cache DIR]
+                             [--no-cache] [--csv DIR]
+                             [ID ...]
+
+    Regenerate the paper's tables and figures.
+
+    positional arguments:
+      ID           artifact ids to run (default: all). Known: figure3, figure4,
+                   figure6, figure7, figure8, table1, table2, table3, table4,
+                   table5, table6, table7, table8
+
+    options:
+      -h, --help   show this help message and exit
+      --seed SEED  experiment seed
+      --fast       reduced workloads (CI-sized)
+      --jobs N     worker processes per experiment's trial sweep (default: 1)
+      --cache DIR  on-disk result cache directory (reruns skip completed work)
+      --no-cache   bypass the result cache even when --cache is given
+      --csv DIR    directory to dump figure series as CSV files
+    """
+)
+
+
+class TestJobsFlag:
+    def test_jobs_runs_and_reports_trials(self, capsys):
+        assert main(["--fast", "--jobs", "2", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out
+        assert "trial(s)" in out
+        assert "jobs=2" in out
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "-4"])
+    def test_zero_and_negative_jobs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            main(["--fast", "--jobs", bad, "table6"])
+
+    def test_default_is_serial(self, capsys):
+        assert main(["--fast", "table6"]) == 0
+        assert "jobs=1" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_cache_roundtrip(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["--fast", "--cache", str(cache_dir), "table6"]) == 0
+        first = capsys.readouterr().out
+        assert "1 store(s)" in first
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+        assert main(["--fast", "--cache", str(cache_dir), "table6"]) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        assert "1 hit(s)" in second
+        # The artifact table renders identically from the cache.
+        assert first.splitlines()[0] == second.splitlines()[0]
+
+    def test_no_cache_bypasses(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        for _ in range(2):
+            assert (
+                main(
+                    ["--fast", "--cache", str(cache_dir), "--no-cache", "table6"]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "cache hit" not in out
+            assert "cache:" not in out
+        assert not cache_dir.exists()
+
+    def test_seed_change_recomputes(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["--fast", "--cache", str(cache_dir), "table6"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["--fast", "--seed", "5", "--cache", str(cache_dir), "table6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" not in out
+        assert len(list(cache_dir.glob("*.json"))) == 2
+
+
+class TestHelpSnapshot:
+    def test_help_text(self, capsys, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "80")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out == HELP_SNAPSHOT

@@ -1,0 +1,33 @@
+"""Shared fixtures for the parallel-engine test suite.
+
+The expensive asset here is a full ``--fast`` sweep of every registered
+experiment.  It is computed once per session, through a cold result
+cache, and then shared: the determinism tests compare fresh ``jobs=4``
+runs against it, and the cache tests replay the sweep against the
+now-warm cache to prove nothing re-executes.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.parallel import ResultCache
+
+SWEEP_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def fast_sweep(tmp_path_factory):
+    """Serial ``--fast`` results for every experiment, plus the cache
+    they were stored into (cold on entry, warm for later tests)."""
+    cache = ResultCache(tmp_path_factory.mktemp("result-cache"))
+    results = {
+        experiment_id: run_experiment(
+            experiment_id, seed=SWEEP_SEED, fast=True, jobs=1, cache=cache
+        )
+        for experiment_id in sorted(REGISTRY)
+    }
+    return SimpleNamespace(cache=cache, results=results, seed=SWEEP_SEED)

@@ -1,0 +1,153 @@
+"""Seed-equivalence suite: parallelism must never perturb results.
+
+The acceptance property for ``repro.parallel``: for every registered
+experiment, ``run_experiment(id, seed=s, jobs=4)`` equals the serial
+run with the same seed — same rows, same metrics, same series — and
+trial payloads are independent of submission order and worker count.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, run_experiment
+from repro.parallel import (
+    METRICS,
+    Trial,
+    TrialEngine,
+    TrialMetricsCollector,
+    make_trials,
+    resolve_jobs,
+    trial_seed,
+)
+from repro.rng import derive_seed
+
+
+def _draws_trial(trial):
+    """Module-level (hence picklable) trial: a few seeded draws."""
+    rng = random.Random(trial.seed)
+    return {
+        "index": trial.index,
+        "draws": [rng.random() for _ in range(5)],
+        "param": trial.param("tag"),
+    }
+
+
+def assert_results_equal(a, b):
+    """Field-by-field equality with readable failure output."""
+    assert a.experiment_id == b.experiment_id
+    assert a.headers == b.headers
+    assert a.rows == b.rows
+    assert a.metrics == b.metrics
+    assert sorted(a.series) == sorted(b.series)
+    for name in a.series:
+        assert list(a.series[name]) == list(b.series[name]), name
+    assert a.notes == b.notes
+
+
+class TestExperimentSeedEquivalence:
+    @pytest.mark.parametrize("experiment_id", sorted(REGISTRY))
+    def test_jobs4_equals_serial(self, experiment_id, fast_sweep):
+        serial = fast_sweep.results[experiment_id]
+        parallel = run_experiment(
+            experiment_id, seed=fast_sweep.seed, fast=True, jobs=4
+        )
+        assert_results_equal(serial, parallel)
+
+    def test_jobs2_equals_serial_nonzero_seed(self):
+        # A second seed guards against seed-0-only accidents (e.g. a
+        # worker falling back to a default seed).
+        serial = run_experiment("figure6", seed=7, fast=True, jobs=1)
+        parallel = run_experiment("figure6", seed=7, fast=True, jobs=2)
+        assert_results_equal(serial, parallel)
+
+
+class TestEngineOrderIndependence:
+    def test_map_returns_index_order_regardless_of_submission(self):
+        trials = make_trials(
+            "toy", 3, count=8, params=[{"tag": i} for i in range(8)]
+        )
+        engine = TrialEngine(jobs=3, collector=TrialMetricsCollector())
+        forward = engine.map(_draws_trial, trials)
+        shuffled = list(trials)
+        random.Random(1).shuffle(shuffled)
+        scrambled = engine.map(_draws_trial, shuffled)
+        assert forward == scrambled
+        assert [payload["index"] for payload in forward] == list(range(8))
+
+    def test_serial_and_parallel_payloads_identical(self):
+        trials = make_trials("toy", 5, count=6)
+        serial = TrialEngine(jobs=1, collector=TrialMetricsCollector()).map(
+            _draws_trial, trials
+        )
+        parallel = TrialEngine(jobs=4, collector=TrialMetricsCollector()).map(
+            _draws_trial, trials
+        )
+        assert serial == parallel
+
+    def test_first_match_selects_lowest_index_for_any_jobs(self):
+        trials = make_trials("toy", 9, count=10)
+        predicate = lambda payload: payload["draws"][0] > 0.5  # noqa: E731
+        picks = []
+        for jobs in (1, 3, 4):
+            engine = TrialEngine(jobs=jobs, collector=TrialMetricsCollector())
+            hit = engine.first_match(_draws_trial, trials, predicate)
+            assert hit is not None
+            picks.append(hit[0].index)
+        assert len(set(picks)) == 1
+
+    def test_duplicate_indices_rejected(self):
+        trials = [Trial("toy", 0, 1), Trial("toy", 0, 2)]
+        with pytest.raises(ConfigurationError):
+            TrialEngine(collector=TrialMetricsCollector()).map(_draws_trial, trials)
+
+
+class TestSeedDerivation:
+    def test_matches_rng_stream_derivation(self):
+        assert trial_seed(42, "figure6", 3) == derive_seed(42, "figure6:trial:3")
+
+    def test_distinct_across_indices_and_experiments(self):
+        seeds = {
+            trial_seed(0, experiment_id, index)
+            for experiment_id in ("figure6", "figure7", "table5")
+            for index in range(20)
+        }
+        assert len(seeds) == 60
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            trial_seed(0, "", 0)
+        with pytest.raises(ConfigurationError):
+            trial_seed(0, "x", -1)
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -8, 1.5, "4", None, True])
+    def test_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(bad)
+
+    def test_run_experiment_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("table6", fast=True, jobs=0)
+        with pytest.raises(ConfigurationError):
+            run_experiment("table6", fast=True, jobs=-3)
+
+
+class TestMetrics:
+    def test_engine_records_per_trial_timings(self):
+        collector = TrialMetricsCollector()
+        trials = make_trials("toy", 0, count=4)
+        TrialEngine(jobs=2, collector=collector).map(_draws_trial, trials)
+        assert collector.executed("toy") == 4
+        summary = collector.summary("toy")
+        assert summary["trials"] == 4
+        assert summary["workers"] >= 1
+        assert summary["total_seconds"] >= 0.0
+        assert {record.trial_index for record in collector.records} == {0, 1, 2, 3}
+
+    def test_global_collector_is_default(self):
+        before = METRICS.executed()
+        TrialEngine(jobs=1).map(_draws_trial, make_trials("toy", 1, count=2))
+        assert METRICS.executed() == before + 2
