@@ -25,6 +25,24 @@ def _bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark ``bench`` and keep it out of tier-1 runs.
+
+    ``bench_*.py`` matches ``python_files``, so a bare ``pytest
+    benchmarks`` (or an IDE/CI invocation with explicit paths) would
+    otherwise regenerate every paper artifact at full scale.  Benchmarks
+    are opt-in: ``pytest -m bench benchmarks``.
+    """
+    opt_in = "bench" in (config.getoption("-m") or "")
+    skip = pytest.mark.skip(
+        reason="full-scale benchmark; opt in with `pytest -m bench benchmarks`"
+    )
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        if not opt_in:
+            item.add_marker(skip)
+
+
 @pytest.fixture()
 def run_artifact(benchmark):
     """Run one experiment under the benchmark timer and print it."""

@@ -116,7 +116,7 @@ def pool_org_shares() -> Dict[str, float]:
     """
     shares: Dict[str, float] = {}
     for pool in MINING_POOLS:
-        for org in set(pool.org_names):
+        for org in sorted(set(pool.org_names)):
             shares[org] = shares.get(org, 0.0) + pool.hash_share
     return shares
 
@@ -128,7 +128,7 @@ def group_shares() -> Dict[str, float]:
         groups = set()
         for org in pool.org_names:
             groups.add("AliBaba" if "AliBaba" in org or "Alibaba" in org else org)
-        for group in groups:
+        for group in sorted(groups):
             shares[group] = shares.get(group, 0.0) + pool.hash_share
     return shares
 

@@ -1,0 +1,128 @@
+"""``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint                       # lint src benchmarks tests
+    repro-lint src/repro/netsim      # lint a subtree
+    repro-lint --select RPL104       # run one rule
+    repro-lint --ignore set-order    # run all but one (IDs or names)
+    repro-lint --format json         # machine-readable report
+    repro-lint --list-rules          # rule catalogue with rationale
+
+Exit codes: 0 clean, 1 findings, 2 usage error — so CI can gate on it
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import lint_paths
+from .reporters import render_json, render_text
+from .rules import RULES, rule_by_identifier
+
+__all__ = ["main"]
+
+_DEFAULT_PATHS = ["src", "benchmarks", "tests"]
+
+
+def _split_rule_list(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    names = [part.strip() for chunk in values for part in chunk.split(",")]
+    return [name for name in names if name]
+
+
+def _render_rule_list() -> str:
+    lines = ["repro-lint rules:"]
+    for rule in RULES:
+        lines.append(f"  {rule.rule_id}  {rule.name:<20} {rule.summary}")
+        lines.append(f"          {rule.rationale}")
+    lines.append(
+        "suppress a finding with `# repro-lint: disable=<ID> <reason>`; "
+        "skip a fixture file with a leading `# repro-lint: disable-file "
+        "<reason>` comment"
+    )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & parallel-safety linter for the repro "
+            "source tree (see the README section 'Determinism rules')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files or directories to lint (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule IDs/names to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule IDs/names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_render_rule_list())
+        return 0
+
+    select = _split_rule_list(args.select)
+    ignore = _split_rule_list(args.ignore)
+    try:
+        for name in (select or []) + (ignore or []):
+            rule_by_identifier(name)
+    except KeyError as exc:
+        print(f"repro-lint: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = args.paths if args.paths else list(_DEFAULT_PATHS)
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro-lint: error: no such path(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = lint_paths(paths, select=select, ignore=ignore)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

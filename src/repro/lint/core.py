@@ -1,0 +1,329 @@
+"""Linter engine: file discovery, parsing, suppression handling.
+
+The engine is deliberately free of rule knowledge: rules (see
+:mod:`repro.lint.rules`) receive a parsed :class:`ModuleInfo` and
+return :class:`Finding` lists; this module drives them over files,
+applies ``# repro-lint:`` suppression comments, and aggregates
+everything into a :class:`RunReport` with deterministically sorted
+findings (so CI output and the JSON reporter are stable byte-for-byte
+across runs and machines).
+
+Suppression syntax (parsed from real comment tokens, so the same text
+inside a string literal is inert):
+
+- ``# repro-lint: disable=RPL104 <reason>`` — suppress the named
+  rule(s) on this line; comma-separate several IDs; rule *names*
+  (``set-order``) work too; ``disable=all`` suppresses every rule.
+  The free-text reason after the rule list is required by convention
+  (CONTRIBUTING-level policy, not enforced here).
+- ``# repro-lint: disable-file <reason>`` within the first
+  :data:`FILE_DIRECTIVE_WINDOW` lines — skip the whole file.  Used by
+  the linter's own rule-trigger fixtures under ``tests/lint/fixtures``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "FILE_DIRECTIVE_WINDOW",
+    "FileReport",
+    "Finding",
+    "ModuleInfo",
+    "PARSE_ERROR_ID",
+    "RunReport",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Pseudo rule ID for files the parser rejects (not selectable/ignorable
+#: by name; a file that does not parse can never be certified clean).
+PARSE_ERROR_ID = "RPL900"
+
+#: ``disable-file`` must appear within this many leading lines.
+FILE_DIRECTIVE_WINDOW = 5
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,-]+)(?P<reason>\s.*)?$"
+)
+_DISABLE_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file(?P<reason>\s.*)?$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class ImportMap:
+    """Maps local names to canonical dotted module paths.
+
+    ``import numpy as np`` makes ``np.random.rand`` resolve to
+    ``numpy.random.rand``; ``from random import choice`` makes a bare
+    ``choice`` resolve to ``random.choice``.  Rules match on the
+    canonical form so aliasing cannot dodge them.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``; canonical is ``a``.
+                        head = alias.name.split(".")[0]
+                        self.aliases.setdefault(head, head)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never reach stdlib names
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    @staticmethod
+    def dotted_parts(expr: ast.AST) -> Optional[List[str]]:
+        """``a.b.c`` attribute chain as ``["a","b","c"]`` (None if not one)."""
+        parts: List[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            parts.append(expr.id)
+            return list(reversed(parts))
+        return None
+
+    def resolve(self, expr: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, or None."""
+        parts = self.dotted_parts(expr)
+        if not parts:
+            return None
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs to inspect one parsed module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+
+    def resolve(self, expr: ast.AST) -> Optional[str]:
+        return self.imports.resolve(expr)
+
+
+@dataclass
+class Suppressions:
+    """Per-line and whole-file suppression directives of one module."""
+
+    lines: Dict[int, Set[str]] = field(default_factory=dict)
+    file_disabled: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        tokens = self.lines.get(finding.line)
+        if not tokens:
+            return False
+        return (
+            "all" in tokens
+            or finding.rule_id.lower() in tokens
+            or finding.rule_name.lower() in tokens
+        )
+
+
+def _parse_suppressions(source: str) -> Suppressions:
+    """Extract directives from comment tokens (never from strings)."""
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            match = _DISABLE_FILE_RE.search(tok.string)
+            if match and line <= FILE_DIRECTIVE_WINDOW:
+                result.file_disabled = True
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if match:
+                names = {
+                    part.strip().lower()
+                    for part in match.group("rules").split(",")
+                    if part.strip()
+                }
+                result.lines.setdefault(line, set()).update(names)
+    except tokenize.TokenError:
+        pass  # the ast parse already reports the syntax problem
+    return result
+
+
+@dataclass
+class FileReport:
+    """Lint outcome for a single file."""
+
+    path: str
+    findings: List[Finding]
+    suppressed: List[Finding]
+    file_suppressed: bool = False
+
+
+@dataclass
+class RunReport:
+    """Aggregated outcome of one lint run over many files."""
+
+    files: List[FileReport]
+
+    @property
+    def findings(self) -> List[Finding]:
+        return sorted(f for report in self.files for f in report.findings)
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return sorted(f for report in self.files for f in report.suppressed)
+
+    @property
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _select_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[object]:
+    from .rules import RULES, rule_by_identifier
+
+    chosen = list(RULES)
+    if select is not None:
+        wanted = {rule_by_identifier(name).rule_id for name in select}
+        chosen = [rule for rule in chosen if rule.rule_id in wanted]
+    if ignore is not None:
+        dropped = {rule_by_identifier(name).rule_id for name in ignore}
+        chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    suppressions: str = "all",
+) -> FileReport:
+    """Lint one source string.
+
+    ``suppressions`` controls directive handling: ``"all"`` honours
+    line comments and ``disable-file`` (production behaviour),
+    ``"line"`` honours only line comments (the fixture self-tests use
+    this to look inside intentionally-bad files that carry a
+    ``disable-file`` header), ``"none"`` reports everything.
+    """
+    if suppressions not in ("all", "line", "none"):
+        raise ValueError(f"unknown suppressions mode: {suppressions!r}")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=PARSE_ERROR_ID,
+            rule_name="parse-error",
+            message=f"file does not parse: {exc.msg}",
+        )
+        return FileReport(path=path, findings=[finding], suppressed=[])
+
+    directives = _parse_suppressions(source)
+    if suppressions == "all" and directives.file_disabled:
+        return FileReport(path=path, findings=[], suppressed=[], file_suppressed=True)
+
+    module = ModuleInfo(path=path, source=source, tree=tree, imports=ImportMap(tree))
+    raw: List[Finding] = []
+    for rule in _select_rules(select, ignore):
+        raw.extend(rule.check(module))
+    raw.sort()
+
+    if suppressions == "none":
+        return FileReport(path=path, findings=raw, suppressed=[])
+    kept = [f for f in raw if not directives.covers(f)]
+    dropped = [f for f in raw if directives.covers(f)]
+    return FileReport(path=path, findings=kept, suppressed=dropped)
+
+
+def lint_file(
+    path: Union[str, Path],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    suppressions: str = "all",
+) -> FileReport:
+    """Lint one file from disk (path reported in posix form)."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        path=file_path.as_posix(),
+        select=select,
+        ignore=ignore,
+        suppressions=suppressions,
+    )
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[str] = set()
+    collected: List[Tuple[str, Path]] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"), key=lambda p: p.as_posix())
+        else:
+            candidates = [root]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            key = candidate.as_posix()
+            if key in seen:
+                continue
+            seen.add(key)
+            collected.append((key, candidate))
+    collected.sort(key=lambda pair: pair[0])
+    return [path for _, path in collected]
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    suppressions: str = "all",
+) -> RunReport:
+    """Lint every ``*.py`` under ``paths``; the main library entry point."""
+    reports = [
+        lint_file(path, select=select, ignore=ignore, suppressions=suppressions)
+        for path in iter_python_files(paths)
+    ]
+    return RunReport(files=reports)

@@ -1,0 +1,43 @@
+"""Rule registry: one instance of every rule, ordered by ID.
+
+Adding a rule = write a module under ``repro/lint/rules/``, instantiate
+it here, give it a fixture pair under ``tests/lint/fixtures/`` (one
+``*_bad.py`` that fires it, one ``*_good.py`` that stays silent), and
+document it in README's "Determinism rules" table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Rule
+from .cachekeys import CacheKeyRule
+from .clock import WallClockRule
+from .ordering import SetOrderRule
+from .pickling import UnpicklableWorkerRule
+from .rng import GlobalRngRule
+from .state import GlobalStateRule
+
+__all__ = ["RULES", "Rule", "rule_by_identifier"]
+
+RULES: List[Rule] = sorted(
+    [
+        GlobalRngRule(),
+        GlobalStateRule(),
+        WallClockRule(),
+        SetOrderRule(),
+        UnpicklableWorkerRule(),
+        CacheKeyRule(),
+    ],
+    key=lambda rule: rule.rule_id,
+)
+
+
+def rule_by_identifier(identifier: str) -> Rule:
+    """Look up a rule by ID (``RPL104``) or name (``set-order``)."""
+    needle = identifier.strip().lower()
+    for rule in RULES:
+        if needle in (rule.rule_id.lower(), rule.name.lower()):
+            return rule
+    known = ", ".join(f"{r.rule_id}/{r.name}" for r in RULES)
+    raise KeyError(f"unknown rule {identifier!r}; known rules: {known}")

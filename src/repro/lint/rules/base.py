@@ -1,0 +1,175 @@
+"""Rule protocol and shared AST scope/shape helpers.
+
+Every rule is a stateless object with identity metadata (``rule_id``,
+``name``, ``summary``, ``rationale``) and a ``check(module)`` method
+returning findings.  The helpers here implement the two analyses most
+rules share: resolving which names are *local* to a function scope
+(so instance/local state is never confused with module globals) and
+recognising expression shapes (set-valued expressions, RNG draw calls).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..core import Finding, ModuleInfo
+
+__all__ = [
+    "RNG_DRAW_METHODS",
+    "Rule",
+    "function_defs",
+    "local_bindings",
+    "walk_scope",
+]
+
+#: Method names that draw from a generator (stdlib ``random.Random`` and
+#: ``numpy.random.Generator`` vocabularies).  Used to decide whether a
+#: loop body consumes randomness.
+RNG_DRAW_METHODS = frozenset(
+    {
+        # stdlib random.Random
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        # numpy.random.Generator
+        "normal",
+        "standard_normal",
+        "integers",
+        "exponential",
+        "poisson",
+        "binomial",
+        "geometric",
+        "gamma",
+        "beta",
+        "chisquare",
+        "multinomial",
+        "permutation",
+        "permuted",
+    }
+)
+
+
+class Rule:
+    """Base class: identity metadata plus the ``check`` hook."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            message=message,
+        )
+
+
+def walk_scope(nodes) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class bodies.
+
+    The nested ``FunctionDef``/``Lambda``/``ClassDef`` node itself *is*
+    yielded (so callers can see that a name gets bound) but its body is
+    a different scope and is skipped.
+    """
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    # Only Store-context names bind: in ``registry[key] = v`` the name
+    # ``registry`` is a Load (the mutation rule depends on seeing that).
+    return {
+        node.id
+        for node in ast.walk(target)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+    }
+
+
+def local_bindings(fn: ast.AST) -> Set[str]:
+    """Names bound in ``fn``'s direct scope (params, assignments, ...).
+
+    Names declared ``global`` are excluded even when assigned, since
+    those assignments hit module state — exactly what rules like
+    global-state need to see through.
+    """
+    names: Set[str] = set()
+    declared_global: Set[str] = set()
+    args = fn.args
+    for arg in (
+        list(getattr(args, "posonlyargs", []))
+        + list(args.args)
+        + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in walk_scope(fn.body):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.NamedExpr):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    return names - declared_global
+
+
+def function_defs(tree: ast.AST) -> List[ast.AST]:
+    """Every function/method definition anywhere in the module."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]

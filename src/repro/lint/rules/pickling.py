@@ -1,0 +1,114 @@
+"""RPL105 unpicklable-worker: lambdas/closures handed to the trial engine.
+
+``TrialEngine.map``/``first_match`` ship ``(fn, trial)`` pairs to
+worker processes by pickling; pickle serialises functions *by
+reference* (module + qualified name), so lambdas and functions nested
+inside other functions either raise ``PicklingError`` at fan-out time
+or — worse, with ``jobs=1`` inline execution — work in tests and die
+only when someone first passes ``--jobs 4``.  Only the *worker slot*
+(the first argument) must be picklable: ``first_match`` predicates and
+fallbacks run in the parent, so a lambda predicate is fine and is not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..core import Finding, ModuleInfo
+from .base import Rule, function_defs
+
+__all__ = ["UnpicklableWorkerRule"]
+
+_ENGINE_METHODS = frozenset({"map", "first_match"})
+
+
+def _is_engine_receiver(module: ModuleInfo, receiver: ast.AST) -> bool:
+    """Does this expression look like a TrialEngine instance?"""
+    if isinstance(receiver, ast.Call):
+        canonical = module.resolve(receiver.func)
+        return bool(canonical) and canonical.split(".")[-1] == "TrialEngine"
+    parts = module.imports.dotted_parts(receiver)
+    if parts:
+        return "engine" in parts[-1].lower()
+    return False
+
+
+class UnpicklableWorkerRule(Rule):
+    rule_id = "RPL105"
+    name = "unpicklable-worker"
+    summary = "lambda/nested function passed as a parallel worker callable"
+    rationale = (
+        "Worker callables cross process boundaries pickled by "
+        "reference; lambdas and nested functions cannot be pickled, so "
+        "the sweep dies the moment it runs with jobs>1. Define the "
+        "worker at module level."
+    )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nested_def_names(module: ModuleInfo) -> Set[str]:
+        """Names of functions defined inside other functions."""
+        nested: Set[str] = set()
+        for outer in function_defs(module.tree):
+            for node in ast.walk(outer):
+                if node is outer:
+                    continue
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(node.name)
+        return nested
+
+    def _worker_hazard(
+        self, module: ModuleInfo, worker: ast.AST, nested: Set[str]
+    ) -> Optional[str]:
+        if isinstance(worker, ast.Lambda):
+            return "a lambda"
+        if isinstance(worker, ast.Name) and worker.id in nested:
+            return f"nested function '{worker.id}'"
+        if isinstance(worker, ast.Call):
+            canonical = module.resolve(worker.func)
+            if canonical and canonical.split(".")[-1] == "partial" and worker.args:
+                return self._worker_hazard(module, worker.args[0], nested)
+        for node in ast.walk(worker):
+            if isinstance(node, ast.Lambda):
+                return "a lambda"
+        return None
+
+    # ------------------------------------------------------------------
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        nested = self._nested_def_names(module)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in _ENGINE_METHODS
+            ):
+                continue
+            if not _is_engine_receiver(module, func.value):
+                continue
+            worker = None
+            if node.args:
+                worker = node.args[0]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "fn":
+                        worker = keyword.value
+                        break
+            if worker is None:
+                continue
+            hazard = self._worker_hazard(module, worker, nested)
+            if hazard is not None:
+                findings.append(
+                    self.finding(
+                        module,
+                        worker,
+                        f"worker slot of .{func.attr}() receives {hazard}; "
+                        "workers are pickled by reference for "
+                        "multiprocessing — define the trial function at "
+                        "module level",
+                    )
+                )
+        return findings

@@ -1,0 +1,177 @@
+"""RPL102 global-state: module-level mutable state mutated from functions.
+
+This is the exact class of the PR 1 ``MiningPool`` bug: a module-level
+``itertools.count()`` handed out pool ids, so the ids a network's pools
+received depended on how many pools *any other* network in the process
+had already created — block hashes (seeded from pool ids) diverged
+between a fresh process and a process that had run an earlier trial,
+breaking cross-process determinism.  The fix scoped the counter
+per-network; this rule mechanises the review that found it.
+
+Only *known-mutable* module-level bindings are tracked (list/dict/set
+displays and comprehensions, ``list()``/``dict()``/``set()``,
+``itertools.count()``, ``collections.Counter/defaultdict/deque/
+OrderedDict``), and only *mutations from inside function or method
+bodies* are flagged: building a constant table at import time is fine,
+and instance-scoped state (``self._counter = itertools.count()``, as in
+``netsim/events.py``) never matches because the rule tracks bare module
+names, not attributes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from ..core import Finding, ModuleInfo
+from .base import Rule, function_defs, local_bindings, walk_scope
+
+__all__ = ["GlobalStateRule"]
+
+_MUTABLE_CALLS = frozenset(
+    {
+        "itertools.count",
+        "collections.Counter",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.OrderedDict",
+        "list",
+        "dict",
+        "set",
+    }
+)
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "popleft",
+        "extendleft",
+        "rotate",
+        "subtract",
+    }
+)
+
+
+def _module_mutables(module: ModuleInfo) -> Dict[str, Tuple[int, str]]:
+    """Module-level names bound to known-mutable values: name -> (line, kind)."""
+    mutables: Dict[str, Tuple[int, str]] = {}
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if value is None:
+            continue
+        kind = None
+        if isinstance(value, (ast.List, ast.ListComp)):
+            kind = "list"
+        elif isinstance(value, (ast.Dict, ast.DictComp)):
+            kind = "dict"
+        elif isinstance(value, (ast.Set, ast.SetComp)):
+            kind = "set"
+        elif isinstance(value, ast.Call):
+            canonical = module.resolve(value.func)
+            if canonical in _MUTABLE_CALLS:
+                kind = canonical
+        if kind is None:
+            continue
+        for target in targets:
+            mutables[target.id] = (stmt.lineno, kind)
+    return mutables
+
+
+class GlobalStateRule(Rule):
+    rule_id = "RPL102"
+    name = "global-state"
+    summary = "process-global mutable state mutated from a function/method"
+    rationale = (
+        "A module-level counter/list/dict mutated from methods couples "
+        "every instance in the process (the MiningPool pool-id bug): "
+        "results depend on what else ran earlier in the same process. "
+        "Scope the state per-instance or pass it explicitly."
+    )
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        mutables = _module_mutables(module)
+        if not mutables:
+            return []
+        findings: List[Finding] = []
+        for fn in function_defs(module.tree):
+            locals_ = local_bindings(fn)
+            declared_global: Set[str] = set()
+            for node in walk_scope(fn.body):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+
+            def is_global(name: str) -> bool:
+                return name in mutables and (
+                    name not in locals_ or name in declared_global
+                )
+
+            for node in walk_scope(fn.body):
+                name = None
+                verb = None
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Name)
+                        and func.id == "next"
+                        and node.args
+                        and isinstance(node.args[0], ast.Name)
+                        and is_global(node.args[0].id)
+                    ):
+                        name, verb = node.args[0].id, "advances"
+                    elif (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATOR_METHODS
+                        and isinstance(func.value, ast.Name)
+                        and is_global(func.value.id)
+                    ):
+                        name, verb = func.value.id, f".{func.attr}() mutates"
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and is_global(target.value.id)
+                        ):
+                            name, verb = target.value.id, "item-assignment mutates"
+                        elif (
+                            isinstance(target, ast.Name)
+                            and target.id in declared_global
+                            and target.id in mutables
+                        ):
+                            name, verb = target.id, "rebinding (via global) replaces"
+                if name is None:
+                    continue
+                line, kind = mutables[name]
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{verb} module-global '{name}' ({kind}, defined line "
+                        f"{line}) from inside a function; process-global "
+                        "mutable state makes results depend on process "
+                        "history (the MiningPool pool-id bug) — scope it "
+                        "per-instance or pass it explicitly",
+                    )
+                )
+        return findings

@@ -1,0 +1,31 @@
+# repro-lint: disable-file  -- intentional rule-trigger fixture for tests/lint
+"""Bad: draws from the process-global random/numpy generators."""
+
+import random
+
+import numpy as np
+from random import choice
+
+
+def jitter() -> float:
+    return random.random()  # expect: RPL101
+
+
+def reseed() -> None:
+    random.seed(42)  # expect: RPL101
+
+
+def pick(options):
+    return choice(options)  # expect: RPL101
+
+
+def noise(n: int):
+    return np.random.rand(n)  # expect: RPL101
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # expect: RPL101
+
+
+def unseeded_stdlib():
+    return random.Random()  # expect: RPL101

@@ -1,0 +1,23 @@
+"""Good: every draw flows through RngStreams/derive_seed or a seeded generator."""
+
+import random
+
+import numpy as np
+
+from repro.rng import RngStreams, derive_seed
+
+
+def stream_draw(streams: RngStreams) -> float:
+    return streams.stream("latency").random()
+
+
+def seeded_stdlib(seed: int) -> random.Random:
+    return random.Random(derive_seed(seed, "fixture"))
+
+
+def seeded_numpy(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def injected(rng: random.Random) -> float:
+    return rng.uniform(0.0, 1.0)

@@ -1,0 +1,35 @@
+"""Good: counters and accumulators scoped per-instance or per-call.
+
+The instance-scoped ``itertools.count`` mirrors
+``repro/netsim/events.py`` (EventQueue tokens) — the sanctioned shape
+the global-state rule must stay silent on.
+"""
+
+import itertools
+
+#: Module-level *constants* are fine; only mutation from functions fires.
+DEFAULT_SHARES = {"alpha": 0.6, "beta": 0.4}
+KNOWN_KINDS = ["pool", "wallet"]
+
+
+class EventQueueish:
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._items = []
+
+    def push(self, item: object) -> int:
+        token = next(self._counter)
+        self._items.append(item)
+        return token
+
+
+def accumulate(events) -> dict:
+    totals = {}
+    for event in events:
+        totals[event] = totals.get(event, 0) + 1
+    return totals
+
+
+def shadowed(_REGISTRY=None) -> None:
+    _REGISTRY = {}
+    _REGISTRY["local"] = True  # local shadow, not the module global

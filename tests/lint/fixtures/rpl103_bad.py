@@ -1,0 +1,18 @@
+# repro-lint: disable-file  -- intentional rule-trigger fixture for tests/lint
+"""Bad: wall-clock reads inside simulation/experiment code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(result: dict) -> dict:
+    result["generated_at"] = time.time()  # expect: RPL103
+    return result
+
+
+def label_run() -> str:
+    return datetime.now().isoformat()  # expect: RPL103
+
+
+def sim_deadline(budget: float) -> float:
+    return time.monotonic() + budget  # expect: RPL103

@@ -1,0 +1,13 @@
+"""Good: simulated clock for logic, perf_counter for timing metrics."""
+
+import time
+
+
+def timed(fn):
+    start = time.perf_counter()
+    payload = fn()
+    return payload, time.perf_counter() - start
+
+
+def sim_deadline(sim, budget: float) -> float:
+    return sim.now + budget

@@ -1,0 +1,30 @@
+# repro-lint: disable-file  -- intentional rule-trigger fixture for tests/lint
+"""Bad: unpicklable callables in the trial engine's worker slot."""
+
+import functools
+
+from repro.parallel import TrialEngine
+
+
+def sweep_with_lambda(trials):
+    engine = TrialEngine(jobs=4)
+    return engine.map(lambda trial: trial.seed, trials)  # expect: RPL105
+
+
+def sweep_with_closure(trials, scale):
+    def worker(trial):
+        return trial.seed * scale
+
+    return TrialEngine(jobs=2).map(worker, trials)  # expect: RPL105
+
+
+def search_with_lambda(engine, trials):
+    return engine.first_match(
+        lambda trial: trial.seed,  # expect: RPL105
+        trials,
+        predicate=bool,
+    )
+
+
+def sweep_with_partial_lambda(engine, trials):
+    return engine.map(functools.partial(lambda t: t.seed), trials)  # expect: RPL105

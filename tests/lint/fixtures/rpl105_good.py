@@ -1,0 +1,27 @@
+"""Good: module-level workers; parent-side predicates may be lambdas."""
+
+from repro.parallel import TrialEngine
+
+
+def _seed_trial(trial):
+    return {"seed": trial.seed}
+
+
+def sweep(trials, jobs: int = 1):
+    return TrialEngine(jobs=jobs).map(_seed_trial, trials)
+
+
+def search(engine, trials):
+    # Predicate and fallback run in the parent process: lambdas are fine
+    # in every slot except the worker (first argument).
+    return engine.first_match(
+        _seed_trial,
+        trials,
+        predicate=lambda payload: payload["seed"] > 0,
+        fallback=lambda payload: True,
+    )
+
+
+def plain_map(values):
+    # .map on a non-engine receiver is out of scope.
+    return list(map(lambda v: v + 1, values))

@@ -1,0 +1,25 @@
+# repro-lint: disable-file  -- intentional rule-trigger fixture for tests/lint
+"""Bad: values with unstable reprs reaching cache key material."""
+
+from repro.parallel import ResultCache
+from repro.parallel.cache import cache_key
+
+
+def key_with_set(nodes):
+    return cache_key("figure6", {"nodes": {1, 2, 3}}, 0)  # expect: RPL106
+
+
+def key_with_set_call(cache: ResultCache, node_ids):
+    return cache.get("figure6", {"nodes": set(node_ids)}, 0)  # expect: RPL106
+
+
+def key_with_lambda(cache: ResultCache, payload):
+    return cache.put("figure6", {"selector": lambda row: row}, 0, payload)  # expect: RPL106
+
+
+def key_with_object(cache: ResultCache):
+    return cache.entry_path("figure6", {"token": object()}, 0)  # expect: RPL106
+
+
+def key_with_generator(result_cache, rows):
+    return result_cache.key("t5", {"rows": (r for r in rows)}, 0)  # expect: RPL106

@@ -1,0 +1,21 @@
+"""Good: cache key material built from plain, order-stable data."""
+
+from repro.parallel import ResultCache
+from repro.parallel.cache import cache_key
+
+
+def key_sorted(nodes):
+    return cache_key("figure6", {"nodes": sorted(nodes), "fast": True}, 0)
+
+
+def lookup(cache: ResultCache, fast: bool, seed: int):
+    return cache.get("figure6", {"fast": bool(fast)}, seed)
+
+
+def store(cache: ResultCache, config: dict, seed: int, payload: dict):
+    return cache.put("figure6", dict(config), seed, dict(payload))
+
+
+def unrelated_set_use(cache: ResultCache, ids):
+    distinct = {1, 2, 3}  # sets are fine when they never reach the key
+    return cache.get("figure6", {"count": len(distinct)}, 0)

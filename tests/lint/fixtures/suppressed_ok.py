@@ -1,0 +1,22 @@
+"""Fixture: line-level suppressions silence findings (with reasons).
+
+This file is intentionally *not* ``disable-file``-guarded: it must come
+out clean under the default lint because every violation carries a
+justified line suppression — the exact workflow the README documents.
+"""
+
+import time
+
+
+def bench_stamp() -> float:
+    return time.time()  # repro-lint: disable=RPL103  harness timestamp, never feeds results
+
+
+def bench_stamp_by_name() -> float:
+    return time.monotonic()  # repro-lint: disable=wall-clock  rule names work too
+
+
+def kitchen_sink() -> float:
+    import random
+
+    return random.random() + time.time()  # repro-lint: disable=all  demo of disable=all

@@ -1,0 +1,8 @@
+# repro-lint: disable-file  -- intentional rule-trigger fixture for tests/lint
+"""Fixture: a suppression naming the *wrong* rule does not silence."""
+
+import time
+
+
+def mislabelled() -> float:
+    return time.time()  # repro-lint: disable=RPL101  wrong rule id  # expect: RPL103

@@ -1,0 +1,126 @@
+"""CLI contract tests: exit codes, filtering, formats, suppressions."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+CLEAN = "def f(x):\n    return x + 1\n"
+DIRTY = (
+    "import time\n"
+    "import random\n"
+    "\n"
+    "\n"
+    "def f():\n"
+    "    return random.random() + time.time()\n"
+)
+SUPPRESSED = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def f():\n"
+    "    return time.time()  # repro-lint: disable=RPL103  fixture reason\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A throwaway lint target with one clean and one dirty module."""
+    (tmp_path / "clean.py").write_text(CLEAN)
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_one_on_findings(self, tree, capsys):
+        assert main([str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL101" in out and "RPL103" in out
+
+    def test_two_on_unknown_rule(self, tree, capsys):
+        assert main([str(tree), "--select", "RPL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_two_on_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_zero_when_findings_suppressed(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(SUPPRESSED)
+        assert main([str(tmp_path)]) == 0
+        assert "1 finding(s) suppressed" in capsys.readouterr().out
+
+
+class TestRuleFiltering:
+    def test_select_runs_only_named_rules(self, tree, capsys):
+        assert main([str(tree), "--select", "RPL103"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL103" in out and "RPL101" not in out
+
+    def test_select_accepts_rule_names(self, tree, capsys):
+        assert main([str(tree), "--select", "wall-clock"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL103" in out and "RPL101" not in out
+
+    def test_ignore_drops_named_rules(self, tree, capsys):
+        assert main([str(tree), "--ignore", "RPL101,RPL103"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_select_comma_list(self, tree, capsys):
+        assert main([str(tree), "--select", "RPL101,RPL103"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL101" in out and "RPL103" in out
+
+
+class TestJsonFormat:
+    def test_schema(self, tree, capsys):
+        assert main([str(tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"version", "findings", "summary"}
+        assert payload["version"] == 1
+        for finding in payload["findings"]:
+            assert set(finding) == {"path", "line", "col", "rule", "name", "message"}
+        summary = payload["summary"]
+        assert set(summary) == {
+            "files",
+            "files_suppressed",
+            "findings",
+            "suppressed",
+            "by_rule",
+        }
+        assert summary["findings"] == len(payload["findings"]) == 2
+        assert summary["by_rule"] == {"RPL101": 1, "RPL103": 1}
+
+    def test_clean_json_still_valid(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert main([str(tmp_path), "-f", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+    def test_findings_sorted_and_deterministic(self, tree, capsys):
+        main([str(tree), "--format", "json"])
+        first = capsys.readouterr().out
+        main([str(tree), "--format", "json"])
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        keys = [(f["path"], f["line"], f["col"], f["rule"]) for f in payload["findings"]]
+        assert keys == sorted(keys)
+
+
+class TestListRules:
+    def test_lists_all_rules(self, capsys):
+        from repro.lint import RULES
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.rule_id in out
+            assert rule.name in out
+        assert "disable=" in out  # suppression syntax documented

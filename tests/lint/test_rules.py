@@ -1,0 +1,168 @@
+"""Fixture-driven rule self-tests.
+
+Every rule has a ``<id>_bad.py`` fixture that must fire it on exactly
+the lines carrying ``# expect: <ID>`` markers, and a ``<id>_good.py``
+fixture (including the rule's closest sanctioned look-alikes) that must
+stay silent.  Bad fixtures carry a ``disable-file`` header so the
+repo-wide lint stays clean; the tests look through it with
+``suppressions="line"``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_IDS = [rule.rule_id for rule in RULES]
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9_,\s]+)")
+
+
+def expected_findings(path: Path):
+    """Parse ``# expect: RPL104[,RPL101]`` markers into {(line, rule_id)}."""
+    expected = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(text)
+        if not match:
+            continue
+        for rule_id in match.group(1).split(","):
+            expected.add((lineno, rule_id.strip()))
+    return expected
+
+
+class TestRuleRegistry:
+    def test_at_least_six_rules(self):
+        assert len(RULES) >= 6
+
+    def test_ids_unique_and_sorted(self):
+        ids = [rule.rule_id for rule in RULES]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    def test_every_rule_has_fixture_pair(self):
+        for rule in RULES:
+            assert (FIXTURES / f"{rule.rule_id.lower()}_bad.py").exists()
+            assert (FIXTURES / f"{rule.rule_id.lower()}_good.py").exists()
+
+    def test_metadata_complete(self):
+        for rule in RULES:
+            assert rule.rule_id.startswith("RPL")
+            assert rule.name and rule.summary and rule.rationale
+
+
+class TestBadFixturesFire:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_exact_lines_and_ids(self, rule_id):
+        path = FIXTURES / f"{rule_id.lower()}_bad.py"
+        report = lint_file(path, suppressions="line")
+        got = {(f.line, f.rule_id) for f in report.findings}
+        want = expected_findings(path)
+        assert want, f"{path.name} must declare expectations"
+        assert got == want
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_bad_fixture_is_skipped_under_default_lint(self, rule_id):
+        """The disable-file header keeps intentionally-bad fixtures out
+        of the production lint run (what makes the repo-wide run clean)."""
+        path = FIXTURES / f"{rule_id.lower()}_bad.py"
+        report = lint_file(path)
+        assert report.file_suppressed
+        assert report.findings == []
+
+
+class TestGoodFixturesSilent:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_no_findings(self, rule_id):
+        path = FIXTURES / f"{rule_id.lower()}_good.py"
+        report = lint_file(path)
+        assert report.findings == []
+        assert not report.file_suppressed, "good fixtures must pass unsuppressed"
+
+    def test_instance_scoped_counter_passes(self):
+        """The EventQueue shape — self._counter = itertools.count() —
+        is the sanctioned fix for the MiningPool bug and must lint clean."""
+        report = lint_file(FIXTURES / "rpl102_good.py", suppressions="none")
+        assert report.findings == []
+
+
+class TestSuppressions:
+    def test_justified_line_suppressions_silence(self):
+        report = lint_file(FIXTURES / "suppressed_ok.py")
+        assert report.findings == []
+        assert len(report.suppressed) >= 3  # RPL103 x2 + disable=all pair
+
+    def test_suppressed_findings_reappear_without_directives(self):
+        report = lint_file(FIXTURES / "suppressed_ok.py", suppressions="none")
+        assert {f.rule_id for f in report.findings} == {"RPL101", "RPL103"}
+
+    def test_wrong_rule_id_does_not_silence(self):
+        path = FIXTURES / "suppressed_wrong.py"
+        report = lint_file(path, suppressions="line")
+        assert {(f.line, f.rule_id) for f in report.findings} == expected_findings(
+            path
+        )
+
+    def test_directive_text_inside_string_is_inert(self):
+        source = (
+            "import time\n"
+            "def f():\n"
+            "    note = '# repro-lint: disable=RPL103'\n"
+            "    return time.time(), note\n"
+        )
+        report = lint_file_from_source(source)
+        assert [f.rule_id for f in report.findings] == ["RPL103"]
+
+
+def lint_file_from_source(source):
+    from repro.lint import lint_source
+
+    return lint_source(source, path="inline.py")
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_as_finding(self):
+        from repro.lint import PARSE_ERROR_ID, lint_source
+
+        report = lint_source("def broken(:\n", path="broken.py")
+        assert [f.rule_id for f in report.findings] == [PARSE_ERROR_ID]
+        assert report.findings[0].line >= 1
+
+
+class TestImportAliasing:
+    """Canonical-name resolution: aliases cannot dodge the rules."""
+
+    def test_numpy_alias_caught(self):
+        from repro.lint import lint_source
+
+        report = lint_source(
+            "import numpy.random as npr\n\n\ndef f():\n    return npr.rand(3)\n",
+            path="alias.py",
+        )
+        assert [f.rule_id for f in report.findings] == ["RPL101"]
+
+    def test_from_import_caught(self):
+        from repro.lint import lint_source
+
+        report = lint_source(
+            "from random import randint\n\n\ndef f():\n    return randint(0, 5)\n",
+            path="alias.py",
+        )
+        assert [f.rule_id for f in report.findings] == ["RPL101"]
+
+    def test_unrelated_name_not_confused(self):
+        from repro.lint import lint_source
+
+        report = lint_source(
+            "class Thing:\n"
+            "    def random(self):\n"
+            "        return 4\n"
+            "\n"
+            "\n"
+            "def f(thing: Thing):\n"
+            "    return thing.random()\n",
+            path="alias.py",
+        )
+        assert report.findings == []

@@ -47,6 +47,90 @@ class TestEventQueue:
         assert len(queue) == 1
 
 
+class TestCrossInstanceDeterminism:
+    """Same-schedule EventQueue instances replay identical pop orderings
+    regardless of process history.
+
+    Mirrors the PR 1 ``MiningPool`` regression (pool ids from a
+    process-global ``itertools.count``): if the queue's tie-break token
+    counter were process-global rather than instance-scoped
+    (``events.py``'s ``self._counter``), a queue created *after* another
+    queue had consumed tokens would break same-time ties differently —
+    and every downstream simulation would silently diverge between a
+    fresh process and one that had already run a trial.  repro-lint's
+    RPL102 (global-state) guards the pattern statically; this test pins
+    the observable behaviour.
+    """
+
+    #: One schedule with plenty of same-time ties and interleaved
+    #: cancellations — the paths where token values decide the order.
+    SCHEDULE = [
+        (5.0, "a"),
+        (5.0, "b"),
+        (1.0, "c"),
+        (5.0, "d"),
+        (3.0, "e"),
+        (3.0, "f"),
+        (1.0, "g"),
+        (9.0, "h"),
+    ]
+    CANCEL = ("b", "f")
+
+    @classmethod
+    def _drive(cls, queue):
+        """Push the schedule, cancel some, pop all; return the history."""
+        tokens = {}
+        for time, label in cls.SCHEDULE:
+            tokens[label] = queue.push(time, lambda: None)
+        for label in cls.CANCEL:
+            queue.cancel(tokens[label])
+        by_token = {token: label for label, token in tokens.items()}
+        history = []
+        while True:
+            item = queue.pop()
+            if item is None:
+                return tokens, history
+            time, token, _ = item
+            history.append((time, token, by_token[token]))
+
+    def test_same_schedule_same_pop_ordering(self):
+        _, first = self._drive(EventQueue())
+        _, second = self._drive(EventQueue())
+        assert first == second
+
+    def test_fresh_instance_unaffected_by_process_history(self):
+        # Burn through several instances (and many token draws) first: a
+        # process-global counter would shift every later queue's tokens.
+        for _ in range(3):
+            self._drive(EventQueue())
+        tokens, history = self._drive(EventQueue())
+        assert sorted(tokens.values()) == list(range(len(self.SCHEDULE)))
+        assert [label for _, _, label in history] == [
+            "c",
+            "g",
+            "e",
+            "a",
+            "d",
+            "h",
+        ]
+
+    def test_interleaved_construction_stays_independent(self):
+        queue_a = EventQueue()
+        queue_b = EventQueue()
+        # Interleave pushes so shared hidden counter state would skew
+        # one queue's tokens relative to the other.
+        for time, _ in self.SCHEDULE:
+            queue_a.push(time, lambda: None)
+            queue_b.push(time, lambda: None)
+        order_a = []
+        order_b = []
+        while queue_a:
+            order_a.append(queue_a.pop()[:2])
+        while queue_b:
+            order_b.append(queue_b.pop()[:2])
+        assert order_a == order_b
+
+
 class TestSimulator:
     def test_clock_advances_with_events(self):
         sim = Simulator()
