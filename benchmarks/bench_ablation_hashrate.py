@@ -7,7 +7,7 @@ hash power holds the fork open longer and captures more of the grid.
 
 import pytest
 
-from repro.netsim.grid import GridConfig, GridSimulator
+from repro.netsim.grid import GridConfig, make_simulator
 from repro.reporting.tables import format_table
 
 SHARES = (0.10, 0.20, 0.30, 0.45)
@@ -16,17 +16,18 @@ SIZE = 15
 STEPS_PER_BLOCK = 15
 
 
-def peak_capture(share: float) -> float:
+def peak_capture(share: float, engine: str = "auto") -> float:
     peaks = []
     for seed in SEEDS:
-        sim = GridSimulator(
+        sim = make_simulator(
             GridConfig(
                 size=SIZE,
                 seed=seed,
                 attacker_share=share,
                 attack_start_step=50,
                 steps_per_block=STEPS_PER_BLOCK,
-            )
+            ),
+            engine=engine,
         )
         peak = 0.0
         for _ in range(60):
@@ -36,8 +37,8 @@ def peak_capture(share: float) -> float:
     return sum(peaks) / len(peaks)
 
 
-def run_ablation():
-    return {share: peak_capture(share) for share in SHARES}
+def run_ablation(engine: str = "auto"):
+    return {share: peak_capture(share, engine=engine) for share in SHARES}
 
 
 def test_ablation_hashrate(benchmark):

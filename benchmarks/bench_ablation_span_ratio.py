@@ -8,22 +8,23 @@ persist — the temporal attacker's hunting ground.
 
 import pytest
 
-from repro.netsim.grid import GridConfig, GridSimulator
+from repro.netsim.grid import GridConfig, make_simulator
 from repro.reporting.tables import format_table
 
 SIZE = 15
 SPAN_RATIOS = (0.4, 0.8, 1.2, 2.0, 3.0)
 
 
-def synced_fraction_at(span_ratio: float, seed: int = 4) -> float:
+def synced_fraction_at(span_ratio: float, seed: int = 4, engine: str = "auto") -> float:
     steps_per_block = max(1, round(span_ratio * SIZE))
-    sim = GridSimulator(
+    sim = make_simulator(
         GridConfig(
             size=SIZE,
             seed=seed,
             attacker_share=0.0,
             steps_per_block=steps_per_block,
-        )
+        ),
+        engine=engine,
     )
     sim.run(40 * steps_per_block)
     # Average over several observations spaced one block apart.
@@ -35,8 +36,8 @@ def synced_fraction_at(span_ratio: float, seed: int = 4) -> float:
     return total / samples
 
 
-def run_ablation():
-    return {ratio: synced_fraction_at(ratio) for ratio in SPAN_RATIOS}
+def run_ablation(engine: str = "auto"):
+    return {ratio: synced_fraction_at(ratio, engine=engine) for ratio in SPAN_RATIOS}
 
 
 def test_ablation_span_ratio(benchmark):

@@ -25,6 +25,30 @@ def _bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
+def bench_opt_in(markexpr) -> bool:
+    """True when the ``-m`` marker expression selects ``bench`` items.
+
+    A substring test is wrong here: ``-m "not bench"`` *contains*
+    ``"bench"`` but deselects it, and ``-m benchy`` selects a different
+    marker entirely.  Evaluate the expression the way pytest does — a
+    benchmark item carries exactly the ``bench`` marker, so the run
+    opts in iff the expression matches that marker set.
+    """
+    if not markexpr:
+        return False
+    try:
+        from _pytest.mark.expression import Expression
+
+        return bool(
+            Expression.compile(markexpr).evaluate(lambda name: name == "bench")
+        )
+    except Exception:
+        # Unparseable expression (pytest will error out on it anyway)
+        # or a pytest without the expression module: stay conservative
+        # and skip the full-scale benchmarks.
+        return False
+
+
 def pytest_collection_modifyitems(config, items):
     """Mark every benchmark ``bench`` and keep it out of tier-1 runs.
 
@@ -33,7 +57,7 @@ def pytest_collection_modifyitems(config, items):
     otherwise regenerate every paper artifact at full scale.  Benchmarks
     are opt-in: ``pytest -m bench benchmarks``.
     """
-    opt_in = "bench" in (config.getoption("-m") or "")
+    opt_in = bench_opt_in(config.getoption("-m"))
     skip = pytest.mark.skip(
         reason="full-scale benchmark; opt in with `pytest -m bench benchmarks`"
     )

@@ -117,7 +117,7 @@ class EclipseAttack:
         sybil_set = set(self.sybil_ids)
         # The sybil advertises itself to the victim.
         net.node(sybil).send(self.victim, AddrMsg(addresses=(sybil,)))
-        if sybil not in victim_node.peers:
+        if not victim_node.has_peer(sybil):
             net.connect(self.victim, sybil)
         # Displace one honest peer (restart-based table churn).
         for peer in list(victim_node.peers):

@@ -11,7 +11,9 @@ rests on.
 Constructing an explicitly seeded generator object is the sanctioned
 alternative, so ``random.Random(derive_seed(...))`` and
 ``numpy.random.default_rng(seed)`` pass; the *zero-argument* forms
-seed from OS entropy and are flagged.
+seed from OS entropy and are flagged, as are the explicit-``None``
+spellings (``default_rng(None)``, ``default_rng(seed=None)``) which
+NumPy documents as equivalent to no seed at all.
 """
 
 from __future__ import annotations
@@ -42,6 +44,25 @@ _SEEDED_CONSTRUCTORS = frozenset(
 )
 
 
+def _explicit_none_seed(node: ast.Call) -> bool:
+    """True when a seeded constructor is passed a literal ``None`` seed.
+
+    ``default_rng(None)`` / ``RandomState(seed=None)`` look seeded but
+    NumPy treats them exactly like the zero-argument forms: fresh OS
+    entropy on every construction.
+    """
+    if node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and first.value is None:
+            return True
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and value.value is None:
+                return True
+    return False
+
+
 class GlobalRngRule(Rule):
     rule_id = "RPL101"
     name = "global-rng"
@@ -66,7 +87,7 @@ class GlobalRngRule(Rule):
             if not (in_random or in_np_random):
                 continue
             if canonical in _SEEDED_CONSTRUCTORS:
-                if node.args or node.keywords:
+                if (node.args or node.keywords) and not _explicit_none_seed(node):
                     continue  # explicitly seeded construction
                 findings.append(
                     self.finding(

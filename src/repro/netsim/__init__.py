@@ -18,7 +18,16 @@ This package models the live network the paper measured and attacked:
 
 from .churn import ChurnConfig, ChurnProcess
 from .events import EventQueue, Simulator
-from .grid import GridSimulator, GridConfig, GridSnapshot, span_ratio_delay
+from .grid import (
+    ENGINES,
+    GridConfig,
+    GridSimulator,
+    GridSimulatorVec,
+    GridSnapshot,
+    VEC_SIZE_THRESHOLD,
+    make_simulator,
+    span_ratio_delay,
+)
 from .latency import (
     ConstantLatency,
     DiffusionLatency,
@@ -35,9 +44,13 @@ __all__ = [
     "ChurnProcess",
     "EventQueue",
     "Simulator",
+    "ENGINES",
     "GridSimulator",
+    "GridSimulatorVec",
     "GridConfig",
     "GridSnapshot",
+    "VEC_SIZE_THRESHOLD",
+    "make_simulator",
     "span_ratio_delay",
     "ConstantLatency",
     "DiffusionLatency",

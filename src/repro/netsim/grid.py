@@ -22,24 +22,76 @@ mechanic the paper describes:
 - the span-ratio law ``T_delay = T_block / (R_span * sqrt(N))`` links
   the per-step delay to network-wide synchronization; R_span = 2.0 is
   the paper's synchronization target.
+
+Two engines implement the model:
+
+- :class:`GridSimulator` — the scalar reference engine.  Per-cell
+  Python loops drive communication, but all *accounting* (per-label
+  live-cell counts, the honest-cell index, the max-height histogram)
+  is maintained incrementally, so no observation or mining decision
+  ever rescans the grid.  Its random draws come from the stdlib
+  ``"grid"`` stream and are bit-identical to the original
+  implementation: published figure7 outputs do not move.
+- :class:`GridSimulatorVec` — the vectorized scale engine.  State
+  lives in NumPy integer arrays; each step's failure mask, neighbour
+  choice, and height-compare/adopt reconcile are single array kernels.
+  Its randomness follows the documented *vectorized RNG protocol*
+  below and therefore differs stream-wise from the scalar engine:
+  the two engines agree statistically (pinned by the cross-engine
+  equivalence tests), not sample-by-sample.
+
+Vectorized RNG protocol (``GridSimulatorVec``): all draws come from
+the NumPy generator of stream ``"grid.vec"``
+(``RngStreams(seed).numpy_stream("grid.vec")``).  Per step, in order:
+one uniform for the honest-mining gate; one uniform for the attacker
+gate when the attack is live; inside an honest mine, one uniform for
+the natural-fork gate (when honest cells exist), one ``integers``
+draw to pick the stale miner or per-guard ``integers`` pairs for seed
+cells; then one length-N uniform vector (failure mask) and one
+length-N ``integers(0, 8)`` vector (neighbour choice).  The protocol
+depends only on ``(config, step)``, never on worker count or host, so
+vectorized runs are deterministic per seed and identical under any
+``jobs=N`` fan-out.
+
+The synchronous reconcile resolves write conflicts deterministically:
+every node sees all offers made this step (its partner's view, plus
+every node that chose it as partner) and adopts the offer with the
+greatest height, ties broken toward the lowest source cell index.
+
+:func:`make_simulator` selects the engine: ``"auto"`` (the default)
+uses the vectorized engine from :data:`VEC_SIZE_THRESHOLD` (size 50,
+2,500 nodes) upward, where the kernel dominates Python overhead, and
+the scalar engine below, keeping published small-grid artifacts
+bit-identical.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..rng import RngStreams
 from ..types import BITCOIN_BLOCK_INTERVAL, Seconds
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.metrics import PhaseTimingCollector
+
 __all__ = [
+    "ENGINES",
     "GridConfig",
     "GridSnapshot",
     "GridSimulator",
+    "GridSimulatorVec",
     "ForkChain",
+    "VEC_SIZE_THRESHOLD",
+    "make_simulator",
     "span_ratio_delay",
 ]
 
@@ -78,6 +130,13 @@ class ForkChain:
     branch_height: int
     hashes: List[str] = field(default_factory=list)  # heights branch_height+1..
     counterfeit: bool = False
+    # Ancestor hashes at heights <= branch_height are immutable once the
+    # branch exists (parents only append), so resolutions are memoized:
+    # repeated linkage checks stay O(1) instead of re-walking the parent
+    # chain on every call.
+    _ancestor_cache: Dict[int, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def tip_height(self) -> int:
@@ -93,7 +152,11 @@ class ForkChain:
                 if height == 0:
                     return "genesis"
                 raise SimulationError("height below genesis", height=height)
-            return self.parent.hash_at(height)
+            cached = self._ancestor_cache.get(height)
+            if cached is None:
+                cached = self.parent.hash_at(height)
+                self._ancestor_cache[height] = cached
+            return cached
         index = height - self.branch_height - 1
         if index >= len(self.hashes):
             raise SimulationError(
@@ -204,8 +267,14 @@ class GridSnapshot:
         return "\n".join("".join(row) for row in self.labels)
 
 
-class GridSimulator:
-    """Step-driven grid network with fork propagation and an attacker."""
+class _GridEngineBase:
+    """Shared mechanics of both grid engines.
+
+    Mining decisions, fork bookkeeping (branching, label recycling,
+    births/deaths), and the per-step phase structure are engine
+    independent; subclasses provide cell storage, the communication
+    kernel, and the incremental indices behind the observation API.
+    """
 
     #: Labels assigned to successive natural forks (A is the main chain).
     _LABELS = "ACDEFGHIJKLMNOPQRSTUVWXYZ"
@@ -215,39 +284,26 @@ class GridSimulator:
     #: from several points at once.
     HONEST_SEED_CELLS = 3
 
-    def __init__(self, config: GridConfig) -> None:
+    def __init__(
+        self,
+        config: GridConfig,
+        phase_metrics: Optional["PhaseTimingCollector"] = None,
+    ) -> None:
         self.config = config
         self.streams = RngStreams(config.seed)
-        self._rng = self.streams.stream("grid")
-        size = config.size
         self.main = ForkChain(label="A", parent=None, branch_height=0)
         self.forks: Dict[str, ForkChain] = {"A": self.main}
         self._label_cursor = 1  # next natural-fork label index
-        # Per-cell state: fork label and height.
-        self.labels: List[List[str]] = [["A"] * size for _ in range(size)]
-        self.heights: List[List[int]] = [[0] * size for _ in range(size)]
         self.step_count = 0
         self.attacker_fork: Optional[ForkChain] = None
         self.fork_births: Dict[str, int] = {"A": 0}
         self.fork_deaths: Dict[str, int] = {}
-        self._neighbors = self._build_neighbors(size)
+        self._phase_metrics = phase_metrics
+        row, col = config.attacker_cell
+        self._attacker_idx = row * config.size + col
+        self._on_fork_registered(self.main)
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _build_neighbors(size: int) -> Dict[Tuple[int, int], List[Tuple[int, int]]]:
-        """Moore neighbourhood (8 peers) with toroidal wrapping."""
-        neighbors = {}
-        for r in range(size):
-            for c in range(size):
-                cell_neighbors = []
-                for dr in (-1, 0, 1):
-                    for dc in (-1, 0, 1):
-                        if dr == 0 and dc == 0:
-                            continue
-                        cell_neighbors.append(((r + dr) % size, (c + dc) % size))
-                neighbors[(r, c)] = cell_neighbors
-        return neighbors
-
     def fork_of(self, label: str) -> ForkChain:
         try:
             return self.forks[label]
@@ -260,9 +316,22 @@ class GridSimulator:
     def step(self) -> None:
         """Advance one communication step: mining, then gossip."""
         self.step_count += 1
+        metrics = self._phase_metrics
+        if metrics is None:
+            self._maybe_mine()
+            self._communicate()
+            self._collect_dead_forks()
+            return
+        start = time.perf_counter()
         self._maybe_mine()
+        after_mine = time.perf_counter()
         self._communicate()
+        after_comm = time.perf_counter()
         self._collect_dead_forks()
+        after_collect = time.perf_counter()
+        metrics.add("mine", after_mine - start)
+        metrics.add("communicate", after_comm - after_mine)
+        metrics.add("collect", after_collect - after_comm)
 
     def run(self, steps: int) -> None:
         for _ in range(steps):
@@ -279,17 +348,6 @@ class GridSimulator:
             self._mine_honest()
         if attack_live and self._rng.random() < p_block * self.config.attacker_share:
             self._mine_attacker()
-
-    def _honest_cells(self) -> List[Tuple[int, int]]:
-        """Cells currently holding a non-counterfeit chain view."""
-        size = self.config.size
-        return [
-            (r, c)
-            for r in range(size)
-            for c in range(size)
-            if (r, c) != self.config.attacker_cell
-            and not self.fork_of(self.labels[r][c]).counterfeit
-        ]
 
     def _best_honest_fork(self) -> ForkChain:
         """The longest non-counterfeit branch in the registry."""
@@ -313,18 +371,17 @@ class GridSimulator:
         counterfeit fork displaced every holder — from where gossip
         spreads it back out.
         """
-        honest_cells = self._honest_cells()
-        if honest_cells and self._rng.random() < self.config.natural_fork_rate:
-            br, bc = honest_cells[self._rng.randrange(len(honest_cells))]
-            fork = self.fork_of(self.labels[br][bc])
-            height = self.heights[br][bc]
+        honest_count = self._honest_count()
+        if honest_count and self._rng.random() < self.config.natural_fork_rate:
+            idx = self._honest_cell_at(self._rand_below(honest_count))
+            fork = self.fork_of(self._label_at(idx))
+            height = self._height_at(idx)
             if height == fork.tip_height:
                 fork.extend()
             else:
                 fork = self._branch(fork, height, counterfeit=False)
                 fork.extend()
-                self.labels[br][bc] = fork.label
-            self.heights[br][bc] = fork.tip_height
+            self._set_cell(idx, fork.label, fork.tip_height)
             return
         fork = self._best_honest_fork()
         fork.extend()
@@ -332,36 +389,29 @@ class GridSimulator:
         # nodes at once (the pool's own full nodes): best-placed holders
         # of the honest branch, topped up with random cells when the
         # counterfeit fork displaced the holders.
-        holders = [
-            cell
-            for cell in (honest_cells or [])
-            if self.labels[cell[0]][cell[1]] == fork.label
-        ]
-        holders.sort(key=lambda cell: -self.heights[cell[0]][cell[1]])
-        seeds = holders[: self.HONEST_SEED_CELLS]
+        seeds = self._holder_cells(fork)
         size = self.config.size
         guard = 0
         while len(seeds) < self.HONEST_SEED_CELLS and guard < 100:
             guard += 1
-            cell = (self._rng.randrange(size), self._rng.randrange(size))
-            if cell != self.config.attacker_cell and cell not in seeds:
-                seeds.append(cell)
-        for br, bc in seeds:
-            self.labels[br][bc] = fork.label
-            self.heights[br][bc] = fork.tip_height
+            row = self._rand_below(size)
+            col = self._rand_below(size)
+            idx = row * size + col
+            if idx != self._attacker_idx and idx not in seeds:
+                seeds.append(idx)
+        for idx in seeds:
+            self._set_cell(idx, fork.label, fork.tip_height)
 
     def _mine_attacker(self) -> None:
         """The attacker extends its counterfeit fork at its cell."""
-        r, c = self.config.attacker_cell
+        idx = self._attacker_idx
         if self.attacker_fork is None:
-            base_label = self.labels[r][c]
-            base_fork = self.fork_of(base_label)
+            base_fork = self.fork_of(self._label_at(idx))
             self.attacker_fork = self._branch(
-                base_fork, self.heights[r][c], counterfeit=True, label="B"
+                base_fork, self._height_at(idx), counterfeit=True, label="B"
             )
         self.attacker_fork.extend()
-        self.labels[r][c] = self.attacker_fork.label
-        self.heights[r][c] = self.attacker_fork.tip_height
+        self._set_cell(idx, self.attacker_fork.label, self.attacker_fork.tip_height)
 
     def _branch(
         self,
@@ -373,7 +423,8 @@ class GridSimulator:
         if label is None:
             if self._label_cursor >= len(self._LABELS):
                 # Recycle: forks are short-lived; reuse dead labels.
-                dead = [l for l in self.fork_deaths if l not in self._live_labels()]
+                live = self._live_labels()
+                dead = [l for l in self.fork_deaths if l not in live]
                 if not dead:
                     raise SimulationError("fork label space exhausted")
                 label = dead[0]
@@ -392,41 +443,8 @@ class GridSimulator:
         )
         self.forks[label] = fork
         self.fork_births[label] = self.step_count
+        self._on_fork_registered(fork)
         return fork
-
-    def _communicate(self) -> None:
-        """Each node attempts one peer communication (paper semantics).
-
-        The node contacts one random neighbour; with probability
-        ``failure_rate`` the attempt fails.  Otherwise the pair compare
-        chains and the shorter side adopts the longer one's view after
-        the MD5-linkage check.  The attacker's cell never abandons the
-        counterfeit fork.
-        """
-        size = self.config.size
-        failure = self.config.failure_rate
-        for r in range(size):
-            for c in range(size):
-                if failure and self._rng.random() < failure:
-                    continue
-                nr, nc = self._neighbors[(r, c)][self._rng.randrange(8)]
-                self._reconcile((r, c), (nr, nc))
-
-    def _reconcile(self, a: Tuple[int, int], b: Tuple[int, int]) -> None:
-        ha = self.heights[a[0]][a[1]]
-        hb = self.heights[b[0]][b[1]]
-        if ha == hb:
-            return
-        (winner, loser) = (a, b) if ha > hb else (b, a)
-        if loser == self.config.attacker_cell and self.attacker_fork is not None:
-            return  # pinned: the attacker never reorgs away
-        wl = self.labels[winner[0]][winner[1]]
-        fork = self.fork_of(wl)
-        self.labels[loser[0]][loser[1]] = wl
-        self.heights[loser[0]][loser[1]] = self.heights[winner[0]][winner[1]]
-
-    def _live_labels(self) -> set:
-        return {label for row in self.labels for label in row}
 
     def _collect_dead_forks(self) -> None:
         live = self._live_labels()
@@ -439,6 +457,39 @@ class GridSimulator:
                 self.fork_deaths[label] = self.step_count
 
     # ------------------------------------------------------------------
+    # Engine hooks (cell storage and incremental indices)
+    # ------------------------------------------------------------------
+    def _on_fork_registered(self, fork: ForkChain) -> None:
+        """Called whenever a fork enters the registry (including genesis)."""
+
+    def _rand_below(self, upper: int) -> int:
+        raise NotImplementedError
+
+    def _label_at(self, idx: int) -> str:
+        raise NotImplementedError
+
+    def _height_at(self, idx: int) -> int:
+        raise NotImplementedError
+
+    def _set_cell(self, idx: int, label: str, height: int) -> None:
+        raise NotImplementedError
+
+    def _honest_count(self) -> int:
+        raise NotImplementedError
+
+    def _honest_cell_at(self, k: int) -> int:
+        raise NotImplementedError
+
+    def _holder_cells(self, fork: ForkChain) -> List[int]:
+        raise NotImplementedError
+
+    def _communicate(self) -> None:
+        raise NotImplementedError
+
+    def _live_labels(self) -> Set[str]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
     def snapshot(self) -> GridSnapshot:
@@ -448,22 +499,11 @@ class GridSimulator:
             heights=tuple(tuple(row) for row in self.heights),
         )
 
-    def fork_fractions(self) -> Dict[str, float]:
-        return self.snapshot().fork_fractions()
-
     def attacker_fraction(self) -> float:
         """Fraction of nodes currently on the counterfeit fork."""
         if self.attacker_fork is None:
             return 0.0
         return self.fork_fractions().get(self.attacker_fork.label, 0.0)
-
-    def synced_fraction(self) -> float:
-        """Fraction of nodes at the global maximum height."""
-        max_height = max(max(row) for row in self.heights)
-        at_tip = sum(
-            1 for row in self.heights for height in row if height == max_height
-        )
-        return at_tip / self.config.num_nodes
 
     def fork_lifetimes_in_blocks(self) -> Dict[str, float]:
         """Lifetime of each dead fork in block intervals.
@@ -477,3 +517,394 @@ class GridSimulator:
             for label in self.fork_deaths
             if label in self.fork_births
         }
+
+
+class GridSimulator(_GridEngineBase):
+    """Step-driven grid network with fork propagation and an attacker.
+
+    The scalar reference engine.  Draws come from the stdlib ``"grid"``
+    stream in the exact order of the original implementation, so runs
+    are bit-identical to the pre-optimization engine (pinned by the
+    golden-trajectory tests).  All observation queries are answered
+    from incrementally maintained indices:
+
+    - ``_label_cells``: label -> set of cells currently on that fork
+      (fork fractions, live labels, and holder selection without grid
+      scans);
+    - ``_counterfeit_cells``: cells whose fork is counterfeit (the
+      honest-cell index: count and k-th-cell queries in O(#captured));
+    - ``_height_counts`` / ``_max_height``: histogram of cell heights
+      (synced fraction in O(1), max maintained under the rare height
+      decreases when a counterfeit region is reclaimed).
+    """
+
+    def __init__(
+        self,
+        config: GridConfig,
+        phase_metrics: Optional["PhaseTimingCollector"] = None,
+    ) -> None:
+        super().__init__(config, phase_metrics)
+        self._rng = self.streams.stream("grid")
+        num_nodes = config.num_nodes
+        # Flat row-major cell state: index = row * size + col.
+        self._labels: List[str] = ["A"] * num_nodes
+        self._heights: List[int] = [0] * num_nodes
+        self._label_cells: Dict[str, Set[int]] = {"A": set(range(num_nodes))}
+        self._counterfeit_cells: Set[int] = set()
+        self._height_counts: Dict[int, int] = {0: num_nodes}
+        self._max_height = 0
+        self._neighbors = self._build_neighbors(config.size)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_neighbors(size: int) -> List[List[int]]:
+        """Moore neighbourhood (8 peers) with toroidal wrapping.
+
+        Flat: entry ``row * size + col`` lists the 8 neighbour indices,
+        in the same (dr, dc) enumeration order as always — the order is
+        load-bearing, ``randrange(8)`` indexes into it.
+        """
+        neighbors: List[List[int]] = []
+        for r in range(size):
+            for c in range(size):
+                cell_neighbors = []
+                for dr in (-1, 0, 1):
+                    for dc in (-1, 0, 1):
+                        if dr == 0 and dc == 0:
+                            continue
+                        cell_neighbors.append(
+                            ((r + dr) % size) * size + ((c + dc) % size)
+                        )
+                neighbors.append(cell_neighbors)
+        return neighbors
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def _rand_below(self, upper: int) -> int:
+        return self._rng.randrange(upper)
+
+    def _label_at(self, idx: int) -> str:
+        return self._labels[idx]
+
+    def _height_at(self, idx: int) -> int:
+        return self._heights[idx]
+
+    def _set_cell(self, idx: int, label: str, height: int) -> None:
+        old_label = self._labels[idx]
+        if label != old_label:
+            self._labels[idx] = label
+            cells = self._label_cells
+            cells[old_label].discard(idx)
+            holder = cells.get(label)
+            if holder is None:
+                cells[label] = {idx}
+            else:
+                holder.add(idx)
+            if self.forks[label].counterfeit:
+                self._counterfeit_cells.add(idx)
+            else:
+                self._counterfeit_cells.discard(idx)
+        old_height = self._heights[idx]
+        if height != old_height:
+            self._heights[idx] = height
+            counts = self._height_counts
+            remaining = counts[old_height] - 1
+            if remaining:
+                counts[old_height] = remaining
+            else:
+                del counts[old_height]
+            counts[height] = counts.get(height, 0) + 1
+            if height > self._max_height:
+                self._max_height = height
+            elif old_height == self._max_height and old_height not in counts:
+                peak = self._max_height - 1
+                while peak not in counts:
+                    peak -= 1
+                self._max_height = peak
+
+    def _honest_count(self) -> int:
+        """Number of non-counterfeit cells excluding the attacker's."""
+        excluded = len(self._counterfeit_cells)
+        if self._attacker_idx not in self._counterfeit_cells:
+            excluded += 1
+        return self.config.num_nodes - excluded
+
+    def _honest_cell_at(self, k: int) -> int:
+        """The k-th honest cell in row-major order, via the exclusion set."""
+        idx = k
+        for excluded in sorted(self._counterfeit_cells | {self._attacker_idx}):
+            if excluded <= idx:
+                idx += 1
+            else:
+                break
+        return idx
+
+    def _holder_cells(self, fork: ForkChain) -> List[int]:
+        """Best-placed holders of ``fork``: top cells by height, ties in
+        row-major order (the original stable-sort tie-break)."""
+        cells = self._label_cells.get(fork.label)
+        if not cells:
+            return []
+        heights = self._heights
+        attacker_idx = self._attacker_idx
+        return heapq.nsmallest(
+            self.HONEST_SEED_CELLS,
+            (idx for idx in cells if idx != attacker_idx),
+            key=lambda idx: (-heights[idx], idx),
+        )
+
+    def _communicate(self) -> None:
+        """Each node attempts one peer communication (paper semantics).
+
+        The node contacts one random neighbour; with probability
+        ``failure_rate`` the attempt fails.  Otherwise the pair compare
+        chains and the shorter side adopts the longer one's view after
+        the MD5-linkage check.  The attacker's cell never abandons the
+        counterfeit fork.
+        """
+        failure = self.config.failure_rate
+        rng_random = self._rng.random
+        rng_randrange = self._rng.randrange
+        neighbors = self._neighbors
+        heights = self._heights
+        labels = self._labels
+        set_cell = self._set_cell
+        attacker_idx = self._attacker_idx if self.attacker_fork is not None else -1
+        for idx in range(self.config.num_nodes):
+            if failure and rng_random() < failure:
+                continue
+            other = neighbors[idx][rng_randrange(8)]
+            height_a = heights[idx]
+            height_b = heights[other]
+            if height_a == height_b:
+                continue
+            winner, loser = (idx, other) if height_a > height_b else (other, idx)
+            if loser == attacker_idx:
+                continue  # pinned: the attacker never reorgs away
+            set_cell(loser, labels[winner], heights[winner])
+
+    def _live_labels(self) -> Set[str]:
+        return {label for label, cells in self._label_cells.items() if cells}
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> List[List[str]]:
+        """Per-cell fork labels as nested rows (observation view)."""
+        size = self.config.size
+        flat = self._labels
+        return [flat[r * size : (r + 1) * size] for r in range(size)]
+
+    @property
+    def heights(self) -> List[List[int]]:
+        """Per-cell chain heights as nested rows (observation view)."""
+        size = self.config.size
+        flat = self._heights
+        return [flat[r * size : (r + 1) * size] for r in range(size)]
+
+    def fork_fractions(self) -> Dict[str, float]:
+        total = self.config.num_nodes
+        return {
+            label: len(cells) / total
+            for label, cells in self._label_cells.items()
+            if cells
+        }
+
+    def synced_fraction(self) -> float:
+        """Fraction of nodes at the global maximum height."""
+        return self._height_counts[self._max_height] / self.config.num_nodes
+
+
+class GridSimulatorVec(_GridEngineBase):
+    """Vectorized grid engine: NumPy arrays and per-step array kernels.
+
+    Cell state is two flat arrays (fork id, height) plus a precomputed
+    ``(N, 8)`` neighbour index matrix; the communication step is a
+    synchronous height-compare/adopt kernel over all N nodes at once
+    (see the module docstring for the RNG protocol and the conflict
+    rule).  Fork ids index a small per-fork table (labels, counterfeit
+    flags), so label decoding never walks the registry.
+
+    Semantics differ from :class:`GridSimulator` in exactly one way:
+    the scalar engine reconciles pairs sequentially within a step
+    (cell 0's adoption is visible to cell 1's comparison), while this
+    engine reconciles all pairs against the step's starting state.
+    Both are faithful one-communication-per-node models; their fork
+    trajectories agree in distribution (pinned by the cross-engine
+    statistical-equivalence tests), not draw-by-draw.
+    """
+
+    def __init__(
+        self,
+        config: GridConfig,
+        phase_metrics: Optional["PhaseTimingCollector"] = None,
+    ) -> None:
+        # Fork-id tables must exist before the base registers fork A.
+        self._fork_ids: Dict[str, int] = {}
+        self._id_labels: List[str] = []
+        # A + 24 natural labels + B: at most len(_LABELS) + 1 ids ever.
+        self._counterfeit_ids = np.zeros(len(self._LABELS) + 1, dtype=bool)
+        super().__init__(config, phase_metrics)
+        self._rng = self.streams.numpy_stream("grid.vec")
+        num_nodes = config.num_nodes
+        self._num_nodes = num_nodes
+        self._lab = np.zeros(num_nodes, dtype=np.int16)
+        self._hgt = np.zeros(num_nodes, dtype=np.int64)
+        self._cell_ids = np.arange(num_nodes, dtype=np.int64)
+        self._nbrs = self._build_neighbor_matrix(config.size)
+        self._honest_cells_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_neighbor_matrix(size: int) -> np.ndarray:
+        """Moore neighbourhood as an ``(N, 8)`` flat-index matrix."""
+        rows = np.arange(size).repeat(size)
+        cols = np.tile(np.arange(size), size)
+        offsets = ((-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1))
+        columns = [
+            ((rows + dr) % size) * size + ((cols + dc) % size) for dr, dc in offsets
+        ]
+        return np.stack(columns, axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def _on_fork_registered(self, fork: ForkChain) -> None:
+        fid = self._fork_ids.get(fork.label)
+        if fid is None:
+            fid = len(self._id_labels)
+            self._fork_ids[fork.label] = fid
+            self._id_labels.append(fork.label)
+        # Recycled labels reuse their id; the flag tracks the new fork.
+        self._counterfeit_ids[fid] = fork.counterfeit
+
+    def _rand_below(self, upper: int) -> int:
+        return int(self._rng.integers(upper))
+
+    def _label_at(self, idx: int) -> str:
+        return self._id_labels[int(self._lab[idx])]
+
+    def _height_at(self, idx: int) -> int:
+        return int(self._hgt[idx])
+
+    def _set_cell(self, idx: int, label: str, height: int) -> None:
+        self._lab[idx] = self._fork_ids[label]
+        self._hgt[idx] = height
+
+    def _honest_count(self) -> int:
+        honest = ~self._counterfeit_ids[self._lab]
+        honest[self._attacker_idx] = False
+        self._honest_cells_cache = np.flatnonzero(honest)
+        return int(self._honest_cells_cache.size)
+
+    def _honest_cell_at(self, k: int) -> int:
+        return int(self._honest_cells_cache[k])
+
+    def _holder_cells(self, fork: ForkChain) -> List[int]:
+        fid = self._fork_ids[fork.label]
+        holders = np.flatnonzero(self._lab == fid)
+        holders = holders[holders != self._attacker_idx]
+        if holders.size > self.HONEST_SEED_CELLS:
+            # Top cells by height; ties toward the lowest cell index
+            # (lexsort: last key is primary).
+            order = np.lexsort((holders, -self._hgt[holders]))
+            holders = holders[order[: self.HONEST_SEED_CELLS]]
+        return [int(idx) for idx in holders]
+
+    def _communicate(self) -> None:
+        """Synchronous communication kernel over all N nodes.
+
+        Offers are encoded as ``height * N + (N - 1 - source)`` so a
+        single elementwise/scatter maximum resolves both the
+        height-compare and the deterministic tie-break (higher height
+        wins, then the lower source index).  Each node's best offer
+        combines the pull side (its chosen partner's view) and the push
+        side (every node that chose it as partner this step).
+        """
+        rng = self._rng
+        num_nodes = self._num_nodes
+        heights = self._hgt
+        fail = rng.random(num_nodes) < self.config.failure_rate
+        choice = rng.integers(0, 8, size=num_nodes)
+        partner = self._nbrs[self._cell_ids, choice]
+        ok = ~fail
+        offer = heights * num_nodes + (num_nodes - 1 - self._cell_ids)
+        best = np.where(ok, offer[partner], 0)
+        np.maximum.at(best, partner[ok], offer[ok])
+        new_height = best // num_nodes
+        adopt = new_height > heights
+        if self.attacker_fork is not None:
+            adopt[self._attacker_idx] = False  # pinned
+        if not adopt.any():
+            return
+        source = num_nodes - 1 - (best % num_nodes)
+        adopted_from = source[adopt]
+        self._lab[adopt] = self._lab[adopted_from]
+        self._hgt[adopt] = new_height[adopt]
+
+    def _live_labels(self) -> Set[str]:
+        counts = np.bincount(self._lab, minlength=len(self._id_labels))
+        return {self._id_labels[i] for i in np.flatnonzero(counts)}
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> List[List[str]]:
+        """Per-cell fork labels as nested rows (observation view)."""
+        size = self.config.size
+        id_labels = self._id_labels
+        flat = [id_labels[i] for i in self._lab.tolist()]
+        return [flat[r * size : (r + 1) * size] for r in range(size)]
+
+    @property
+    def heights(self) -> List[List[int]]:
+        """Per-cell chain heights as nested rows (observation view)."""
+        size = self.config.size
+        flat = self._hgt.tolist()
+        return [flat[r * size : (r + 1) * size] for r in range(size)]
+
+    def fork_fractions(self) -> Dict[str, float]:
+        counts = np.bincount(self._lab, minlength=len(self._id_labels))
+        total = self.config.num_nodes
+        return {
+            self._id_labels[i]: int(counts[i]) / total
+            for i in np.flatnonzero(counts).tolist()
+        }
+
+    def synced_fraction(self) -> float:
+        """Fraction of nodes at the global maximum height."""
+        at_tip = int(np.count_nonzero(self._hgt == self._hgt.max()))
+        return at_tip / self.config.num_nodes
+
+
+#: Grid edge length from which ``engine="auto"`` switches to the
+#: vectorized engine (2,500 nodes; below this the scalar engine is
+#: competitive and keeps published outputs bit-identical).
+VEC_SIZE_THRESHOLD = 50
+
+#: Accepted ``engine=`` values.
+ENGINES = ("auto", "scalar", "vec")
+
+
+def make_simulator(
+    config: GridConfig,
+    engine: str = "auto",
+    phase_metrics: Optional["PhaseTimingCollector"] = None,
+) -> _GridEngineBase:
+    """Build the grid engine for ``config``.
+
+    ``engine``: ``"scalar"`` (bit-identical reference), ``"vec"``
+    (NumPy kernel, own RNG protocol), or ``"auto"`` — vectorized from
+    :data:`VEC_SIZE_THRESHOLD` upward, scalar below.
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            "unknown grid engine", engine=engine, choices=ENGINES
+        )
+    if engine == "auto":
+        engine = "vec" if config.size >= VEC_SIZE_THRESHOLD else "scalar"
+    cls = GridSimulatorVec if engine == "vec" else GridSimulator
+    return cls(config, phase_metrics=phase_metrics)

@@ -118,12 +118,12 @@ class Network:
             node = self.nodes[node_id]
             attempts = 0
             while (
-                len([p for p in node.peers]) < self.config.outbound_peers
+                len(node.peers) < self.config.outbound_peers
                 and attempts < 20 * self.config.outbound_peers
             ):
                 peer_id = rng.choice(ids)
                 attempts += 1
-                if peer_id != node_id and peer_id not in node.peers:
+                if peer_id != node_id and not node.has_peer(peer_id):
                     self.connect(node_id, peer_id)
 
     def connect(self, a: int, b: int) -> None:

@@ -93,7 +93,11 @@ class FullNode:
         self.tree = BlockTree(genesis)
         self.utxo: Optional[UtxoSet] = UtxoSet() if config.track_utxo else None
         self.mempool: Dict[str, Transaction] = {}
+        # Peer ids: the list gives deterministic iteration/broadcast
+        # order (insertion order), the companion set answers the
+        # membership checks on the hot message paths in O(1).
         self.peers: List[int] = []
+        self._peer_set: Set[int] = set()
         self.online: bool = True
         self.eclipsed: bool = False
         self.stats = NodeStats()
@@ -127,12 +131,19 @@ class FullNode:
     def add_peer(self, peer_id: int) -> None:
         if peer_id == self.node_id:
             raise SimulationError("node cannot peer with itself", node=self.node_id)
-        if peer_id not in self.peers:
+        if peer_id not in self._peer_set:
+            self._peer_set.add(peer_id)
             self.peers.append(peer_id)
 
     def remove_peer(self, peer_id: int) -> None:
-        if peer_id in self.peers:
+        if peer_id in self._peer_set:
+            self._peer_set.discard(peer_id)
             self.peers.remove(peer_id)
+
+    def has_peer(self, peer_id: int) -> bool:
+        """O(1) peer-membership check (the hot-path alternative to
+        scanning :attr:`peers`)."""
+        return peer_id in self._peer_set
 
     # ------------------------------------------------------------------
     # Sending
@@ -255,7 +266,7 @@ class FullNode:
         for address in msg.addresses:
             if len(self.peers) >= self.config.outbound_peers * 2:
                 break
-            if address != self.node_id and address not in self.peers:
+            if address != self.node_id and address not in self._peer_set:
                 self.network.connect(self.node_id, address)
 
     # ------------------------------------------------------------------

@@ -21,12 +21,13 @@ scale past one core while staying bit-reproducible:
 """
 
 from .cache import CODE_VERSION, ResultCache, cache_key
-from .metrics import METRICS, TrialMetricsCollector, TrialRecord
+from .metrics import METRICS, PhaseTimingCollector, TrialMetricsCollector, TrialRecord
 from .trials import Trial, TrialEngine, make_trials, resolve_jobs, trial_seed
 
 __all__ = [
     "CODE_VERSION",
     "METRICS",
+    "PhaseTimingCollector",
     "ResultCache",
     "Trial",
     "TrialEngine",

@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["TrialRecord", "TrialMetricsCollector", "METRICS"]
+__all__ = [
+    "TrialRecord",
+    "TrialMetricsCollector",
+    "PhaseTimingCollector",
+    "METRICS",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +90,61 @@ class TrialMetricsCollector:
             f"{s['trials']} trial(s) on {s['workers']} worker(s), "
             f"{s['total_seconds']:.2f}s trial time"
         )
+
+
+class PhaseTimingCollector:
+    """Accumulates per-phase wall-clock time inside a simulation loop.
+
+    The grid engines time each step's three phases (``mine``,
+    ``communicate``, ``collect``) when handed a collector, so the
+    benchmark harness can attribute wall time to the kernel that spent
+    it — the communication kernel dominates, and ``BENCH_netsim.json``
+    records the split per engine.  Timing is opt-in: engines skip the
+    clock calls entirely when no collector is attached, keeping the
+    hot path free of instrumentation overhead.
+
+    Timings are observability output, never simulation input, so the
+    wall-clock reads feeding this collector cannot affect determinism.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Attribute ``seconds`` of wall time to ``phase``."""
+        self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
+        self._calls[phase] = self._calls.get(phase, 0) + 1
+
+    @property
+    def phases(self) -> Tuple[str, ...]:
+        """Phases seen so far, in first-recorded order."""
+        return tuple(self._seconds)
+
+    def seconds(self, phase: str) -> float:
+        return self._seconds.get(phase, 0.0)
+
+    def calls(self, phase: str) -> int:
+        return self._calls.get(phase, 0)
+
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals: seconds, calls, share of the overall time."""
+        total = self.total_seconds()
+        return {
+            phase: {
+                "seconds": self._seconds[phase],
+                "calls": float(self._calls[phase]),
+                "share": (self._seconds[phase] / total) if total else 0.0,
+            }
+            for phase in self._seconds
+        }
+
+    def reset(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()
 
 
 #: Default process-wide collector used by :class:`~repro.parallel.trials.TrialEngine`.

@@ -4,6 +4,7 @@
 import random
 
 import numpy as np
+from numpy.random import default_rng as make_rng
 from random import choice
 
 
@@ -29,3 +30,23 @@ def unseeded_generator():
 
 def unseeded_stdlib():
     return random.Random()  # expect: RPL101
+
+
+def global_numpy_reseed() -> None:
+    np.random.seed(7)  # expect: RPL101
+
+
+def global_numpy_draw() -> float:
+    return np.random.random()  # expect: RPL101
+
+
+def aliased_unseeded_generator():
+    return make_rng()  # expect: RPL101
+
+
+def none_seeded_generator():
+    return np.random.default_rng(None)  # expect: RPL101
+
+
+def none_keyword_seeded_generator():
+    return np.random.default_rng(seed=None)  # expect: RPL101

@@ -19,5 +19,17 @@ def seeded_numpy(seed: int) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def stream_derived_numpy(streams: RngStreams) -> np.random.Generator:
+    return streams.numpy_stream("grid.vec")
+
+
+def explicit_bit_generator(seed: int) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def derived_numpy(seed: int) -> np.random.Generator:
+    return np.random.default_rng(derive_seed(seed, "fixture"))
+
+
 def injected(rng: random.Random) -> float:
     return rng.uniform(0.0, 1.0)

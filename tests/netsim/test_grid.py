@@ -73,7 +73,7 @@ class TestGridConfig:
 class TestGridSimulator:
     def test_moore_neighbourhood(self):
         sim = GridSimulator(GridConfig(size=5, attacker_share=0.0, attacker_cell=(1, 1)))
-        for cell, neighbors in sim._neighbors.items():
+        for cell, neighbors in enumerate(sim._neighbors):
             assert len(neighbors) == 8  # the default 8 Bitcoin peers
             assert cell not in neighbors
 

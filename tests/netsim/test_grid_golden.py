@@ -1,0 +1,74 @@
+"""Golden-trajectory regression tests for the scalar grid engine.
+
+The fixtures in ``fixtures/golden_grid.json`` were captured from the
+pre-optimization ``GridSimulator`` (the original pure-scan engine).
+The optimized engine replaced every O(N)-per-call scan with
+incrementally maintained state *without touching a single RNG draw*,
+so every scenario must reproduce exactly: per-sample fork fractions,
+fork births/deaths/lifetimes, synced and attacker fractions, and a
+digest of the full final grid state.
+
+If any of these tests fails after a change to ``netsim/grid.py``, the
+change altered the simulation itself (draw order, arguments, or
+semantics), not just its performance — published figure7 artifacts
+would move with it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.netsim.grid import GridConfig, GridSimulator
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_grid.json"
+SCENARIOS = json.loads(FIXTURE.read_text())
+
+
+def _digest(sim: GridSimulator) -> str:
+    """Digest of the full final grid state (labels + heights)."""
+    labels = "\n".join("".join(row) for row in sim.labels)
+    heights = ",".join(str(h) for row in sim.heights for h in row)
+    return hashlib.sha256(f"{labels}|{heights}".encode()).hexdigest()
+
+
+def _config(scenario: dict) -> GridConfig:
+    kwargs = dict(scenario["config"])
+    kwargs["attacker_cell"] = tuple(kwargs["attacker_cell"])
+    return GridConfig(**kwargs)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trajectory(name: str) -> None:
+    """Sampled fork fractions match the pre-optimization capture exactly."""
+    scenario = SCENARIOS[name]
+    sim = GridSimulator(_config(scenario))
+    sample_every = scenario["sample_every"]
+    horizon = scenario["horizon"]
+    for step in range(sample_every, horizon + 1, sample_every):
+        sim.run(step - sim.step_count)
+        expected = scenario["trajectory"][str(step)]
+        assert sim.fork_fractions() == expected, f"{name} diverged at step {step}"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_final_state(name: str) -> None:
+    """Fork bookkeeping and the final grid digest match the capture."""
+    scenario = SCENARIOS[name]
+    sim = GridSimulator(_config(scenario))
+    sim.run(scenario["horizon"])
+    assert sim.fork_births == scenario["fork_births"]
+    assert sim.fork_deaths == scenario["fork_deaths"]
+    assert sim.fork_lifetimes_in_blocks() == scenario["fork_lifetimes_blocks"]
+    assert sim.synced_fraction() == scenario["synced_fraction"]
+    assert sim.attacker_fraction() == scenario["attacker_fraction"]
+    assert _digest(sim) == scenario["final_state_sha256"]
+
+
+def test_fixture_exercises_label_recycling() -> None:
+    """The fork_storm scenario must keep covering the recycling path."""
+    scenario = SCENARIOS["fork_storm"]
+    assert len(scenario["fork_births"]) >= 25

@@ -58,6 +58,34 @@ class TestPeerGraph:
         assert a not in net.node(0).peers
         assert 0 not in net.node(a).peers
 
+    def test_peer_set_mirrors_list(self):
+        """The O(1) membership set stays consistent with the ordered
+        list through connects, duplicate adds, and disconnects."""
+        net = perfect_network(40)
+        for node in net.nodes.values():
+            assert set(node.peers) == node._peer_set
+            assert len(node.peers) == len(node._peer_set)  # no duplicates
+            for peer in node.peers:
+                assert node.has_peer(peer)
+        node = net.node(0)
+        before = list(node.peers)
+        node.add_peer(before[0])  # duplicate add is a no-op
+        assert node.peers == before
+        net.disconnect(0, before[0])
+        assert not node.has_peer(before[0])
+        assert set(node.peers) == node._peer_set
+
+    def test_add_peer_preserves_insertion_order(self):
+        """Broadcast order is the deterministic insertion order, not
+        set-iteration order."""
+        net = perfect_network(40)
+        node = net.node(0)
+        fresh = [p for p in (31, 17, 23, 5) if not node.has_peer(p)]
+        before = list(node.peers)
+        for peer in fresh:
+            node.add_peer(peer)
+        assert node.peers == before + fresh
+
 
 class TestBlockPropagation:
     def test_block_reaches_all_nodes_perfect_network(self):

@@ -1,0 +1,50 @@
+"""The benchmark harness's opt-in gate must parse ``-m`` properly.
+
+Regression for a substring bug: ``"bench" in markexpr`` treated
+``-m "not bench"`` (an explicit *de*selection) and ``-m benchy`` (a
+different marker) as opt-ins.  The gate now evaluates the marker
+expression the way pytest does, against an item carrying exactly the
+``bench`` marker.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = Path(__file__).parent.parent / "benchmarks" / "conftest.py"
+
+
+def _load_bench_conftest():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench_conftest():
+    return _load_bench_conftest()
+
+
+@pytest.mark.parametrize(
+    "markexpr, expected",
+    [
+        ("bench", True),
+        ("bench or slow", True),
+        ("not bench", False),  # the original bug: substring matched
+        ("not bench and slow", False),
+        ("benchy", False),  # different marker containing the substring
+        ("slow", False),
+        ("", False),
+        (None, False),
+    ],
+)
+def test_bench_opt_in(bench_conftest, markexpr, expected):
+    assert bench_conftest.bench_opt_in(markexpr) is expected
+
+
+def test_unparseable_expression_stays_conservative(bench_conftest):
+    assert bench_conftest.bench_opt_in("bench and (") is False
