@@ -9,6 +9,10 @@ assertions are the reproduction audit.
 Set ``REPRO_BENCH_JOBS=N`` to fan each artifact's independent trials
 over N worker processes (results are bit-identical for every N; the
 per-trial records printed after each run make the fan-out observable).
+``REPRO_BENCH_RETRIES=N`` and ``REPRO_BENCH_TRIAL_TIMEOUT=S`` harden
+long unattended runs: failed trials are retried with their original
+seed (bit-identical on recovery) and hung/dead workers are respawned
+after S seconds instead of wedging the benchmark session.
 """
 
 from __future__ import annotations
@@ -18,11 +22,18 @@ import os
 import pytest
 
 from repro.experiments import run_experiment
-from repro.parallel import METRICS
+from repro.parallel import METRICS, FailurePolicy
 
 
 def _bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def _bench_policy() -> FailurePolicy:
+    retries = int(os.environ.get("REPRO_BENCH_RETRIES", "0"))
+    timeout_text = os.environ.get("REPRO_BENCH_TRIAL_TIMEOUT", "")
+    timeout = float(timeout_text) if timeout_text else None
+    return FailurePolicy(mode="raise", retries=retries, trial_timeout=timeout)
 
 
 def bench_opt_in(markexpr) -> bool:
@@ -77,7 +88,12 @@ def run_artifact(benchmark):
         result = benchmark.pedantic(
             run_experiment,
             args=(experiment_id,),
-            kwargs={"seed": seed, "fast": False, "jobs": jobs},
+            kwargs={
+                "seed": seed,
+                "fast": False,
+                "jobs": jobs,
+                "policy": _bench_policy(),
+            },
             rounds=1,
             iterations=1,
         )

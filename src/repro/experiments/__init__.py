@@ -10,7 +10,7 @@ then dispatches to the experiment module.
 
 from typing import Callable, Dict, Optional
 
-from ..parallel import ResultCache, resolve_jobs
+from ..parallel import FailurePolicy, ResultCache, resolve_jobs
 from . import (
     figure3,
     figure4,
@@ -53,6 +53,7 @@ def run_experiment(
     fast: bool = False,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    policy: Optional[FailurePolicy] = None,
 ) -> ExperimentResult:
     """Run one experiment by id (raises KeyError for unknown ids).
 
@@ -69,6 +70,15 @@ def run_experiment(
             cache's code-version tag, so any input change recomputes.
             An entry that fails to deserialize is discarded and
             recomputed rather than raising.
+        policy: Optional :class:`~repro.parallel.FailurePolicy` for the
+            experiment's trial engine(s): bounded same-seed retries,
+            per-trial timeouts, and degradation mode.  Deliberately
+            *not* part of the cache key — retries reuse the trial's
+            seed, so a recovered run's result is bit-identical to an
+            undisturbed one.  A trial that exhausts its retries
+            surfaces as a
+            :class:`~repro.parallel.TrialExecutionError` naming the
+            reproducing ``(experiment_id, index, seed)``.
     """
     fn = REGISTRY[experiment_id]
     jobs = resolve_jobs(jobs)
@@ -81,7 +91,7 @@ def run_experiment(
             except (KeyError, TypeError, ValueError):
                 cache.corrupt_entries += 1
                 cache.discard(experiment_id, config, seed)
-    result = fn(seed=seed, fast=fast, jobs=jobs)
+    result = fn(seed=seed, fast=fast, jobs=jobs, policy=policy)
     if cache is not None:
         cache.put(experiment_id, config, seed, result.to_dict())
     return result

@@ -1,12 +1,14 @@
 """Common experiment result schema and helpers.
 
-Every experiment module exposes ``run(seed=0, fast=False, jobs=1) ->
-ExperimentResult``.  ``fast=True`` shrinks the workload (shorter
-series, smaller populations) for use in the test suite; the default
-parameters regenerate the artifact at paper scale.  ``jobs`` is the
-worker-process budget for experiments whose independent trials fan out
-through :class:`repro.parallel.TrialEngine`; single-pass experiments
-accept and ignore it so the registry surface stays uniform.
+Every experiment module exposes ``run(seed=0, fast=False, jobs=1,
+policy=None) -> ExperimentResult``.  ``fast=True`` shrinks the workload
+(shorter series, smaller populations) for use in the test suite; the
+default parameters regenerate the artifact at paper scale.  ``jobs`` is
+the worker-process budget for experiments whose independent trials fan
+out through :class:`repro.parallel.TrialEngine`, and ``policy`` is an
+optional :class:`repro.parallel.FailurePolicy` governing per-trial
+retries/timeouts in those engines; single-pass experiments accept and
+ignore both so the registry surface stays uniform.
 
 Results round-trip through plain dicts (:meth:`ExperimentResult.to_dict`
 / :meth:`ExperimentResult.from_dict`) so the on-disk result cache can

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from ..analysis.consensus import consensus_pruning_stats
 from ..datagen.consensus import ConsensusDynamicsGenerator
-from ..parallel import Trial, TrialEngine
+from ..parallel import FailurePolicy, Trial, TrialEngine
 from ..types import LagBand
 from .base import ExperimentResult
 
@@ -39,7 +39,12 @@ def _band_trial(trial: Trial) -> Dict[str, Any]:
     return payload
 
 
-def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    policy: Optional[FailurePolicy] = None,
+) -> ExperimentResult:
     """Regenerate the three panels as stacked band series.
 
     (a) multi-day trend at 10-minute sampling; (b) one-day snapshot at
@@ -70,7 +75,7 @@ def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
             (("num_nodes", num_nodes), ("duration", 6_000.0), ("interval", 60.0)),
         ),
     ]
-    panel_ab, panel_c = TrialEngine(jobs=jobs).map(_band_trial, trials)
+    panel_ab, panel_c = TrialEngine(jobs=jobs, policy=policy).map(_band_trial, trials)
 
     stats_a = panel_ab["stats"]
     stats_c = panel_c["stats"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ..netsim.grid import GridConfig, make_simulator, span_ratio_delay
-from ..parallel import Trial, TrialEngine
+from ..parallel import FailurePolicy, Trial, TrialEngine
 from .base import ExperimentResult
 
 __all__ = ["run", "run_simulation", "PANEL_STEPS"]
@@ -92,6 +92,7 @@ def _representative(
     attempts: int = 12,
     jobs: int = 1,
     engine: str = "auto",
+    policy: Optional[FailurePolicy] = None,
 ) -> Optional[Dict[str, Any]]:
     """First candidate seed matching the paper's panel narrative.
 
@@ -104,7 +105,7 @@ def _representative(
         Trial("figure7", attempt, seed + attempt, (("size", size), ("engine", engine)))
         for attempt in range(attempts)
     ]
-    hit = TrialEngine(jobs=jobs).first_match(
+    hit = TrialEngine(jobs=jobs, policy=policy).first_match(
         _candidate_trial,
         trials,
         predicate=_matches_narrative,
@@ -114,7 +115,11 @@ def _representative(
 
 
 def run(
-    seed: int = 0, fast: bool = False, jobs: int = 1, engine: str = "auto"
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    engine: str = "auto",
+    policy: Optional[FailurePolicy] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 7's fork-fraction trajectory.
 
@@ -123,7 +128,7 @@ def run(
     keeping the artifact bit-identical to earlier releases.
     """
     size = 15 if fast else 25
-    panel = _representative(seed, size, jobs=jobs, engine=engine)
+    panel = _representative(seed, size, jobs=jobs, engine=engine, policy=policy)
     trajectory = panel["trajectory"]
     peak_b, final_a = panel["peak_b"], panel["final_a"]
 

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from ..analysis.synced import synced_band_lines
 from ..attacks.spatiotemporal import SpatioTemporalPlan
 from ..datagen.consensus import ConsensusDynamicsGenerator
-from ..parallel import Trial, TrialEngine
+from ..parallel import FailurePolicy, Trial, TrialEngine
 from ..topology.builder import build_paper_topology
 from .base import ExperimentResult
 from .table7 import PAPER_DAY_AS_QUALITY, PAPER_DAY_DEFAULT_QUALITY
@@ -39,13 +39,18 @@ def _day_trial(trial: Trial) -> Dict[str, Any]:
     return {"lines": lines, "plan": plan, "per_as": per_as}
 
 
-def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    policy: Optional[FailurePolicy] = None,
+) -> ExperimentResult:
     """Regenerate Figure 8: (a) the three lag lines, (b/c) per-AS synced
     series for the top-5 ASes, plus the attack-plan trigger the §V-C
     case study derives from them."""
     scale, duration = (0.25, 6 * 3600) if fast else (1.0, 86_400)
     trial = Trial("figure8", 0, seed, (("scale", scale), ("duration", duration)))
-    (payload,) = TrialEngine(jobs=jobs).map(_day_trial, [trial])
+    (payload,) = TrialEngine(jobs=jobs, policy=policy).map(_day_trial, [trial])
     lines, plan, per_as = payload["lines"], payload["plan"], payload["per_as"]
 
     rows = []

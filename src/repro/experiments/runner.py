@@ -15,6 +15,16 @@ processes; results are bit-identical for every N.  ``--cache DIR``
 keys finished results by (experiment, config, seed, code version) so
 re-runs skip completed work; ``--no-cache`` bypasses the cache without
 forgetting the directory flag.
+
+Failure semantics: ``--retries N`` re-runs a failed trial up to N times
+with its original seed (a recovered run is bit-identical to an
+undisturbed one), ``--trial-timeout S`` bounds each trial and respawns
+hung or dead workers, and ``--max-failures N`` is a sweep-level budget:
+once more than N trials have failed for good, the remaining experiments
+are skipped and the runner exits with status 2, naming every failed
+``(experiment_id, index, seed)``.  Within budget, a failed experiment
+is reported and the sweep continues (exit status 1), so one poisoned
+artifact no longer sinks the others.
 """
 
 from __future__ import annotations
@@ -25,7 +35,15 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from ..parallel import METRICS, ResultCache, resolve_jobs
+from ..parallel import (
+    METRICS,
+    ExcessiveFailuresError,
+    FailurePolicy,
+    ResultCache,
+    TrialExecutionError,
+    TrialFailure,
+    resolve_jobs,
+)
 from ..reporting.figures import series_to_csv
 from . import REGISTRY, run_experiment
 
@@ -83,6 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to dump figure series as CSV files",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each failed trial up to N times with its original seed",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-trial timeout in seconds (hung/dead workers are respawned)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the sweep (exit 2) once more than N trials have failed",
+    )
     return parser
 
 
@@ -96,6 +135,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown experiment ids: {', '.join(unknown)}")
 
     jobs = resolve_jobs(args.jobs)
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.max_failures is not None and args.max_failures < 0:
+        parser.error("--max-failures must be >= 0")
+    # Registry artifacts aggregate over *all* trials, so experiments run
+    # in raise mode (recovering via retries/timeouts); --max-failures is
+    # a sweep-level budget applied across experiments below.
+    policy = FailurePolicy(
+        mode="raise", retries=args.retries, trial_timeout=args.trial_timeout
+    )
     cache: Optional[ResultCache] = None
     if args.cache is not None and not args.no_cache:
         cache = ResultCache(args.cache)
@@ -106,33 +155,75 @@ def main(argv: Optional[List[str]] = None) -> int:
         csv_dir.mkdir(parents=True, exist_ok=True)
 
     failures = 0
+    failed_trials: List[TrialFailure] = []
+    budget_exceeded = False
     for experiment_id in chosen:
         start = time.perf_counter()
         records_before = len(METRICS.records)
+        failed_before = METRICS.failed()
         hits_before = cache.hits if cache is not None else 0
         try:
             result = run_experiment(
-                experiment_id, seed=args.seed, fast=args.fast, jobs=jobs, cache=cache
+                experiment_id,
+                seed=args.seed,
+                fast=args.fast,
+                jobs=jobs,
+                cache=cache,
+                policy=policy,
             )
+        except TrialExecutionError as exc:
+            failures += 1
+            failed_trials.append(exc.failure)
+            print(f"[FAIL] {experiment_id}: {exc}", file=sys.stderr)
+        except ExcessiveFailuresError as exc:
+            failures += 1
+            failed_trials.extend(exc.failures)
+            print(f"[FAIL] {experiment_id}: {exc}", file=sys.stderr)
         except Exception as exc:  # pragma: no cover - CLI surface
             failures += 1
             print(f"[FAIL] {experiment_id}: {exc}", file=sys.stderr)
-            continue
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        if csv_dir is not None and result.series:
-            written = _dump_series(result, csv_dir)
-            print(f"(wrote {len(written)} series files to {csv_dir})")
-        new_records = METRICS.records[records_before:]
-        if cache is not None and cache.hits > hits_before:
-            detail = "cache hit"
         else:
-            workers = len({record.worker for record in new_records})
-            detail = f"{len(new_records)} trial(s), {workers} worker(s), jobs={jobs}"
-        print(f"({experiment_id} completed in {elapsed:.1f}s; {detail})")
-        print()
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            if csv_dir is not None and result.series:
+                written = _dump_series(result, csv_dir)
+                print(f"(wrote {len(written)} series files to {csv_dir})")
+            new_records = METRICS.records[records_before:]
+            if cache is not None and cache.hits > hits_before:
+                detail = "cache hit"
+            else:
+                workers = len({record.worker for record in new_records})
+                detail = (
+                    f"{len(new_records)} trial(s), {workers} worker(s), jobs={jobs}"
+                )
+            new_failed = METRICS.failed() - failed_before
+            if new_failed:
+                detail += f", {new_failed} failed trial(s)"
+            print(f"({experiment_id} completed in {elapsed:.1f}s; {detail})")
+            print()
+            continue
+        if args.max_failures is not None and len(failed_trials) > args.max_failures:
+            budget_exceeded = True
+            remaining = chosen[chosen.index(experiment_id) + 1 :]
+            if remaining:
+                print(
+                    f"aborting sweep, skipping: {', '.join(remaining)}",
+                    file=sys.stderr,
+                )
+            break
+    if failed_trials:
+        budget = (
+            f" (budget: --max-failures {args.max_failures})"
+            if budget_exceeded
+            else ""
+        )
+        print(f"{len(failed_trials)} trial failure(s){budget}:", file=sys.stderr)
+        for failure in failed_trials:
+            print(f"  {failure.describe()}", file=sys.stderr)
     if cache is not None:
         print(cache.format_stats())
+    if budget_exceeded:
+        return 2
     return 1 if failures else 0
 
 

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..analysis.vulnerable import vulnerable_table
 from ..datagen import profiles
 from ..datagen.consensus import ConsensusDynamicsGenerator
-from ..parallel import Trial, TrialEngine
+from ..parallel import FailurePolicy, Trial, TrialEngine
 from .base import ExperimentResult
 
 __all__ = ["run"]
@@ -28,7 +28,12 @@ def _vulnerable_trial(trial: Trial) -> Dict[int, Any]:
     return vulnerable_table(series, t_values=p["t_values"])
 
 
-def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    policy: Optional[FailurePolicy] = None,
+) -> ExperimentResult:
     """Regenerate Table V from the calibrated lag dynamics.
 
     Full mode: 10,020 nodes over two days at 1-minute sampling (the T
@@ -46,7 +51,7 @@ def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
         seed,
         (("num_nodes", num_nodes), ("duration", duration), ("t_values", t_values)),
     )
-    (table,) = TrialEngine(jobs=jobs).map(_vulnerable_trial, [trial])
+    (table,) = TrialEngine(jobs=jobs, policy=policy).map(_vulnerable_trial, [trial])
 
     paper_rows = {t: (counts, pcts) for t, counts, pcts in profiles.TABLE_V_ROWS}
     rows = []

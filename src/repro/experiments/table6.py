@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..analysis.timing import timing_table
 from ..datagen import profiles
-from ..parallel import Trial, TrialEngine, make_trials
+from ..parallel import FailurePolicy, Trial, TrialEngine, make_trials
 from .base import ExperimentResult
 
 __all__ = ["run"]
@@ -25,7 +25,12 @@ def _lambda_trial(trial: Trial) -> Tuple[int, ...]:
     return row[trial.param("lam")]
 
 
-def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    policy: Optional[FailurePolicy] = None,
+) -> ExperimentResult:
     """Regenerate Table VI exactly (closed-form; seed unused).
 
     The bound b(m,T) = C(T,m)(1-e^{-lambda T/m})^m is evaluated in log
@@ -42,7 +47,7 @@ def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
             {"lam": lam, "m_values": tuple(m_values), "p": 0.8} for lam in lambdas
         ],
     )
-    table = dict(zip(lambdas, TrialEngine(jobs=jobs).map(_lambda_trial, trials)))
+    table = dict(zip(lambdas, TrialEngine(jobs=jobs, policy=policy).map(_lambda_trial, trials)))
     rows = []
     metrics = {}
     max_abs_delta = 0.0

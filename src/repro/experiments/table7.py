@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..analysis.synced import synced_as_table
 from ..datagen import profiles
 from ..datagen.consensus import ConsensusDynamicsGenerator
-from ..parallel import Trial, TrialEngine
+from ..parallel import FailurePolicy, Trial, TrialEngine
 from ..topology.builder import build_paper_topology
 from .base import ExperimentResult
 
@@ -52,7 +52,12 @@ def _ranking_trial(trial: Trial) -> List:
     return synced_as_table(series, topology=topo, k=5)
 
 
-def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    policy: Optional[FailurePolicy] = None,
+) -> ExperimentResult:
     """Regenerate Table VII: simulate the Figure 6(b) day and rank ASes."""
     if fast:
         scale, duration, interval = 0.25, 6 * 3600, 600.0
@@ -64,7 +69,7 @@ def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
         seed,
         (("scale", scale), ("duration", duration), ("interval", interval)),
     )
-    (table,) = TrialEngine(jobs=jobs).map(_ranking_trial, [trial])
+    (table,) = TrialEngine(jobs=jobs, policy=policy).map(_ranking_trial, [trial])
 
     rows = [
         (f"AS{row.asn}", row.org_name, row.mean_synced_nodes, f"{row.percentage:.2f}%")

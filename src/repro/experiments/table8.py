@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..attacks.logical import LogicalAttack
 from ..datagen.population import PopulationGenerator
 from ..datagen.versions import SOFTWARE_VERSIONS, TOTAL_VARIANTS
-from ..parallel import Trial, TrialEngine
+from ..parallel import FailurePolicy, Trial, TrialEngine
 from ..topology.builder import build_paper_topology
 from .base import ExperimentResult
 
@@ -26,10 +26,15 @@ def _census_trial(trial: Trial) -> Dict[str, Any]:
     }
 
 
-def run(seed: int = 0, fast: bool = False, jobs: int = 1) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    fast: bool = False,
+    jobs: int = 1,
+    policy: Optional[FailurePolicy] = None,
+) -> ExperimentResult:
     """Regenerate Table VIII from the snapshot's version census."""
     trial = Trial("table8", 0, seed, (("scale", 0.2 if fast else 1.0),))
-    (census,) = TrialEngine(jobs=jobs).map(_census_trial, [trial])
+    (census,) = TrialEngine(jobs=jobs, policy=policy).map(_census_trial, [trial])
 
     reference = {rec.version: rec for rec in SOFTWARE_VERSIONS}
     top = sorted(census["version_shares"].items(), key=lambda kv: -kv[1])[:5]

@@ -17,23 +17,47 @@ scale past one core while staying bit-reproducible:
   completed work.  Keys hash the experiment id, the config dict, the
   seed, and a code-version tag, so any input change invalidates;
 - :mod:`repro.parallel.metrics` — per-trial timing/worker records so
-  speedups (and cache-driven *non*-executions) are observable.
+  speedups (and cache-driven *non*-executions) are observable;
+- :mod:`repro.parallel.faults` — the fault-tolerance layer: per-trial
+  failure capture (:class:`TrialFailure`), bounded deterministic
+  retries, per-trial timeouts with hung/dead-worker pool respawn,
+  graceful degradation via :class:`FailurePolicy`, and a deterministic
+  fault-injection harness (:func:`~repro.parallel.faults.inject`) used
+  by the fault-smoke suite.
 """
 
 from .cache import CODE_VERSION, ResultCache, cache_key
+from .faults import (
+    BatchResult,
+    ExcessiveFailuresError,
+    FailurePolicy,
+    FaultPlan,
+    InjectedFault,
+    TrialExecutionError,
+    TrialFailure,
+    inject,
+)
 from .metrics import METRICS, PhaseTimingCollector, TrialMetricsCollector, TrialRecord
 from .trials import Trial, TrialEngine, make_trials, resolve_jobs, trial_seed
 
 __all__ = [
+    "BatchResult",
     "CODE_VERSION",
+    "ExcessiveFailuresError",
+    "FailurePolicy",
+    "FaultPlan",
+    "InjectedFault",
     "METRICS",
     "PhaseTimingCollector",
     "ResultCache",
     "Trial",
     "TrialEngine",
+    "TrialExecutionError",
+    "TrialFailure",
     "TrialMetricsCollector",
     "TrialRecord",
     "cache_key",
+    "inject",
     "make_trials",
     "resolve_jobs",
     "trial_seed",

@@ -10,10 +10,18 @@ dicts), which keeps this module free of upward dependencies.
 
 Robustness rules:
 
-- writes are atomic (temp file + ``os.replace``), so a crashed run
-  never leaves a half-written entry under a valid name;
+- writes are atomic (per-process unique temp file via
+  ``tempfile.mkstemp`` in the cache directory, then ``os.replace``),
+  so a crashed run never leaves a half-written entry under a valid
+  name and *concurrent writers of the same key can never interleave*:
+  each writer owns its own temp file and the last rename wins whole;
 - unreadable, truncated, or schema-mismatched entries count as misses:
-  the entry is deleted and the caller recomputes instead of crashing.
+  the entry is deleted and the caller recomputes instead of crashing;
+- ``*.tmp`` files orphaned by crashed runs are swept at cache startup
+  (only when older than ``tmp_ttl_seconds``, so a live concurrent
+  writer's in-flight temp file is never yanked out from under its
+  rename) and unconditionally by :meth:`ResultCache.clear`; the sweep
+  count is surfaced through :meth:`ResultCache.stats`.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
@@ -62,24 +72,32 @@ class ResultCache:
         directory: Cache root; created on demand.
         code_version: Overrides :data:`CODE_VERSION` (tests use this to
             exercise invalidation without touching the package version).
+        tmp_ttl_seconds: Minimum age before an orphaned ``*.tmp`` file
+            is considered crash debris and swept; younger temp files
+            may belong to a live concurrent writer and are left alone.
 
     Attributes:
-        hits / misses / stores / corrupt_entries: Counters for
-            observability; the CLI prints them after a sweep.
+        hits / misses / stores / corrupt_entries /
+        orphaned_tmp_removed: Counters for observability; the CLI
+            prints them after a sweep.
     """
 
     def __init__(
         self,
         directory: Union[str, Path],
         code_version: str = CODE_VERSION,
+        tmp_ttl_seconds: float = 300.0,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.code_version = code_version
+        self.tmp_ttl_seconds = tmp_ttl_seconds
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt_entries = 0
+        self.orphaned_tmp_removed = 0
+        self.sweep_orphans()
 
     # ------------------------------------------------------------------
     def key(self, experiment_id: str, config: Mapping[str, Any], seed: int) -> str:
@@ -139,9 +157,22 @@ class ResultCache:
             "code_version": self.code_version,
             "payload": dict(payload),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        # A per-process unique temp name (mkstemp) keeps concurrent
+        # writers of the same key from interleaving into one half-written
+        # envelope; whichever os.replace lands last wins whole.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=f"{path.stem}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(envelope, sort_keys=True))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         self.stores += 1
         return path
 
@@ -157,11 +188,49 @@ class ResultCache:
             return False
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (plus any ``*.tmp`` debris); returns the
+        number of *entries* removed.  Unlike the startup sweep, an
+        explicit clear is a full reset, so temp files are removed
+        regardless of age."""
         removed = 0
         for path in self.directory.glob("*.json"):
             path.unlink()
             removed += 1
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                tmp.unlink()
+                self.orphaned_tmp_removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def sweep_orphans(self) -> int:
+        """Remove ``*.tmp`` files orphaned by crashed runs; returns the
+        number removed (also accumulated in ``orphaned_tmp_removed``).
+
+        Only temp files older than ``tmp_ttl_seconds`` are swept: a
+        younger one may be a live concurrent writer's in-flight file,
+        and deleting it would make that writer's ``os.replace`` fail.
+        Runs automatically at construction, so every cache open recovers
+        the directory from prior crashes.
+        """
+        removed = 0
+        # Wall-clock here only ages crash debris against file mtimes; it
+        # never feeds simulation state or cache keys.
+        now = time.time()  # repro-lint: disable=RPL103 file-age housekeeping, not simulation input
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                age = now - tmp.stat().st_mtime
+            except OSError:
+                continue
+            if age < self.tmp_ttl_seconds:
+                continue
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                continue
+        self.orphaned_tmp_removed += removed
         return removed
 
     def stats(self) -> Dict[str, int]:
@@ -170,11 +239,15 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt_entries": self.corrupt_entries,
+            "orphaned_tmp_removed": self.orphaned_tmp_removed,
         }
 
     def format_stats(self) -> str:
         s = self.stats()
-        return (
+        line = (
             f"cache: {s['hits']} hit(s), {s['misses']} miss(es), "
             f"{s['stores']} store(s)"
         )
+        if s["orphaned_tmp_removed"]:
+            line += f", {s['orphaned_tmp_removed']} orphaned tmp file(s) removed"
+        return line

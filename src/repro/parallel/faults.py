@@ -1,0 +1,875 @@
+"""Fault-tolerant trial execution: retries, timeouts, and degradation.
+
+The original ``TrialEngine`` had all-or-nothing failure semantics: one
+raising trial terminated the pool and lost every completed payload,
+with no record of *which* trial (and therefore which seed) failed.
+This module is the layer that fixes that bug class:
+
+- every per-trial exception is captured into a structured
+  :class:`TrialFailure` (experiment id, index, seed, params, traceback,
+  worker PID, attempt count) instead of collapsing the batch;
+- failed trials are retried a bounded, deterministic number of times
+  with the *same seed*, so a retried success is bit-identical to a
+  first-try success (trial functions draw all randomness from
+  ``trial.seed``, the engine's standing contract);
+- per-trial timeouts detect hung workers and dead worker processes are
+  noticed via liveness checks; either way the pool is respawned and
+  only the unfinished trials are re-dispatched;
+- a :class:`FailurePolicy` chooses between fail-fast (``"raise"``),
+  degrade-and-report (``"skip"``), and a bounded failure budget
+  (``max_failures=N``), and the engine returns partial results plus
+  the full failure roster in a :class:`BatchResult`.
+
+The bottom of the module is a deterministic fault-injection harness
+(:func:`inject` / :class:`FaultPlan`): crash, hang, error, and
+corrupt-payload modes keyed off the trial index, recovering after a
+configurable number of attempts.  The fault-smoke test suite and CI
+job drive the executors through every failure path with it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ConfigurationError, ReproError
+from ..rng import derive_seed
+
+__all__ = [
+    "BatchResult",
+    "ExcessiveFailuresError",
+    "FailurePolicy",
+    "FaultPlan",
+    "InjectedFault",
+    "TrialExecutionError",
+    "TrialFailure",
+    "WorkerTraceback",
+    "call_trial",
+    "execute_batch",
+    "inject",
+]
+
+#: Parent-side polling cadence while waiting on pool results (seconds).
+_POLL_INTERVAL = 0.02
+
+#: Grace added to dispatch-time deadlines to cover worker pickup; the
+#: deadline is re-anchored to the actual start once the worker announces.
+_DISPATCH_SLACK = 1.0
+
+#: Exit code used by injected crashes (visible in worker exitcodes).
+CRASH_EXIT_CODE = 87
+
+
+# ----------------------------------------------------------------------
+# Failure records and errors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialFailure:
+    """One trial's final (post-retry) failure, fully attributed.
+
+    Attributes:
+        experiment_id / index / seed / params: The owning
+            :class:`~repro.parallel.trials.Trial`'s identity — enough
+            to reproduce the failure with ``jobs=1``.
+        kind: ``"error"`` (trial raised), ``"timeout"`` (exceeded the
+            policy's per-trial timeout), ``"worker-death"`` (the worker
+            process died mid-trial), or ``"payload"`` (the payload
+            failed to cross the process boundary, e.g. unpicklable).
+        error_type / message: Exception class name and message, when
+            one was captured.
+        traceback_text: Formatted traceback from the failing process
+            (empty for timeouts and silent worker deaths).
+        worker: PID of the process that ran the failing attempt, when
+            known.
+        attempts: Total attempts consumed (always ``retries + 1`` for a
+            final failure).
+    """
+
+    experiment_id: str
+    index: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...]
+    kind: str
+    error_type: str
+    message: str
+    traceback_text: str
+    worker: Optional[int]
+    attempts: int
+
+    def describe(self) -> str:
+        """One-line human-readable form naming the reproducing seed."""
+        detail = f"{self.error_type}: {self.message}" if self.error_type else self.kind
+        return (
+            f"({self.experiment_id}, {self.index}, {self.seed}) "
+            f"{self.kind} after {self.attempts} attempt(s): {detail}"
+        )
+
+
+class WorkerTraceback(Exception):
+    """Carrier for a traceback captured in a worker process.
+
+    Chained as the ``__cause__`` of :class:`TrialExecutionError` so the
+    remote traceback text survives the process boundary even though the
+    original exception object could not.
+    """
+
+    def __str__(self) -> str:
+        text = self.args[0] if self.args else ""
+        return f"\n{text}" if text else "worker traceback unavailable"
+
+
+class TrialExecutionError(ReproError):
+    """A trial exhausted its retries; names the reproducing trial.
+
+    The structured context (``experiment_id``, ``index``, ``seed``)
+    rides in the message and in :attr:`failure`, so a failed sweep
+    always tells the operator which seed to re-run serially.
+    """
+
+    def __init__(self, failure: TrialFailure) -> None:
+        self.failure = failure
+        super().__init__(
+            f"trial failed ({failure.kind}) after {failure.attempts} attempt(s): "
+            f"{failure.error_type or failure.kind}: {failure.message}",
+            experiment_id=failure.experiment_id,
+            index=failure.index,
+            seed=failure.seed,
+        )
+
+
+class ExcessiveFailuresError(ReproError):
+    """More trials failed than ``FailurePolicy.max_failures`` allows."""
+
+    def __init__(self, failures: Sequence[TrialFailure], max_failures: int) -> None:
+        self.failures = tuple(failures)
+        named = ", ".join(
+            f"({f.experiment_id}, {f.index}, {f.seed})" for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} trial failure(s) exceeded "
+            f"max_failures={max_failures}: {named}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Policy and batch result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How a batch degrades when trials fail.
+
+    Attributes:
+        mode: ``"raise"`` aborts the batch at the first final failure
+            (the exception is a :class:`TrialExecutionError` naming the
+            trial); ``"skip"`` completes the batch and reports failures
+            in the :class:`BatchResult`.
+        retries: Re-dispatches allowed per trial after its first
+            failure, with the same seed — a retried success is
+            bit-identical to a first-try success.
+        trial_timeout: Per-trial wall-clock budget in seconds.  Only
+            enforceable across a process boundary (``jobs > 1``):
+            inline execution cannot be preempted.
+        max_failures: In ``"skip"`` mode, the failure budget — when the
+            batch ends with *more* than this many failed trials, the
+            engine raises :class:`ExcessiveFailuresError` naming every
+            one.  ``None`` means unbounded.
+    """
+
+    mode: str = "raise"
+    retries: int = 0
+    trial_timeout: Optional[float] = None
+    max_failures: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "skip"):
+            raise ConfigurationError(
+                "mode must be 'raise' or 'skip'", mode=self.mode
+            )
+        if (
+            isinstance(self.retries, bool)
+            or not isinstance(self.retries, int)
+            or self.retries < 0
+        ):
+            raise ConfigurationError("retries must be an int >= 0", retries=self.retries)
+        if self.trial_timeout is not None:
+            if (
+                isinstance(self.trial_timeout, bool)
+                or not isinstance(self.trial_timeout, (int, float))
+                or self.trial_timeout <= 0
+            ):
+                raise ConfigurationError(
+                    "trial_timeout must be a positive number of seconds",
+                    trial_timeout=self.trial_timeout,
+                )
+        if self.max_failures is not None:
+            if self.mode != "skip":
+                raise ConfigurationError(
+                    "max_failures requires mode='skip'", mode=self.mode
+                )
+            if (
+                isinstance(self.max_failures, bool)
+                or not isinstance(self.max_failures, int)
+                or self.max_failures < 0
+            ):
+                raise ConfigurationError(
+                    "max_failures must be an int >= 0", max_failures=self.max_failures
+                )
+
+    @classmethod
+    def strict(cls) -> "FailurePolicy":
+        """The default fail-fast policy (no retries, no timeout)."""
+        return cls()
+
+    @property
+    def attempts_per_trial(self) -> int:
+        return self.retries + 1
+
+    def over_budget(self, failure_count: int) -> bool:
+        """Has ``failure_count`` final failures already broken the policy?"""
+        if failure_count == 0:
+            return False
+        if self.mode == "raise":
+            return True
+        return self.max_failures is not None and failure_count > self.max_failures
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch: partial payloads plus the failure roster.
+
+    ``trials`` and ``payloads`` are aligned in ascending trial-index
+    order; a failed (or never-executed, after an abort) trial's payload
+    slot holds ``None`` and its index appears in :attr:`failed_indices`
+    — check there rather than testing payloads for ``None``, which a
+    trial could legitimately return.
+    """
+
+    trials: Tuple[Any, ...]
+    payloads: Tuple[Any, ...]
+    failures: Tuple[TrialFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failed_indices(self) -> frozenset:
+        return frozenset(f.index for f in self.failures)
+
+    def completed(self) -> Dict[int, Any]:
+        """Index -> payload for every trial that finished."""
+        failed = self.failed_indices
+        return {
+            trial.index: payload
+            for trial, payload in zip(self.trials, self.payloads)
+            if trial.index not in failed
+        }
+
+    def summary(self) -> str:
+        """One-line ``"N ok, M failed"`` report for sweep output."""
+        done = len(self.trials) - len(self.failures)
+        if not self.failures:
+            return f"{done} trial(s) ok"
+        named = ", ".join(str(f.index) for f in self.failures)
+        return f"{done} trial(s) ok, {len(self.failures)} failed (index {named})"
+
+
+# ----------------------------------------------------------------------
+# Attempt execution (shared by the serial and pool paths)
+# ----------------------------------------------------------------------
+def call_trial(fn: Callable[..., Any], trial: Any, attempt: int) -> Any:
+    """Invoke a trial function, passing the attempt number when asked.
+
+    Ordinary trial functions take ``(trial)`` only; attempt-aware
+    callables (the fault injectors) declare ``_accepts_attempt = True``
+    and receive ``(trial, attempt)``.  Payload determinism must never
+    depend on ``attempt`` — the injectors use it exclusively to decide
+    whether to fault, not what to compute.
+    """
+    if getattr(fn, "_accepts_attempt", False):
+        return fn(trial, attempt)
+    return fn(trial)
+
+
+@dataclass(frozen=True)
+class _Attempt:
+    """One attempt's outcome as shipped back from the executing process."""
+
+    index: int
+    ok: bool
+    payload: Any
+    seconds: float
+    worker: int
+    error_type: str = ""
+    message: str = ""
+    traceback_text: str = ""
+
+
+#: Worker-process handle to the announce queue (set by ``_worker_init``;
+#: ``None`` in the parent and in inline execution).
+_WORKER_ANNOUNCE = None
+
+
+def _worker_init(announce: Any) -> None:
+    """Pool initializer: stash the announce queue in the worker."""
+    global _WORKER_ANNOUNCE
+    _WORKER_ANNOUNCE = announce
+
+
+def _run_attempt(task: Tuple[Callable[..., Any], Any, int]) -> _Attempt:
+    """Worker entry point: announce ownership, run, capture any error."""
+    fn, trial, attempt = task
+    pid = os.getpid()
+    announce = _WORKER_ANNOUNCE
+    if announce is not None:
+        announce.put((pid, trial.index))
+    start = time.perf_counter()
+    try:
+        payload = call_trial(fn, trial, attempt)
+    except Exception as exc:
+        return _Attempt(
+            index=trial.index,
+            ok=False,
+            payload=None,
+            seconds=time.perf_counter() - start,
+            worker=pid,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
+        )
+    return _Attempt(
+        index=trial.index,
+        ok=True,
+        payload=payload,
+        seconds=time.perf_counter() - start,
+        worker=pid,
+    )
+
+
+def _format_exception(exc: BaseException) -> str:
+    return "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+
+
+def _make_failure(
+    trial: Any,
+    kind: str,
+    error_type: str,
+    message: str,
+    traceback_text: str,
+    worker: Optional[int],
+    attempts: int,
+) -> TrialFailure:
+    return TrialFailure(
+        experiment_id=trial.experiment_id,
+        index=trial.index,
+        seed=trial.seed,
+        params=trial.params,
+        kind=kind,
+        error_type=error_type,
+        message=message,
+        traceback_text=traceback_text,
+        worker=worker,
+        attempts=attempts,
+    )
+
+
+_ExecResult = Tuple[
+    Dict[int, _Attempt], Dict[int, TrialFailure], Dict[int, BaseException]
+]
+
+
+def _run_serial(
+    fn: Callable[..., Any], batch: Sequence[Any], policy: FailurePolicy
+) -> _ExecResult:
+    """Inline execution with retries; timeouts are not preemptible here."""
+    successes: Dict[int, _Attempt] = {}
+    failures: Dict[int, TrialFailure] = {}
+    causes: Dict[int, BaseException] = {}
+    pid = os.getpid()
+    for trial in sorted(batch, key=lambda t: t.index):
+        if policy.over_budget(len(failures)):
+            break
+        last_exc: Optional[BaseException] = None
+        for attempt in range(policy.attempts_per_trial):
+            start = time.perf_counter()
+            try:
+                payload = call_trial(fn, trial, attempt)
+            except Exception as exc:
+                last_exc = exc
+                continue
+            successes[trial.index] = _Attempt(
+                index=trial.index,
+                ok=True,
+                payload=payload,
+                seconds=time.perf_counter() - start,
+                worker=pid,
+            )
+            break
+        else:
+            assert last_exc is not None
+            failures[trial.index] = _make_failure(
+                trial,
+                kind="error",
+                error_type=type(last_exc).__name__,
+                message=str(last_exc),
+                traceback_text=_format_exception(last_exc),
+                worker=pid,
+                attempts=policy.attempts_per_trial,
+            )
+            causes[trial.index] = last_exc
+    return successes, failures, causes
+
+
+# ----------------------------------------------------------------------
+# Pool execution with retries, timeouts, and worker-death recovery
+# ----------------------------------------------------------------------
+@dataclass
+class _InFlight:
+    """Bookkeeping for one dispatched-but-unfinished attempt."""
+
+    trial: Any
+    attempt: int
+    result: Any  # multiprocessing.pool.AsyncResult
+    deadline: Optional[float] = None
+    started: bool = False
+
+
+class _PoolExecutor:
+    """Runs one batch over a worker pool with fault recovery.
+
+    At most ``workers`` attempts are in flight at once, so every
+    dispatched task starts (nearly) immediately and dispatch-time
+    deadlines are meaningful; the deadline is re-anchored to the actual
+    start when the worker's announcement arrives.  A hung attempt
+    (deadline exceeded) or a dead worker poisons only its own trial's
+    attempt count: the pool is torn down, respawned, and every *other*
+    unfinished trial is re-dispatched without being charged an attempt.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        batch: Sequence[Any],
+        jobs: int,
+        policy: FailurePolicy,
+    ) -> None:
+        self._fn = fn
+        self._order = sorted(batch, key=lambda t: t.index)
+        self._workers = max(1, min(jobs, len(self._order)))
+        self._policy = policy
+        self._pending: Deque[Any] = deque(self._order)
+        self._inflight: Dict[int, _InFlight] = {}
+        self._failed_attempts: Dict[int, int] = {t.index: 0 for t in self._order}
+        self._owner: Dict[int, int] = {}  # worker pid -> trial index
+        self._successes: Dict[int, _Attempt] = {}
+        self._failures: Dict[int, TrialFailure] = {}
+        self._causes: Dict[int, BaseException] = {}
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._procs: List[Any] = []
+        self._announce: Any = None
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> _ExecResult:
+        try:
+            while (self._pending or self._inflight) and not self._policy.over_budget(
+                len(self._failures)
+            ):
+                self._ensure_pool()
+                self._dispatch()
+                self._drain_announcements()
+                progressed = self._collect_ready()
+                progressed = self._reap_timeouts() or progressed
+                progressed = self._reap_dead_workers() or progressed
+                if not progressed and (self._pending or self._inflight):
+                    time.sleep(_POLL_INTERVAL)
+        finally:
+            self._teardown_pool()
+        return self._successes, self._failures, self._causes
+
+    # -- pool lifecycle ------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        self._announce = multiprocessing.SimpleQueue()
+        self._pool = multiprocessing.Pool(
+            processes=self._workers,
+            initializer=_worker_init,
+            initargs=(self._announce,),
+        )
+        self._procs = list(getattr(self._pool, "_pool", []))
+        self._owner = {}
+
+    def _teardown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        announce, self._announce = self._announce, None
+        self._procs = []
+        self._owner = {}
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        if announce is not None:
+            try:
+                while not announce.empty():
+                    announce.get()
+                announce.close()
+            except (OSError, EOFError):  # pragma: no cover - teardown best effort
+                pass
+
+    # -- scheduling ----------------------------------------------------
+    def _dispatch(self) -> None:
+        assert self._pool is not None
+        while self._pending and len(self._inflight) < self._workers:
+            trial = self._pending.popleft()
+            attempt = self._failed_attempts[trial.index]
+            result = self._pool.apply_async(
+                _run_attempt, ((self._fn, trial, attempt),)
+            )
+            deadline = None
+            if self._policy.trial_timeout is not None:
+                deadline = (
+                    time.perf_counter() + self._policy.trial_timeout + _DISPATCH_SLACK
+                )
+            self._inflight[trial.index] = _InFlight(trial, attempt, result, deadline)
+
+    def _requeue_unfinished(self, flights: Sequence[_InFlight]) -> None:
+        """Re-dispatch innocent casualties of a pool restart, uncharged."""
+        for flight in sorted(flights, key=lambda f: f.trial.index, reverse=True):
+            self._pending.appendleft(flight.trial)
+
+    # -- progress ------------------------------------------------------
+    def _drain_announcements(self) -> None:
+        announce = self._announce
+        if announce is None:
+            return
+        try:
+            while not announce.empty():
+                pid, index = announce.get()
+                self._owner[pid] = index
+                flight = self._inflight.get(index)
+                if flight is not None and not flight.started:
+                    flight.started = True
+                    if self._policy.trial_timeout is not None:
+                        flight.deadline = (
+                            time.perf_counter() + self._policy.trial_timeout
+                        )
+        except (OSError, EOFError):  # pragma: no cover - queue torn down mid-read
+            pass
+
+    def _collect_ready(self) -> bool:
+        progressed = False
+        for index, flight in list(self._inflight.items()):
+            if not flight.result.ready():
+                continue
+            progressed = True
+            del self._inflight[index]
+            try:
+                outcome = flight.result.get(timeout=0)
+            except Exception as exc:
+                # The attempt ran but its outcome could not cross the
+                # process boundary (e.g. an unpicklable payload raised
+                # MaybeEncodingError in the pool's result handler).
+                self._attempt_failed(
+                    flight,
+                    kind="payload",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback_text="",
+                    worker=self._pid_running(index),
+                )
+                continue
+            if outcome.ok:
+                self._successes[index] = outcome
+            else:
+                self._attempt_failed(
+                    flight,
+                    kind="error",
+                    error_type=outcome.error_type,
+                    message=outcome.message,
+                    traceback_text=outcome.traceback_text,
+                    worker=outcome.worker,
+                )
+        return progressed
+
+    def _reap_timeouts(self) -> bool:
+        if self._policy.trial_timeout is None or not self._inflight:
+            return False
+        now = time.perf_counter()
+        expired = [
+            flight
+            for flight in self._inflight.values()
+            if flight.deadline is not None and now > flight.deadline
+        ]
+        if not expired:
+            return False
+        expired_indices = {flight.trial.index for flight in expired}
+        survivors = [
+            flight
+            for index, flight in self._inflight.items()
+            if index not in expired_indices
+        ]
+        self._inflight.clear()
+        for flight in expired:
+            self._attempt_failed(
+                flight,
+                kind="timeout",
+                error_type="TimeoutError",
+                message=(
+                    f"trial exceeded trial_timeout={self._policy.trial_timeout:g}s"
+                ),
+                traceback_text="",
+                worker=self._pid_running(flight.trial.index),
+            )
+        self._requeue_unfinished(survivors)
+        # The hung worker still occupies a slot; reclaim it by
+        # respawning the pool (the next loop iteration recreates it).
+        self._restart_pool()
+        return True
+
+    def _reap_dead_workers(self) -> bool:
+        dead = [proc for proc in self._procs if not proc.is_alive()]
+        if not dead:
+            return False
+        victims = set()
+        for proc in dead:
+            index = self._owner.get(proc.pid)
+            if index is not None and index in self._inflight:
+                victims.add(index)
+        if not victims and self._inflight:
+            # A worker died before announcing its trial; the victim is
+            # unknowable, so conservatively charge every in-flight trial
+            # one attempt (keeps crash loops bounded by the retry budget).
+            victims = set(self._inflight)
+        exitcodes = sorted({proc.exitcode for proc in dead if proc.exitcode})
+        survivors = [
+            flight
+            for index, flight in self._inflight.items()
+            if index not in victims
+        ]
+        victim_flights = [self._inflight[index] for index in sorted(victims)]
+        self._inflight.clear()
+        for flight in victim_flights:
+            self._attempt_failed(
+                flight,
+                kind="worker-death",
+                error_type="WorkerDeath",
+                message=(
+                    "worker process died mid-trial"
+                    + (f" (exitcode(s) {exitcodes})" if exitcodes else "")
+                ),
+                traceback_text="",
+                worker=self._pid_running(flight.trial.index),
+            )
+        self._requeue_unfinished(survivors)
+        self._restart_pool()
+        return True
+
+    def _restart_pool(self) -> None:
+        self._teardown_pool()
+
+    # -- bookkeeping ---------------------------------------------------
+    def _pid_running(self, index: int) -> Optional[int]:
+        for pid, owned in self._owner.items():
+            if owned == index:
+                return pid
+        return None
+
+    def _attempt_failed(
+        self,
+        flight: _InFlight,
+        kind: str,
+        error_type: str,
+        message: str,
+        traceback_text: str,
+        worker: Optional[int],
+    ) -> None:
+        trial = flight.trial
+        self._failed_attempts[trial.index] += 1
+        if self._failed_attempts[trial.index] <= self._policy.retries:
+            self._pending.append(trial)
+            return
+        failure = _make_failure(
+            trial,
+            kind=kind,
+            error_type=error_type,
+            message=message,
+            traceback_text=traceback_text,
+            worker=worker,
+            attempts=self._failed_attempts[trial.index],
+        )
+        self._failures[trial.index] = failure
+        if traceback_text:
+            self._causes[trial.index] = WorkerTraceback(traceback_text)
+
+
+def execute_batch(
+    fn: Callable[..., Any],
+    batch: Sequence[Any],
+    jobs: int,
+    policy: FailurePolicy,
+) -> _ExecResult:
+    """Run a batch under a policy; returns (successes, failures, causes).
+
+    Serial execution handles ``jobs == 1`` and — unless a timeout needs
+    process isolation to be enforceable — single-trial batches.  The
+    pool path adds timeout and worker-death recovery on top of the
+    shared retry semantics.
+    """
+    use_pool = jobs > 1 and (len(batch) > 1 or policy.trial_timeout is not None)
+    if use_pool:
+        return _PoolExecutor(fn, batch, jobs, policy).run()
+    return _run_serial(fn, batch, policy)
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection
+# ----------------------------------------------------------------------
+class InjectedFault(RuntimeError):
+    """Raised (or simulated) by the fault-injection harness."""
+
+
+class _CorruptPayload:
+    """A payload that refuses to pickle — the corrupt-payload mode.
+
+    Crossing the pool boundary raises in the worker's result encoder,
+    surfacing as a ``"payload"``-kind attempt failure in the parent.
+    Inline execution has no pickle boundary, so corruption is only
+    observable with ``jobs > 1``.
+    """
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+
+    def __reduce__(self) -> Any:
+        raise TypeError("injected corrupt payload refuses to pickle")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which trials fault, how, and for how many attempts.
+
+    Modes (all keyed off the trial *index*, so a plan is deterministic
+    by construction):
+
+    - ``error``: the trial raises :class:`InjectedFault`;
+    - ``crash``: the executing worker process dies hard
+      (``os._exit``); inline execution raises instead of killing the
+      parent process;
+    - ``hang``: the trial sleeps ``hang_seconds`` before computing its
+      real payload — under a shorter ``trial_timeout`` this presents as
+      a hung worker, without one it is merely slow;
+    - ``corrupt``: the trial computes its real payload but wraps it in
+      an unpicklable envelope, so it cannot cross the pool boundary.
+
+    Every mode recovers after ``recover_after`` faulted attempts: the
+    retried trial runs clean with the same seed, which is what lets the
+    fault-smoke suite assert byte-identical recovery.
+    """
+
+    error: Tuple[int, ...] = ()
+    crash: Tuple[int, ...] = ()
+    hang: Tuple[int, ...] = ()
+    corrupt: Tuple[int, ...] = ()
+    recover_after: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.recover_after < 0:
+            raise ConfigurationError(
+                "recover_after must be >= 0", recover_after=self.recover_after
+            )
+        if self.hang_seconds <= 0:
+            raise ConfigurationError(
+                "hang_seconds must be > 0", hang_seconds=self.hang_seconds
+            )
+
+    def faulty_indices(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted(set(self.error) | set(self.crash) | set(self.hang) | set(self.corrupt))
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        count: int,
+        fraction: float = 0.3,
+        modes: Sequence[str] = ("error", "crash", "hang", "corrupt"),
+        recover_after: int = 1,
+        hang_seconds: float = 30.0,
+    ) -> "FaultPlan":
+        """Derive a plan faulting ``<= fraction`` of ``count`` trials.
+
+        The victim set and mode assignment come from a
+        :func:`~repro.rng.derive_seed`-seeded generator, so the same
+        ``(seed, count, fraction, modes)`` always yields the same plan
+        on every platform.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must be in [0, 1]", fraction=fraction)
+        unknown = [m for m in modes if m not in ("error", "crash", "hang", "corrupt")]
+        if unknown:
+            raise ConfigurationError("unknown fault modes", modes=unknown)
+        rng = random.Random(derive_seed(seed, "fault-plan"))
+        victims = sorted(rng.sample(range(count), int(count * fraction)))
+        buckets: Dict[str, List[int]] = {m: [] for m in modes}
+        for position, index in enumerate(victims):
+            buckets[modes[position % len(modes)]].append(index)
+        return cls(
+            error=tuple(buckets.get("error", ())),
+            crash=tuple(buckets.get("crash", ())),
+            hang=tuple(buckets.get("hang", ())),
+            corrupt=tuple(buckets.get("corrupt", ())),
+            recover_after=recover_after,
+            hang_seconds=hang_seconds,
+        )
+
+
+class FaultInjector:
+    """Wraps a trial function with a :class:`FaultPlan` (picklable)."""
+
+    _accepts_attempt = True
+
+    def __init__(self, fn: Callable[..., Any], plan: FaultPlan) -> None:
+        self._fn = fn
+        self._plan = plan
+
+    def __call__(self, trial: Any, attempt: int = 0) -> Any:
+        plan = self._plan
+        faulting = attempt < plan.recover_after
+        if faulting and trial.index in plan.crash:
+            if multiprocessing.current_process().daemon:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedFault(
+                f"injected crash (trial {trial.index}, attempt {attempt}; "
+                "raised instead of killing the non-worker process)"
+            )
+        if faulting and trial.index in plan.hang:
+            time.sleep(plan.hang_seconds)
+        if faulting and trial.index in plan.error:
+            raise InjectedFault(
+                f"injected error (trial {trial.index}, attempt {attempt})"
+            )
+        payload = call_trial(self._fn, trial, attempt)
+        if faulting and trial.index in plan.corrupt:
+            return _CorruptPayload(payload)
+        return payload
+
+
+def inject(fn: Callable[..., Any], plan: FaultPlan) -> FaultInjector:
+    """Wrap ``fn`` so the plan's trials fault deterministically."""
+    return FaultInjector(fn, plan)

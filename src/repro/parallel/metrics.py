@@ -13,12 +13,21 @@ default).  Two consumers rely on this:
 Records live in the parent process only: parallel workers return their
 timings to the parent, which files them, so collectors never need
 cross-process synchronization.
+
+The collector also files one
+:class:`~repro.parallel.faults.TrialFailure` per *final* (post-retry)
+trial failure, so sweep summaries can report failure counts next to
+execution counts — partial results are only trustworthy when the
+failures that produced them are visible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> metrics)
+    from .faults import TrialFailure
 
 __all__ = [
     "TrialRecord",
@@ -50,16 +59,32 @@ class TrialMetricsCollector:
 
     def __init__(self) -> None:
         self._records: List[TrialRecord] = []
+        self._failures: List["TrialFailure"] = []
 
     def record(self, record: TrialRecord) -> None:
         self._records.append(record)
+
+    def record_failure(self, failure: "TrialFailure") -> None:
+        """File one final (post-retry) trial failure."""
+        self._failures.append(failure)
 
     @property
     def records(self) -> Tuple[TrialRecord, ...]:
         return tuple(self._records)
 
+    @property
+    def failures(self) -> Tuple["TrialFailure", ...]:
+        return tuple(self._failures)
+
     def reset(self) -> None:
         self._records.clear()
+        self._failures.clear()
+
+    def failed(self, experiment_id: Optional[str] = None) -> int:
+        """Number of failed trials (optionally for one experiment)."""
+        if experiment_id is None:
+            return len(self._failures)
+        return sum(1 for f in self._failures if f.experiment_id == experiment_id)
 
     def executed(self, experiment_id: Optional[str] = None) -> int:
         """Number of executed trials (optionally for one experiment)."""
@@ -74,22 +99,33 @@ class TrialMetricsCollector:
             for r in self._records
             if experiment_id is None or r.experiment_id == experiment_id
         ]
+        failures = self.failed(experiment_id)
         if not records:
-            return {"trials": 0, "workers": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+            return {
+                "trials": 0,
+                "workers": 0,
+                "total_seconds": 0.0,
+                "max_seconds": 0.0,
+                "failures": failures,
+            }
         return {
             "trials": len(records),
             "workers": len({r.worker for r in records}),
             "total_seconds": sum(r.seconds for r in records),
             "max_seconds": max(r.seconds for r in records),
+            "failures": failures,
         }
 
     def format_summary(self, experiment_id: Optional[str] = None) -> str:
         """One-line human-readable summary for CLI output."""
         s = self.summary(experiment_id)
-        return (
+        line = (
             f"{s['trials']} trial(s) on {s['workers']} worker(s), "
             f"{s['total_seconds']:.2f}s trial time"
         )
+        if s["failures"]:
+            line += f", {s['failures']} failure(s)"
+        return line
 
 
 class PhaseTimingCollector:

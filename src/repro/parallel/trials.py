@@ -18,21 +18,40 @@ Determinism rests on two rules:
    mutable state.  Under those rules, worker count, submission order,
    and OS scheduling cannot perturb results — the property pinned by
    ``tests/parallel/test_determinism.py``.
+
+Failure semantics live in :mod:`repro.parallel.faults`: the engine
+takes a :class:`~repro.parallel.faults.FailurePolicy` and delegates
+execution to its fault-tolerant executors, so one raising trial no
+longer destroys the whole batch — it is retried (same seed, so a
+retried success is bit-identical), and final failures surface as
+structured :class:`~repro.parallel.faults.TrialFailure` records or a
+chained :class:`~repro.parallel.faults.TrialExecutionError` naming the
+reproducing ``(experiment_id, index, seed)``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import time
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..rng import derive_seed
+from .faults import (
+    BatchResult,
+    ExcessiveFailuresError,
+    FailurePolicy,
+    TrialExecutionError,
+    execute_batch,
+)
 from .metrics import METRICS, TrialMetricsCollector, TrialRecord
 
-__all__ = ["Trial", "TrialEngine", "make_trials", "resolve_jobs", "trial_seed"]
+__all__ = [
+    "Trial",
+    "TrialEngine",
+    "make_trials",
+    "resolve_jobs",
+    "trial_seed",
+]
 
 
 def trial_seed(root_seed: int, experiment_id: str, trial_index: int) -> int:
@@ -119,71 +138,98 @@ def make_trials(
     return trials
 
 
-def _invoke(task: Tuple[Callable[[Trial], Any], Trial]) -> Tuple[int, Any, float, int]:
-    """Worker entry point: run one trial, time it, tag the worker PID."""
-    fn, trial = task
-    start = time.perf_counter()
-    payload = fn(trial)
-    return trial.index, payload, time.perf_counter() - start, os.getpid()
-
-
 class TrialEngine:
     """Executes batches of independent trials serially or in a pool.
 
     Parameters:
         jobs: Worker processes; ``1`` executes inline in this process.
-        collector: Destination for per-trial timing records (defaults
-            to the process-wide :data:`~repro.parallel.metrics.METRICS`).
+        collector: Destination for per-trial timing and failure records
+            (defaults to the process-wide
+            :data:`~repro.parallel.metrics.METRICS`).
+        policy: Failure semantics
+            (:class:`~repro.parallel.faults.FailurePolicy`); the
+            default is strict — no retries, no timeout, raise on the
+            first final failure, matching the engine's historical
+            behaviour minus the lost-batch bug.
     """
 
     def __init__(
-        self, jobs: int = 1, collector: Optional[TrialMetricsCollector] = None
+        self,
+        jobs: int = 1,
+        collector: Optional[TrialMetricsCollector] = None,
+        policy: Optional[FailurePolicy] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.collector = METRICS if collector is None else collector
+        self.policy = FailurePolicy.strict() if policy is None else policy
 
     # ------------------------------------------------------------------
-    def map(self, fn: Callable[[Trial], Any], trials: Iterable[Trial]) -> List[Any]:
-        """Run every trial; payloads come back in ascending index order.
+    def run(self, fn: Callable[[Trial], Any], trials: Iterable[Trial]) -> BatchResult:
+        """Run every trial under the engine's policy; partial results OK.
 
         ``fn`` must be a module-level callable (picklable by reference)
-        and every payload must be picklable.  The returned order — and,
+        and every payload must be picklable.  Payload order — and,
         given rule-abiding trial functions, the payloads themselves —
-        do not depend on ``jobs`` or on the order of ``trials``.
+        do not depend on ``jobs``, submission order, or how many
+        retries a trial needed (retries reuse the trial's seed).
+
+        Raises:
+            TrialExecutionError: under a ``"raise"`` policy, chained
+                from the failing trial's (possibly remote) traceback
+                and naming its ``(experiment_id, index, seed)``.
+            ExcessiveFailuresError: under a ``"skip"`` policy whose
+                ``max_failures`` budget the batch exceeded; names every
+                failed trial.
         """
         batch = list(trials)
         indices = [t.index for t in batch]
         if len(set(indices)) != len(indices):
             raise ConfigurationError("trial indices must be unique", indices=indices)
         if not batch:
-            return []
-        if self.jobs == 1 or len(batch) == 1:
-            outcomes = [_invoke((fn, trial)) for trial in batch]
-        else:
-            outcomes = self._map_pool(fn, batch)
-        outcomes.sort(key=lambda outcome: outcome[0])
-        by_index = {trial.index: trial for trial in batch}
-        for index, _, seconds, worker in outcomes:
-            self.collector.record(
-                TrialRecord(by_index[index].experiment_id, index, seconds, worker)
-            )
-        return [payload for _, payload, _, _ in outcomes]
+            return BatchResult((), (), ())
+        successes, failures, causes = execute_batch(
+            fn, batch, self.jobs, self.policy
+        )
+        ordered = sorted(batch, key=lambda trial: trial.index)
+        for trial in ordered:
+            attempt = successes.get(trial.index)
+            if attempt is not None:
+                self.collector.record(
+                    TrialRecord(
+                        trial.experiment_id, trial.index, attempt.seconds, attempt.worker
+                    )
+                )
+        failure_list = tuple(failures[index] for index in sorted(failures))
+        for failure in failure_list:
+            self.collector.record_failure(failure)
+        if failure_list:
+            if self.policy.mode == "raise":
+                first = failure_list[0]
+                error = TrialExecutionError(first)
+                cause = causes.get(first.index)
+                if cause is not None:
+                    raise error from cause
+                raise error
+            if self.policy.max_failures is not None and len(failure_list) > (
+                self.policy.max_failures
+            ):
+                raise ExcessiveFailuresError(failure_list, self.policy.max_failures)
+        payloads = tuple(
+            successes[trial.index].payload if trial.index in successes else None
+            for trial in ordered
+        )
+        return BatchResult(tuple(ordered), payloads, failure_list)
 
-    def _map_pool(
-        self, fn: Callable[[Trial], Any], batch: List[Trial]
-    ) -> List[Tuple[int, Any, float, int]]:
-        workers = min(self.jobs, len(batch))
-        pool = multiprocessing.Pool(processes=workers)
-        try:
-            outcomes = list(pool.imap_unordered(_invoke, [(fn, t) for t in batch]))
-        except BaseException:
-            pool.terminate()
-            raise
-        else:
-            pool.close()
-            return outcomes
-        finally:
-            pool.join()
+    def map(self, fn: Callable[[Trial], Any], trials: Iterable[Trial]) -> List[Any]:
+        """Run every trial; payloads come back in ascending index order.
+
+        Thin wrapper over :meth:`run` preserving the historical list
+        return.  Under a ``"skip"`` policy a failed trial's slot holds
+        ``None`` — callers that need to distinguish a legitimate
+        ``None`` payload from a failure should use :meth:`run` and
+        consult :attr:`~repro.parallel.faults.BatchResult.failures`.
+        """
+        return list(self.run(fn, trials).payloads)
 
     # ------------------------------------------------------------------
     def first_match(
@@ -201,15 +247,20 @@ class TrialEngine:
         behaviour); parallel engines evaluate in waves of ``jobs``
         trials.  Both select the same trial: waves are scanned in index
         order, so the first wave containing a match always yields the
-        global minimum matching index.
+        global minimum matching index.  Under a ``"skip"`` policy,
+        failed trials simply cannot match (or fall back) — selection
+        still favours the lowest surviving index.
         """
         ordered = sorted(trials, key=lambda trial: trial.index)
         fallback_hit: Optional[Tuple[Trial, Any]] = None
         wave_size = self.jobs if self.jobs > 1 else 1
         for start in range(0, len(ordered), wave_size):
             wave = ordered[start : start + wave_size]
-            payloads = self.map(fn, wave)
-            for trial, payload in zip(wave, payloads):
+            batch = self.run(fn, wave)
+            failed = batch.failed_indices
+            for trial, payload in zip(batch.trials, batch.payloads):
+                if trial.index in failed:
+                    continue
                 if predicate(payload):
                     return trial, payload
                 if (

@@ -1,9 +1,11 @@
-"""CLI tests for the runner's parallel/caching flags.
+"""CLI tests for the runner's parallel/caching/failure flags.
 
 Covers ``--jobs`` (including the ConfigurationError rejection of zero
 and negative worker counts), ``--cache`` round trips, the ``--no-cache``
-bypass, and a snapshot of the ``--help`` text so flag/wording changes
-are deliberate.
+bypass, the failure-semantics flags (``--retries``, ``--trial-timeout``,
+``--max-failures`` — driven end-to-end with a registry-injected faulty
+experiment), and a snapshot of the ``--help`` text so flag/wording
+changes are deliberate.
 """
 
 import textwrap
@@ -11,29 +13,41 @@ import textwrap
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY
+from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import main
+from repro.parallel import FaultPlan, TrialEngine, inject, make_trials
 
 HELP_SNAPSHOT = textwrap.dedent(
     """\
     usage: repro-experiments [-h] [--seed SEED] [--fast] [--jobs N] [--cache DIR]
-                             [--no-cache] [--csv DIR]
+                             [--no-cache] [--csv DIR] [--retries N]
+                             [--trial-timeout S] [--max-failures N]
                              [ID ...]
 
     Regenerate the paper's tables and figures.
 
     positional arguments:
-      ID           artifact ids to run (default: all). Known: figure3, figure4,
-                   figure6, figure7, figure8, table1, table2, table3, table4,
-                   table5, table6, table7, table8
+      ID                 artifact ids to run (default: all). Known: figure3,
+                         figure4, figure6, figure7, figure8, table1, table2,
+                         table3, table4, table5, table6, table7, table8
 
     options:
-      -h, --help   show this help message and exit
-      --seed SEED  experiment seed
-      --fast       reduced workloads (CI-sized)
-      --jobs N     worker processes per experiment's trial sweep (default: 1)
-      --cache DIR  on-disk result cache directory (reruns skip completed work)
-      --no-cache   bypass the result cache even when --cache is given
-      --csv DIR    directory to dump figure series as CSV files
+      -h, --help         show this help message and exit
+      --seed SEED        experiment seed
+      --fast             reduced workloads (CI-sized)
+      --jobs N           worker processes per experiment's trial sweep (default:
+                         1)
+      --cache DIR        on-disk result cache directory (reruns skip completed
+                         work)
+      --no-cache         bypass the result cache even when --cache is given
+      --csv DIR          directory to dump figure series as CSV files
+      --retries N        retry each failed trial up to N times with its original
+                         seed
+      --trial-timeout S  per-trial timeout in seconds (hung/dead workers are
+                         respawned)
+      --max-failures N   abort the sweep (exit 2) once more than N trials have
+                         failed
     """
 )
 
@@ -95,6 +109,102 @@ class TestCacheFlags:
         out = capsys.readouterr().out
         assert "cache hit" not in out
         assert len(list(cache_dir.glob("*.json"))) == 2
+
+
+def _echo_seed(trial):
+    return {"seed": trial.seed}
+
+
+def _make_faulty_run(plan):
+    """Registry-shaped experiment whose middle trial faults per plan."""
+
+    def run(seed=0, fast=False, jobs=1, policy=None):
+        trials = make_trials("faulty", seed, count=3)
+        # The default collector (the process-wide METRICS) feeds the
+        # runner's per-experiment trial/failure detail line.
+        engine = TrialEngine(jobs=jobs, policy=policy)
+        payloads = engine.map(inject(_echo_seed, plan), trials)
+        return ExperimentResult(
+            experiment_id="faulty",
+            title="synthetic faulting experiment",
+            headers=["seed"],
+            rows=[(payload["seed"],) for payload in payloads],
+        )
+
+    return run
+
+
+@pytest.fixture()
+def faulty_registry(monkeypatch):
+    """Two injected experiments: one recovers after a retry, one never."""
+    monkeypatch.setitem(
+        REGISTRY, "flaky", _make_faulty_run(FaultPlan(error=(1,), recover_after=1))
+    )
+    monkeypatch.setitem(
+        REGISTRY, "doomed", _make_faulty_run(FaultPlan(error=(1,), recover_after=99))
+    )
+
+
+class TestFailureFlags:
+    def test_retry_flags_accepted_on_a_clean_run(self, capsys):
+        assert (
+            main(
+                [
+                    "--fast",
+                    "--retries",
+                    "2",
+                    "--trial-timeout",
+                    "300",
+                    "table6",
+                ]
+            )
+            == 0
+        )
+        assert "table6" in capsys.readouterr().out
+
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--fast", "--retries", "-1", "table6"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_negative_max_failures_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--fast", "--max-failures", "-1", "table6"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_retries_recover_a_flaky_experiment(self, faulty_registry, capsys):
+        assert main(["--fast", "--retries", "2", "flaky"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic faulting experiment" in out
+        assert "3 trial(s)" in out
+
+    def test_without_retries_the_flaky_experiment_fails(
+        self, faulty_registry, capsys
+    ):
+        assert main(["--fast", "flaky"]) == 1
+        err = capsys.readouterr().err
+        assert "[FAIL] flaky" in err
+        assert "index=1" in err and "seed=" in err
+
+    def test_failure_within_budget_continues_the_sweep(
+        self, faulty_registry, capsys
+    ):
+        assert main(["--fast", "--max-failures", "3", "doomed", "table6"]) == 1
+        captured = capsys.readouterr()
+        assert "[FAIL] doomed" in captured.err
+        assert "1 trial failure(s)" in captured.err
+        assert "(faulty, 1," in captured.err  # the reproducing triple
+        assert "table6" in captured.out  # the sweep kept going
+
+    def test_budget_exceeded_aborts_with_exit_2(self, faulty_registry, capsys):
+        assert main(["--fast", "--max-failures", "0", "doomed", "table6"]) == 2
+        captured = capsys.readouterr()
+        assert "aborting sweep, skipping: table6" in captured.err
+        assert "budget: --max-failures 0" in captured.err
+        assert "(faulty, 1," in captured.err
+        assert "table6" not in captured.out  # never ran
 
 
 class TestHelpSnapshot:

@@ -39,3 +39,15 @@ class TestRepoSelfLint:
         assert any(path.endswith("repro/parallel/trials.py") for path in linted)
         assert any("benchmarks/" in path for path in linted)
         assert len(linted) > 150
+
+    def test_fault_layer_obeys_the_determinism_rules(self):
+        """The fault-tolerance layer is process-juggling code — exactly
+        where global RNG, module state, and wall-clock habits creep in —
+        so pin that it passes every rule without a file suppression."""
+        faults_path = REPO_ROOT / "src" / "repro" / "parallel" / "faults.py"
+        report = lint_paths([faults_path])
+        assert report.findings == [], "\n".join(
+            f"{f.location()}: {f.rule_id} {f.message}" for f in report.findings
+        )
+        (entry,) = report.files
+        assert not entry.file_suppressed

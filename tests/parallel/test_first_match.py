@@ -1,0 +1,135 @@
+"""``first_match`` selection semantics, pinned across worker counts.
+
+The representative-seed searches (Figure 7) rely on ``first_match``
+choosing the *same* trial for every ``jobs`` value.  The subtle case is
+a single parallel wave containing both a predicate match and a
+lower-index fallback-only payload: the predicate match must win (the
+fallback exists only for when no trial matches at all), exactly as the
+serial path would have decided.  Failed trials under a ``"skip"``
+policy can neither match nor fall back, and selection moves to the
+lowest surviving index — again identically for every worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    FailurePolicy,
+    FaultPlan,
+    Trial,
+    TrialEngine,
+    TrialMetricsCollector,
+    inject,
+)
+
+JOB_COUNTS = (1, 4)
+
+
+def tagged_payload(trial):
+    return {"index": trial.index, "tag": trial.param("tag", "plain")}
+
+
+def is_match(payload):
+    return payload["tag"] == "match"
+
+
+def is_fallback(payload):
+    return payload["tag"] == "fallback"
+
+
+def _trials(tags):
+    return [
+        Trial("firstmatch", index, 1000 + index, (("tag", tag),))
+        for index, tag in enumerate(tags)
+    ]
+
+
+def _engine(jobs, policy=None):
+    return TrialEngine(
+        jobs=jobs, collector=TrialMetricsCollector(), policy=policy
+    )
+
+
+def _select(tags, jobs, policy=None, fn=tagged_payload):
+    return _engine(jobs, policy).first_match(
+        fn, _trials(tags), predicate=is_match, fallback=is_fallback
+    )
+
+
+class TestSelectionAcrossWorkerCounts:
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_no_match_no_fallback_returns_none(self, jobs):
+        assert _select(["plain"] * 6, jobs) is None
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_lowest_matching_index_wins(self, jobs):
+        tags = ["plain", "plain", "match", "plain", "match", "plain"]
+        trial, payload = _select(tags, jobs)
+        assert trial.index == 2
+        assert payload["tag"] == "match"
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_fallback_used_only_when_nothing_matches(self, jobs):
+        tags = ["plain", "fallback", "plain", "fallback", "plain", "plain"]
+        trial, payload = _select(tags, jobs)
+        assert trial.index == 1
+        assert payload["tag"] == "fallback"
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_match_beats_earlier_fallback_in_the_same_wave(self, jobs):
+        # Indices 0-3 land in one jobs=4 wave: the fallback at index 1
+        # precedes the match at index 3, but the match must still win.
+        tags = ["plain", "fallback", "plain", "match", "plain", "plain"]
+        trial, payload = _select(tags, jobs)
+        assert trial.index == 3
+        assert payload["tag"] == "match"
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_early_wave_fallback_loses_to_late_wave_match(self, jobs):
+        # Fallback in the first jobs=4 wave, match only in the second:
+        # the search must keep going and return the match.
+        tags = ["fallback", "plain", "plain", "plain", "plain", "match"]
+        trial, payload = _select(tags, jobs)
+        assert trial.index == 5
+        assert payload["tag"] == "match"
+
+    def test_serial_and_parallel_agree_on_every_layout(self):
+        layouts = [
+            ["plain"] * 6,
+            ["match"] + ["plain"] * 5,
+            ["plain"] * 5 + ["match"],
+            ["fallback"] * 3 + ["match"] * 3,
+            ["plain", "fallback", "match", "fallback", "match", "plain"],
+        ]
+        for tags in layouts:
+            serial = _select(tags, 1)
+            parallel = _select(tags, 4)
+            if serial is None:
+                assert parallel is None
+            else:
+                assert parallel is not None
+                assert serial[0] == parallel[0]
+                assert serial[1] == parallel[1]
+
+
+class TestFailedTrialsCannotMatch:
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_selection_skips_a_permanently_failed_match(self, jobs):
+        # The lowest match (index 1) always fails; selection must fall
+        # through to the surviving match at index 4 for every jobs.
+        tags = ["plain", "match", "plain", "plain", "match", "plain"]
+        policy = FailurePolicy(mode="skip", retries=0)
+        failing = inject(tagged_payload, FaultPlan(error=(1,), recover_after=99))
+        trial, payload = _select(tags, jobs, policy=policy, fn=failing)
+        assert trial.index == 4
+        assert payload["tag"] == "match"
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_failed_fallback_is_not_selected(self, jobs):
+        tags = ["plain", "fallback", "plain", "fallback", "plain", "plain"]
+        policy = FailurePolicy(mode="skip", retries=0)
+        failing = inject(tagged_payload, FaultPlan(error=(1,), recover_after=99))
+        trial, payload = _select(tags, jobs, policy=policy, fn=failing)
+        assert trial.index == 3
+        assert payload["tag"] == "fallback"
