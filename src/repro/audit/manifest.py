@@ -1,0 +1,107 @@
+"""The audit manifest: a committed, CI-gated purity ledger.
+
+``AUDIT_MANIFEST.json`` records, per worker, the audit's complete
+account of what that worker may do: every module and function its
+transitive call graph reaches, and every effect in that closure —
+including *sanctioned* effects, which produce no findings but stay on
+the ledger so a reviewer can see exactly which impurities were declared
+intentional, where, and under which suppression.
+
+The file is deterministically rendered (sorted keys, sorted workers,
+sorted effect lists, no line numbers — so pure-motion refactors don't
+churn it).  ``repro-audit --check-manifest`` re-derives the manifest
+from source and fails CI with a unified diff when the committed copy
+has drifted: any change to a worker's effect surface must land in the
+same commit as the manifest update acknowledging it.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .rules import AuditContext
+
+__all__ = [
+    "DEFAULT_MANIFEST",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "diff_manifest",
+    "render_manifest",
+]
+
+#: Default committed location, relative to the repo root.
+DEFAULT_MANIFEST = "AUDIT_MANIFEST.json"
+
+#: Bump when the manifest envelope shape changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def _effect_entries(context: AuditContext, worker_fq: str) -> List[Dict[str, Any]]:
+    closure = context.closures[worker_fq]
+    entries = {
+        (traced.effect.kind, traced.effect.site, traced.effect.sanctioned)
+        for traced in closure.effects
+    }
+    return [
+        {"kind": kind, "site": site, "sanctioned": sanctioned}
+        for kind, site, sanctioned in sorted(entries)
+    ]
+
+
+def build_manifest(context: AuditContext) -> Dict[str, Any]:
+    """The manifest payload, pure data, deterministically ordered."""
+    workers: Dict[str, Any] = {}
+    for worker in context.workers:
+        closure = context.closures[worker.fq]
+        workers[worker.fq] = {
+            "role": worker.role,
+            "artifact": worker.artifact,
+            "dispatched_from": worker.dispatch_module,
+            "modules": list(closure.modules),
+            "functions": list(closure.functions),
+            "effects": _effect_entries(context, worker.fq),
+        }
+    artifacts = sorted(
+        {w.artifact for w in context.workers if w.artifact is not None}
+    )
+    return {
+        "version": MANIFEST_SCHEMA_VERSION,
+        "artifacts": artifacts,
+        "workers": workers,
+    }
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Byte-stable serialization (what gets committed)."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def diff_manifest(
+    manifest: Dict[str, Any], path: Union[str, Path]
+) -> Optional[str]:
+    """Unified diff committed-vs-derived, or None when they match.
+
+    A missing committed manifest diffs against the empty file, so the
+    first ``--check-manifest`` run tells the operator exactly what to
+    commit rather than crashing.
+    """
+    manifest_path = Path(path)
+    expected = render_manifest(manifest)
+    actual = (
+        manifest_path.read_text(encoding="utf-8")
+        if manifest_path.exists()
+        else ""
+    )
+    if actual == expected:
+        return None
+    return "".join(
+        difflib.unified_diff(
+            actual.splitlines(keepends=True),
+            expected.splitlines(keepends=True),
+            fromfile=f"{manifest_path} (committed)",
+            tofile=f"{manifest_path} (derived from source)",
+        )
+    )

@@ -1,0 +1,455 @@
+"""The RPL2xx cross-file rule family and the audit orchestrator.
+
+Where RPL1xx rules certify one file at a time, these certify the
+*whole program*:
+
+- **RPL201 impure-worker** — a worker dispatched through
+  ``TrialEngine``/``run_experiment`` transitively reaches an impure
+  effect (global RNG, wall clock, filesystem/env/network I/O,
+  unordered iteration) that no one sanctioned with a reason.
+- **RPL202 seed-drop** — a function that accepts a ``seed``/``rng``
+  parameter calls a seed-taking intra-repo callee without threading
+  any seed-derived value into it, so the callee silently falls back to
+  its default seed and the caller's seed stops governing part of the
+  computation.
+- **RPL203 reachable-state** — mutable module-level state is mutated
+  somewhere in a worker's transitive call graph: the generalized
+  ``MiningPool``/``EventQueue`` bug class, now caught across module
+  boundaries.
+- **RPL204 stale-fingerprint** — the result cache's code-version
+  fingerprint (``FINGERPRINT_MODULES``) misses a module transitively
+  reachable from a cached worker, so editing that module would leave
+  old cache entries serving stale results.
+
+Findings reuse the lint engine's :class:`~repro.lint.core.Finding`
+shape and suppression directives, so reporting, sorting, and
+``# repro-lint: disable=RPL2xx <reason>`` comments work identically
+across both tools.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..lint.core import Finding
+from .callgraph import CallGraph, build_call_graph, function_body_walk
+from .effects import (
+    Effect,
+    EffectClosure,
+    IMPURE_KINDS,
+    STATE_KINDS,
+    TracedEffect,
+    direct_effects,
+    effect_closure,
+)
+from .project import MODULE_BODY, FunctionNode, ModuleRecord, Project
+from .workers import Worker, find_workers
+
+__all__ = [
+    "AUDIT_RULES",
+    "AuditContext",
+    "AuditReport",
+    "AuditRule",
+    "audit_rule_by_identifier",
+    "run_audit",
+]
+
+_SEED_PARAM_RE = re.compile(r"^(seed|seeds|rng|root_seed|.*_seed|.*_rng)$")
+
+
+@dataclass
+class AuditContext:
+    """Everything a cross-file rule may inspect."""
+
+    project: Project
+    graph: CallGraph
+    effects: Dict[str, List[Effect]]
+    workers: List[Worker]
+    closures: Dict[str, EffectClosure]
+
+    def record_of(self, fn: FunctionNode) -> ModuleRecord:
+        return self.project.modules[fn.module]
+
+
+class AuditRule:
+    """Base class mirroring the lint Rule protocol, over a project."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, context: AuditContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, record: ModuleRecord, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=record.info.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            message=message,
+        )
+
+
+def _short_trace(traced: TracedEffect, limit: int = 5) -> str:
+    chain = traced.trace
+    if len(chain) > limit:
+        chain = chain[:2] + ("...",) + chain[-2:]
+    return " -> ".join(chain)
+
+
+class ImpureWorkerRule(AuditRule):
+    rule_id = "RPL201"
+    name = "impure-worker"
+    summary = "worker's transitive call graph reaches an impure effect"
+    rationale = (
+        "Trial results are cached, retried, and compared across worker "
+        "counts on the assumption that a worker is a pure function of "
+        "(experiment_id, config, seed); any transitively reachable "
+        "global-RNG, wall-clock, or I/O effect silently breaks that. "
+        "Sanction a deliberate effect on its line with a reason."
+    )
+
+    kinds = IMPURE_KINDS
+
+    def check(self, context: AuditContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for worker in context.workers:
+            closure = context.closures[worker.fq]
+            record = context.record_of(worker.node)
+            for traced in closure.effects:
+                effect = traced.effect
+                if effect.kind not in self.kinds or effect.sanctioned:
+                    continue
+                findings.append(
+                    self.finding(
+                        record,
+                        worker.node.lineno,
+                        0,
+                        f"{worker.role} worker '{worker.fq}' transitively "
+                        f"reaches {effect.kind} at {effect.module}:"
+                        f"{effect.line} ({effect.detail}) via "
+                        f"{_short_trace(traced)}",
+                    )
+                )
+        return findings
+
+
+class ReachableStateRule(ImpureWorkerRule):
+    rule_id = "RPL203"
+    name = "reachable-state"
+    summary = "mutable module-level state mutated in a worker's call graph"
+    rationale = (
+        "A module-global counter/dict mutated anywhere in a worker's "
+        "transitive call graph couples trials through process history — "
+        "the MiningPool pool-id bug, generalized across modules. Scope "
+        "the state per-instance or pass it explicitly."
+    )
+
+    kinds = STATE_KINDS
+
+
+class SeedFlowRule(AuditRule):
+    rule_id = "RPL202"
+    name = "seed-drop"
+    summary = "seed-taking callee invoked without threading the caller's seed"
+    rationale = (
+        "When a seeded function calls a callee that takes its own "
+        "seed/rng but is not handed one derived from the caller's, the "
+        "callee runs on its default seed: the caller's seed silently "
+        "stops governing part of the computation, and sweeps over seeds "
+        "stop sweeping it."
+    )
+
+    def _seed_params(self, params: Sequence[str]) -> List[str]:
+        return [p for p in params if _SEED_PARAM_RE.match(p)]
+
+    def _seed_carrying(self, record: ModuleRecord, fn: FunctionNode) -> Set[str]:
+        """Caller-local names holding seed-derived values (fixpoint)."""
+        carrying: Set[str] = set(self._seed_params(fn.params))
+        if not carrying:
+            return carrying
+        assigns: List[Tuple[Set[str], ast.AST]] = []
+        for node in function_body_walk(record, fn):
+            if isinstance(node, ast.Assign):
+                targets = {
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                }
+                if targets:
+                    assigns.append((targets, node.value))
+        changed = True
+        while changed:
+            changed = False
+            for targets, value in assigns:
+                if targets <= carrying:
+                    continue
+                refs = {
+                    n.id for n in ast.walk(value) if isinstance(n, ast.Name)
+                }
+                if refs & carrying:
+                    carrying |= targets
+                    changed = True
+        return carrying
+
+    @staticmethod
+    def _callee_params(target) -> Optional[Tuple[str, Sequence[str]]]:
+        kind, symbol = target
+        if kind == "function":
+            return symbol.fq, symbol.params
+        if kind == "class":
+            return symbol.fq, symbol.init_params
+        return None
+
+    def check(self, context: AuditContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for record in context.project.modules.values():
+            for fn in record.functions.values():
+                if fn.qualname == MODULE_BODY:
+                    continue
+                carrying = self._seed_carrying(record, fn)
+                if not carrying:
+                    continue
+                for node in function_body_walk(record, fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    canonical = record.info.resolve(node.func)
+                    if canonical is None:
+                        continue
+                    target = context.project.resolve_local(record, canonical)
+                    if target is None:
+                        continue
+                    located = self._callee_params(target)
+                    if located is None:
+                        continue
+                    callee_fq, callee_params = located
+                    if callee_fq == fn.fq:
+                        continue  # recursion threads by construction
+                    callee_seed = self._seed_params(callee_params)
+                    if not callee_seed:
+                        continue
+                    arguments = list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]
+                    name_refs: Set[str] = set()
+                    attr_refs: Set[str] = set()
+                    for argument in arguments:
+                        for sub in ast.walk(argument):
+                            if isinstance(sub, ast.Name):
+                                name_refs.add(sub.id)
+                            elif isinstance(sub, ast.Attribute):
+                                attr_refs.add(sub.attr)
+                    threaded = bool(name_refs & carrying) or any(
+                        _SEED_PARAM_RE.match(attr) for attr in attr_refs
+                    )
+                    if threaded:
+                        continue
+                    findings.append(
+                        self.finding(
+                            record,
+                            node.lineno,
+                            node.col_offset,
+                            f"'{fn.fq}' takes "
+                            f"'{'/'.join(self._seed_params(fn.params))}' but "
+                            f"calls '{callee_fq}' (seed parameter "
+                            f"'{'/'.join(callee_seed)}') without threading a "
+                            "seed-derived value — the callee runs on its "
+                            "default seed",
+                        )
+                    )
+        return findings
+
+
+class StaleFingerprintRule(AuditRule):
+    rule_id = "RPL204"
+    name = "stale-fingerprint"
+    summary = "cache code fingerprint misses a module reachable from a cached worker"
+    rationale = (
+        "Cache keys embed a code-version fingerprint hashed over "
+        "FINGERPRINT_MODULES; a module reachable from a cached entry "
+        "worker but absent from that list can change without changing "
+        "any key, so old entries keep serving results the current code "
+        "would no longer produce."
+    )
+
+    @staticmethod
+    def _fingerprint_declaration(
+        project: Project,
+    ) -> Optional[Tuple[ModuleRecord, int, Set[str]]]:
+        for record in project.modules.values():
+            for stmt in record.info.tree.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not any(
+                    isinstance(t, ast.Name) and t.id == "FINGERPRINT_MODULES"
+                    for t in stmt.targets
+                ):
+                    continue
+                if not isinstance(stmt.value, (ast.Tuple, ast.List)):
+                    continue
+                names = {
+                    element.value
+                    for element in stmt.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                }
+                return record, stmt.lineno, names
+        return None
+
+    def check(self, context: AuditContext) -> List[Finding]:
+        cached = [w for w in context.workers if w.role == "entry"]
+        if not cached:
+            return []
+        declaration = self._fingerprint_declaration(context.project)
+        if declaration is None:
+            for record in context.project.modules.values():
+                if "ResultCache" in record.classes:
+                    return [
+                        self.finding(
+                            record,
+                            record.classes["ResultCache"].lineno,
+                            0,
+                            "ResultCache has no FINGERPRINT_MODULES "
+                            "declaration, so its code-version fingerprint "
+                            "cannot cover the modules cached workers "
+                            "actually execute",
+                        )
+                    ]
+            return []
+        record, lineno, declared = declaration
+
+        def covered(module: str) -> bool:
+            # A declared package covers its subtree; declaring any
+            # descendant covers the ancestor __init__ modules, which
+            # code_fingerprint() hashes automatically.
+            for name in declared:
+                if (
+                    module == name
+                    or module.startswith(name + ".")
+                    or name.startswith(module + ".")
+                ):
+                    return True
+            return False
+
+        reachable: Set[str] = set()
+        for worker in cached:
+            reachable.update(context.closures[worker.fq].modules)
+        missing = sorted(m for m in reachable if not covered(m))
+        if not missing:
+            return []
+        return [
+            self.finding(
+                record,
+                lineno,
+                0,
+                "FINGERPRINT_MODULES misses module(s) transitively "
+                "reachable from cached workers — cache keys can go stale "
+                f"undetected: {', '.join(missing)}",
+            )
+        ]
+
+
+AUDIT_RULES: List[AuditRule] = sorted(
+    [
+        ImpureWorkerRule(),
+        SeedFlowRule(),
+        ReachableStateRule(),
+        StaleFingerprintRule(),
+    ],
+    key=lambda rule: rule.rule_id,
+)
+
+
+def audit_rule_by_identifier(identifier: str) -> AuditRule:
+    """Look up an audit rule by ID (``RPL201``) or name (``seed-drop``)."""
+    needle = identifier.strip().lower()
+    for rule in AUDIT_RULES:
+        if needle in (rule.rule_id.lower(), rule.name.lower()):
+            return rule
+    known = ", ".join(f"{r.rule_id}/{r.name}" for r in AUDIT_RULES)
+    raise KeyError(f"unknown audit rule {identifier!r}; known rules: {known}")
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one whole-program audit run."""
+
+    context: AuditContext
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _select_audit_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[AuditRule]:
+    chosen = list(AUDIT_RULES)
+    if select is not None:
+        wanted = {audit_rule_by_identifier(name).rule_id for name in select}
+        chosen = [rule for rule in chosen if rule.rule_id in wanted]
+    if ignore is not None:
+        dropped = {audit_rule_by_identifier(name).rule_id for name in ignore}
+        chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+    return chosen
+
+
+def build_context(project: Project) -> AuditContext:
+    """Call graph, effects, workers, and per-worker closures."""
+    graph = build_call_graph(project)
+    effects = direct_effects(project)
+    workers = find_workers(project)
+    closures = {
+        worker.fq: effect_closure(graph, effects, worker.fq)
+        for worker in workers
+    }
+    return AuditContext(
+        project=project,
+        graph=graph,
+        effects=effects,
+        workers=workers,
+        closures=closures,
+    )
+
+
+def run_audit(
+    paths: Sequence[Union[str, "Path"]],
+    suppressions: str = "all",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> AuditReport:
+    """Load, analyze, and apply every (selected) RPL2xx rule.
+
+    ``suppressions`` follows the lint convention: ``"all"`` honours
+    ``disable-file`` headers (production), ``"line"`` looks inside
+    them (the audit's own fixture trees).  Line suppressions on a
+    finding's reported line are honoured in both modes; suppressed
+    findings are retained separately so reports can show them.
+    """
+    project = Project.load(paths, suppressions=suppressions)
+    context = build_context(project)
+    raw: List[Finding] = []
+    for rule in _select_audit_rules(select, ignore):
+        raw.extend(rule.check(context))
+    raw.extend(project.parse_failures)
+    raw.sort()
+    by_path = {
+        record.info.path: record for record in project.modules.values()
+    }
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        record = by_path.get(finding.path)
+        if record is not None and record.suppressions.covers(finding):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    return AuditReport(context=context, findings=findings, suppressed=suppressed)

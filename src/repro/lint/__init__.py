@@ -24,11 +24,15 @@ from .core import (
     PARSE_ERROR_ID,
     FileReport,
     Finding,
+    ImportMap,
     RunReport,
+    Suppressions,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
+    module_dotted_path,
+    parse_suppressions,
 )
 from .rules import RULES, rule_by_identifier
 
@@ -36,11 +40,15 @@ __all__ = [
     "PARSE_ERROR_ID",
     "FileReport",
     "Finding",
+    "ImportMap",
     "RULES",
     "RunReport",
+    "Suppressions",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "module_dotted_path",
+    "parse_suppressions",
     "rule_by_identifier",
 ]

@@ -26,7 +26,7 @@ from .rules import RULES, rule_by_identifier
 
 __all__ = ["main"]
 
-_DEFAULT_PATHS = ["src", "benchmarks", "tests"]
+_DEFAULT_PATHS = ["src", "benchmarks", "tests", "examples"]
 
 
 def _split_rule_list(values: Optional[List[str]]) -> Optional[List[str]]:
@@ -37,10 +37,22 @@ def _split_rule_list(values: Optional[List[str]]) -> Optional[List[str]]:
 
 
 def _render_rule_list() -> str:
+    from .core import PARSE_ERROR_ID
+
     lines = ["repro-lint rules:"]
     for rule in RULES:
         lines.append(f"  {rule.rule_id}  {rule.name:<20} {rule.summary}")
         lines.append(f"          {rule.rationale}")
+    lines.append(
+        f"  {PARSE_ERROR_ID}  {'parse-error':<20} "
+        "file does not parse (pseudo-rule)"
+    )
+    lines.append(
+        "          Reported whenever a file fails to parse as Python: a "
+        "file the AST rejects can never be certified clean, so the run "
+        "fails. Not selectable via --select/--ignore and not "
+        "suppressible — fix the syntax error."
+    )
     lines.append(
         "suppress a finding with `# repro-lint: disable=<ID> <reason>`; "
         "skip a fixture file with a leading `# repro-lint: disable-file "

@@ -35,13 +35,17 @@ __all__ = [
     "FILE_DIRECTIVE_WINDOW",
     "FileReport",
     "Finding",
+    "ImportMap",
     "ModuleInfo",
     "PARSE_ERROR_ID",
     "RunReport",
+    "Suppressions",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "module_dotted_path",
+    "parse_suppressions",
 ]
 
 #: Pseudo rule ID for files the parser rejects (not selectable/ignorable
@@ -72,6 +76,31 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
 
+def module_dotted_path(path: Union[str, Path]) -> Tuple[Optional[str], bool]:
+    """Dotted module path of a file, derived from ``__init__.py`` markers.
+
+    Walks up from the file as long as each parent directory is a
+    package (contains ``__init__.py``).  Returns ``(dotted, is_package)``
+    where ``is_package`` is True for ``__init__.py`` files (whose dotted
+    path is the package itself).  A file outside any package returns
+    ``(None, False)`` — relative imports cannot be resolved for it.
+    """
+    file_path = Path(path)
+    parts: List[str] = []
+    is_package = file_path.name == "__init__.py"
+    if not is_package:
+        parts.append(file_path.stem)
+    parent = file_path.parent
+    found_package = False
+    while (parent / "__init__.py").exists():
+        found_package = True
+        parts.append(parent.name)
+        parent = parent.parent
+    if not found_package:
+        return None, False
+    return ".".join(reversed(parts)), is_package
+
+
 class ImportMap:
     """Maps local names to canonical dotted module paths.
 
@@ -79,9 +108,24 @@ class ImportMap:
     ``numpy.random.rand``; ``from random import choice`` makes a bare
     ``choice`` resolve to ``random.choice``.  Rules match on the
     canonical form so aliasing cannot dodge them.
+
+    When the module's own dotted path is known (``module=`` plus
+    ``is_package=``), package-relative imports resolve too: inside
+    ``repro.experiments.figure6``, ``from .base import ExperimentResult``
+    canonicalizes to ``repro.experiments.base.ExperimentResult`` and
+    ``from . import table1 as t1`` binds ``t1`` to
+    ``repro.experiments.table1`` — so intra-repo aliases participate in
+    rule matching instead of silently dropping out.
     """
 
-    def __init__(self, tree: ast.AST) -> None:
+    def __init__(
+        self,
+        tree: ast.AST,
+        module: Optional[str] = None,
+        is_package: bool = False,
+    ) -> None:
+        self.module = module
+        self.is_package = is_package
         self.aliases: Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -93,11 +137,40 @@ class ImportMap:
                         head = alias.name.split(".")[0]
                         self.aliases.setdefault(head, head)
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
-                    continue  # relative imports never reach stdlib names
+                if node.level:
+                    base = self._relative_base(node.level)
+                    if base is None:
+                        continue  # unknown module path: cannot resolve
+                else:
+                    if node.module is None:
+                        continue
+                    base = node.module
+                prefix = f"{base}.{node.module}" if node.level and node.module else base
                 for alias in node.names:
                     local = alias.asname or alias.name
-                    self.aliases[local] = f"{node.module}.{alias.name}"
+                    self.aliases[local] = f"{prefix}.{alias.name}"
+
+    def _relative_base(self, level: int) -> Optional[str]:
+        """Package that ``level`` leading dots refer to, or None.
+
+        One dot is the module's own package (for a package's
+        ``__init__.py``, the package itself); each extra dot climbs one
+        package higher.  Returns None when the module path is unknown
+        or the dots climb past the top-level package.
+        """
+        if not self.module:
+            return None
+        parts = self.module.split(".")
+        if not self.is_package:
+            parts = parts[:-1]  # the containing package
+        climb = level - 1
+        if climb >= len(parts):
+            return None
+        if climb:
+            parts = parts[:-climb]
+        if not parts:
+            return None
+        return ".".join(parts)
 
     @staticmethod
     def dotted_parts(expr: ast.AST) -> Optional[List[str]]:
@@ -122,12 +195,18 @@ class ImportMap:
 
 @dataclass
 class ModuleInfo:
-    """Everything a rule needs to inspect one parsed module."""
+    """Everything a rule needs to inspect one parsed module.
+
+    ``module`` is the dotted import path when known (``None`` for
+    sources linted outside any package); with it set, the import map
+    resolves package-relative imports to canonical intra-repo names.
+    """
 
     path: str
     source: str
     tree: ast.Module
     imports: ImportMap
+    module: Optional[str] = None
 
     def resolve(self, expr: ast.AST) -> Optional[str]:
         return self.imports.resolve(expr)
@@ -151,7 +230,7 @@ class Suppressions:
         )
 
 
-def _parse_suppressions(source: str) -> Suppressions:
+def parse_suppressions(source: str) -> Suppressions:
     """Extract directives from comment tokens (never from strings)."""
     result = Suppressions()
     try:
@@ -234,6 +313,8 @@ def lint_source(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     suppressions: str = "all",
+    module: Optional[str] = None,
+    is_package: bool = False,
 ) -> FileReport:
     """Lint one source string.
 
@@ -242,6 +323,10 @@ def lint_source(
     ``"line"`` honours only line comments (the fixture self-tests use
     this to look inside intentionally-bad files that carry a
     ``disable-file`` header), ``"none"`` reports everything.
+
+    ``module``/``is_package`` name the source's dotted import path when
+    known, enabling relative-import resolution (``lint_file`` derives
+    them from ``__init__.py`` markers automatically).
     """
     if suppressions not in ("all", "line", "none"):
         raise ValueError(f"unknown suppressions mode: {suppressions!r}")
@@ -258,11 +343,17 @@ def lint_source(
         )
         return FileReport(path=path, findings=[finding], suppressed=[])
 
-    directives = _parse_suppressions(source)
+    directives = parse_suppressions(source)
     if suppressions == "all" and directives.file_disabled:
         return FileReport(path=path, findings=[], suppressed=[], file_suppressed=True)
 
-    module = ModuleInfo(path=path, source=source, tree=tree, imports=ImportMap(tree))
+    module = ModuleInfo(
+        path=path,
+        source=source,
+        tree=tree,
+        imports=ImportMap(tree, module=module, is_package=is_package),
+        module=module,
+    )
     raw: List[Finding] = []
     for rule in _select_rules(select, ignore):
         raw.extend(rule.check(module))
@@ -284,23 +375,40 @@ def lint_file(
     """Lint one file from disk (path reported in posix form)."""
     file_path = Path(path)
     source = file_path.read_text(encoding="utf-8")
+    dotted, is_package = module_dotted_path(file_path)
     return lint_source(
         source,
         path=file_path.as_posix(),
         select=select,
         ignore=ignore,
         suppressions=suppressions,
+        module=dotted,
+        is_package=is_package,
     )
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
-    """Expand files/directories into a sorted, de-duplicated file list."""
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Shared by repro-lint and repro-audit discovery.  Guarantees:
+
+    - deterministic posix-path ordering regardless of input order or
+      filesystem enumeration order;
+    - duplicate paths (a file named twice, or via its parent directory)
+      appear once;
+    - symlink loops cannot recurse forever (``**`` globbing does not
+      follow directory symlinks);
+    - a nonexistent path raises :class:`FileNotFoundError` instead of
+      silently linting nothing.
+    """
     seen: Set[str] = set()
     collected: List[Tuple[str, Path]] = []
     for entry in paths:
         root = Path(entry)
         if root.is_dir():
             candidates = sorted(root.rglob("*.py"), key=lambda p: p.as_posix())
+        elif not root.exists():
+            raise FileNotFoundError(f"no such lint target: {root}")
         else:
             candidates = [root]
         for candidate in candidates:

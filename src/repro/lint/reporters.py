@@ -28,8 +28,12 @@ def summary_dict(report: RunReport) -> Dict[str, Any]:
     }
 
 
-def render_text(report: RunReport) -> str:
-    """One ``path:line:col: ID [name] message`` line per finding + summary."""
+def render_text(report: RunReport, prog: str = "repro-lint") -> str:
+    """One ``path:line:col: ID [name] message`` line per finding + summary.
+
+    ``prog`` labels the summary line; ``repro-audit`` reuses this
+    renderer over its own findings.
+    """
     lines = [
         f"{finding.location()}: {finding.rule_id} [{finding.rule_name}] "
         f"{finding.message}"
@@ -42,13 +46,13 @@ def render_text(report: RunReport) -> str:
             for rule_id, count in sorted(summary["by_rule"].items())
         )
         lines.append(
-            f"repro-lint: {summary['findings']} finding(s) in "
+            f"{prog}: {summary['findings']} finding(s) in "
             f"{summary['files']} file(s) [{per_rule}] "
             f"({summary['suppressed']} suppressed)"
         )
     else:
         lines.append(
-            f"repro-lint: clean — {summary['files']} file(s), "
+            f"{prog}: clean — {summary['files']} file(s), "
             f"{summary['suppressed']} finding(s) suppressed, "
             f"{summary['files_suppressed']} file(s) skipped by directive"
         )

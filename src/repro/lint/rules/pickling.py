@@ -19,12 +19,12 @@ from typing import List, Optional, Set
 from ..core import Finding, ModuleInfo
 from .base import Rule, function_defs
 
-__all__ = ["UnpicklableWorkerRule"]
+__all__ = ["UnpicklableWorkerRule", "is_engine_receiver"]
 
 _ENGINE_METHODS = frozenset({"map", "first_match"})
 
 
-def _is_engine_receiver(module: ModuleInfo, receiver: ast.AST) -> bool:
+def is_engine_receiver(module: ModuleInfo, receiver: ast.AST) -> bool:
     """Does this expression look like a TrialEngine instance?"""
     if isinstance(receiver, ast.Call):
         canonical = module.resolve(receiver.func)
@@ -87,7 +87,7 @@ class UnpicklableWorkerRule(Rule):
                 isinstance(func, ast.Attribute) and func.attr in _ENGINE_METHODS
             ):
                 continue
-            if not _is_engine_receiver(module, func.value):
+            if not is_engine_receiver(module, func.value):
                 continue
             worker = None
             if node.args:

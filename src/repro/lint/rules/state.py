@@ -26,7 +26,7 @@ from typing import Dict, List, Set, Tuple
 from ..core import Finding, ModuleInfo
 from .base import Rule, function_defs, local_bindings, walk_scope
 
-__all__ = ["GlobalStateRule"]
+__all__ = ["GlobalStateRule", "module_mutables"]
 
 _MUTABLE_CALLS = frozenset(
     {
@@ -63,7 +63,7 @@ _MUTATOR_METHODS = frozenset(
 )
 
 
-def _module_mutables(module: ModuleInfo) -> Dict[str, Tuple[int, str]]:
+def module_mutables(module: ModuleInfo) -> Dict[str, Tuple[int, str]]:
     """Module-level names bound to known-mutable values: name -> (line, kind)."""
     mutables: Dict[str, Tuple[int, str]] = {}
     for stmt in module.tree.body:
@@ -107,7 +107,7 @@ class GlobalStateRule(Rule):
     )
 
     def check(self, module: ModuleInfo) -> List[Finding]:
-        mutables = _module_mutables(module)
+        mutables = module_mutables(module)
         if not mutables:
             return []
         findings: List[Finding] = []

@@ -36,11 +36,77 @@ from typing import Any, Dict, Mapping, Optional, Union
 
 from .. import __version__
 
-__all__ = ["CODE_VERSION", "ResultCache", "cache_key"]
+__all__ = [
+    "CODE_VERSION",
+    "FINGERPRINT_MODULES",
+    "ResultCache",
+    "cache_key",
+    "code_fingerprint",
+]
 
-#: Tag mixed into every key; bump :data:`repro.__version__` (or override
-#: per-cache) when a code change alters experiment outputs.
-CODE_VERSION = f"repro-{__version__}"
+#: Every module/package whose source participates in the code-version
+#: fingerprint: the transitive import closure of the registered entry
+#: workers, as certified by ``repro-audit`` (RPL204 fails the audit if
+#: a module reachable from a cached worker is missing here).  Naming a
+#: package covers its whole subtree plus every ancestor ``__init__``.
+FINGERPRINT_MODULES = (
+    "repro.analysis",
+    "repro.attacks",
+    "repro.blockchain",
+    "repro.countermeasures",
+    "repro.crawler",
+    "repro.datagen",
+    "repro.errors",
+    "repro.experiments",
+    "repro.netsim",
+    "repro.parallel",
+    "repro.reporting",
+    "repro.rng",
+    "repro.scenarios",
+    "repro.topology",
+    "repro.types",
+)
+
+
+def code_fingerprint(modules: "tuple" = FINGERPRINT_MODULES) -> str:
+    """SHA-256 digest over the source of every fingerprinted module.
+
+    Hashes (relative path, content) pairs in sorted path order: byte-
+    stable across machines and runs for identical sources, different
+    for any edit to any covered file.  A declared package contributes
+    every ``*.py`` under it; ancestor ``__init__.py`` files (which run
+    at import time) are included automatically.  Names that resolve to
+    nothing contribute nothing — the audit, not this function, is what
+    certifies the declaration list is complete.
+    """
+    src_root = Path(__file__).resolve().parent.parent.parent
+    files = set()
+    for name in modules:
+        parts = name.split(".")
+        for cut in range(1, len(parts)):
+            init = src_root.joinpath(*parts[:cut]) / "__init__.py"
+            if init.is_file():
+                files.add(init)
+        as_dir = src_root.joinpath(*parts)
+        as_module = as_dir.with_suffix(".py")
+        if as_dir.is_dir():
+            files.update(as_dir.rglob("*.py"))
+        elif as_module.is_file():
+            files.add(as_module)
+    digest = hashlib.sha256()
+    for file_path in sorted(files):
+        digest.update(file_path.relative_to(src_root).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(file_path.read_bytes())  # repro-lint: disable=filesystem fingerprint hashes the tracked sources it certifies
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+#: Tag mixed into every key: the package version plus a source
+#: fingerprint over :data:`FINGERPRINT_MODULES`, so editing any module
+#: a cached worker can execute changes every key — stale entries are
+#: orphaned instead of served.  Override per-cache to pin behavior.
+CODE_VERSION = f"repro-{__version__}+{code_fingerprint()}"
 
 #: On-disk envelope layout version (distinct from the code tag: this
 #: guards the *file format*, the tag guards the *computed content*).

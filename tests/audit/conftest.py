@@ -1,0 +1,34 @@
+"""Shared helpers for the audit test suite."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def make_package(tmp_path):
+    """Write ``{relpath: source}`` files as a package tree, return its root.
+
+    Ensures every directory on the way down carries an ``__init__.py``
+    so :func:`repro.lint.core.module_dotted_path` sees a package.
+    """
+
+    def build(name, files):
+        root = tmp_path / name
+        root.mkdir()
+        (root / "__init__.py").write_text("", encoding="utf-8")
+        for relpath, source in files.items():
+            target = root / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            parent = target.parent
+            while parent != tmp_path:
+                init = parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("", encoding="utf-8")
+                parent = parent.parent
+            target.write_text(source, encoding="utf-8")
+        return root
+
+    return build

@@ -1,0 +1,1 @@
+"""RPL201 bad tree: worker reaches an impure leaf two modules away."""

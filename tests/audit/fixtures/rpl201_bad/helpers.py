@@ -1,0 +1,8 @@
+# repro-lint: disable-file audit fixture: deliberate global-RNG impurity
+"""Impure leaf: per-file lint would catch this, but only here."""
+
+import random
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,11 @@
+"""Pure-looking middle layer: the indirection RPL201 must see through.
+
+This file lints clean in isolation — the impurity lives one import
+away, which is exactly the per-file blind spot.
+"""
+
+from .helpers import jitter
+
+
+def prepare(value):
+    return value + jitter()

@@ -1,0 +1,1 @@
+"""RPL201 good tree: same shape, but the rng is threaded explicitly."""

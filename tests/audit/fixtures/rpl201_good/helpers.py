@@ -1,0 +1,5 @@
+"""Pure leaf: the randomness comes in through an explicit rng handle."""
+
+
+def jitter(rng):
+    return rng.random()

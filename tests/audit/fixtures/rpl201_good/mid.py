@@ -1,0 +1,7 @@
+"""Middle layer that threads the rng instead of reaching for a global."""
+
+from .helpers import jitter
+
+
+def prepare(value, rng):
+    return value + jitter(rng)

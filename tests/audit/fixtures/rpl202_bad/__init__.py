@@ -1,0 +1,1 @@
+"""RPL202 bad tree: a seeded caller drops its seed on the floor."""

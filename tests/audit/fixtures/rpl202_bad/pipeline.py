@@ -1,0 +1,11 @@
+# repro-lint: disable-file audit fixture: deliberate seed drop
+"""Takes a seed, then calls the seeded callee without threading it:
+``simulate`` runs on its default seed and the caller's seed silently
+stops governing that part of the computation."""
+
+from .sim import simulate
+
+
+def run(seed):
+    width = 4
+    return simulate(width)  # expect: RPL202

@@ -1,0 +1,1 @@
+"""RPL202 good tree: every seeded call threads a seed-derived value."""

@@ -1,0 +1,20 @@
+"""Good look-alikes: direct, derived, and attribute seed threading."""
+
+from .sim import simulate
+
+
+def run(seed):
+    child_seed = seed * 2 + 1
+    direct = simulate(3, seed=seed)
+    derived = simulate(3, child_seed)
+    return direct + derived
+
+
+def run_trial(rng, trial):
+    # Attribute threading: trial.seed is accepted as seed-derived.
+    return simulate(5, trial.seed)
+
+
+def unseeded_caller(n):
+    # No seed parameter here, so there is nothing to drop.
+    return simulate(n)

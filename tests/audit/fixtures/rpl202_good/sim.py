@@ -1,0 +1,8 @@
+"""Seed-taking callee with a default: the silent-fallback hazard."""
+
+
+def simulate(n, seed=0):
+    total = 0
+    for i in range(n):
+        total += (seed * 31 + i) % 7
+    return total

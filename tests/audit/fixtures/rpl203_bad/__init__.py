@@ -1,0 +1,1 @@
+"""RPL203 bad tree: the MiningPool bug, split across three modules."""

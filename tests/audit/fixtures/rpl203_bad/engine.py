@@ -1,0 +1,6 @@
+"""Minimal engine stand-in matching the dispatch-receiver heuristic."""
+
+
+class TrialEngine:
+    def map(self, fn, trials):
+        return [fn(trial) for trial in trials]

@@ -1,0 +1,6 @@
+# repro-lint: disable-file audit fixture: deliberate process-global counter
+"""Process-global pool-id source: the original MiningPool bug shape."""
+
+import itertools
+
+POOL_IDS = itertools.count()

@@ -1,0 +1,8 @@
+# repro-lint: disable-file audit fixture: deliberate cross-module mutation
+"""Advances a counter it imported: invisible to per-file RPL102."""
+
+from .registry import POOL_IDS
+
+
+def next_pool_id():
+    return next(POOL_IDS)

@@ -1,0 +1,1 @@
+"""RPL203 good tree: the sanctioned fix — instance-scoped counters."""

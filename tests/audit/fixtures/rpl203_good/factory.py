@@ -1,0 +1,12 @@
+"""Instance-scoped counter: ids restart with every factory, so trials
+cannot see each other through process history."""
+
+import itertools
+
+
+class PoolFactory:
+    def __init__(self):
+        self._ids = itertools.count()
+
+    def next_id(self):
+        return next(self._ids)

@@ -1,0 +1,1 @@
+"""RPL204 bad tree: the cache fingerprint misses a reachable module."""

@@ -1,0 +1,11 @@
+# repro-lint: disable-file audit fixture: deliberately incomplete fingerprint
+"""Fingerprint declaration that forgets ``.extra``."""
+
+FINGERPRINT_MODULES = (  # expect: RPL204
+    "rpl204_bad.work",
+)
+
+
+class ResultCache:
+    def __init__(self, fingerprint=FINGERPRINT_MODULES):
+        self.fingerprint = fingerprint

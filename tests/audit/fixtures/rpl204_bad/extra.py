@@ -1,0 +1,6 @@
+"""Reachable from the cached worker but missing from the fingerprint:
+edits here would never invalidate a cache key."""
+
+
+def enrich(config, seed):
+    return {"config": config, "seed": seed}

@@ -1,0 +1,1 @@
+"""RPL204 good tree: the fingerprint covers the worker's whole closure."""

@@ -1,0 +1,12 @@
+"""Complete fingerprint: both reachable modules declared (ancestor
+package ``__init__`` coverage is implied by either entry)."""
+
+FINGERPRINT_MODULES = (
+    "rpl204_good.extra",
+    "rpl204_good.work",
+)
+
+
+class ResultCache:
+    def __init__(self, fingerprint=FINGERPRINT_MODULES):
+        self.fingerprint = fingerprint

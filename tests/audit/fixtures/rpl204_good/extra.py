@@ -1,0 +1,5 @@
+"""Reachable from the cached worker and covered by the fingerprint."""
+
+
+def enrich(config, seed):
+    return {"config": config, "seed": seed}

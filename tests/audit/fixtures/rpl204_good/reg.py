@@ -1,0 +1,5 @@
+"""Registry: marks ``run`` as a cached entry worker."""
+
+from .work import run
+
+REGISTRY = {"t1": run}

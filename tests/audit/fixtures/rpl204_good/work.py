@@ -1,0 +1,7 @@
+"""Entry worker whose closure spans two modules."""
+
+from .extra import enrich
+
+
+def run(config, seed):
+    return enrich(config, seed)

@@ -1,0 +1,133 @@
+"""Call-graph construction: edges, class closure, import-time deps."""
+
+from repro.audit import MODULE_BODY, Project, build_call_graph
+
+
+def _callees(graph, fq):
+    return {site.callee for site in graph.callees(fq)}
+
+
+class TestEdges:
+    def test_direct_cross_module_call(self, make_package):
+        root = make_package(
+            "pkg",
+            {
+                "a.py": "def leaf():\n    return 1\n",
+                "b.py": (
+                    "from .a import leaf\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return leaf()\n"
+                ),
+            },
+        )
+        graph = build_call_graph(Project.load([root]))
+        assert "pkg.a.leaf" in _callees(graph, "pkg.b.caller")
+
+    def test_class_instantiation_pulls_in_all_methods(self, make_package):
+        root = make_package(
+            "pkg",
+            {
+                "c.py": (
+                    "class Widget:\n"
+                    "    def __init__(self):\n"
+                    "        self.n = 0\n"
+                    "\n"
+                    "    def used(self):\n"
+                    "        return self.n\n"
+                    "\n"
+                    "    def unused(self):\n"
+                    "        return -self.n\n"
+                ),
+                "b.py": (
+                    "from .c import Widget\n"
+                    "\n"
+                    "\n"
+                    "def build():\n"
+                    "    return Widget()\n"
+                ),
+            },
+        )
+        graph = build_call_graph(Project.load([root]))
+        callees = _callees(graph, "pkg.b.build")
+        # The instance escapes static tracking the moment it is bound, so
+        # every method is conservatively reachable — not just __init__.
+        assert "pkg.c.Widget.__init__" in callees
+        assert "pkg.c.Widget.used" in callees
+        assert "pkg.c.Widget.unused" in callees
+
+    def test_self_method_resolves_to_sibling(self, make_package):
+        root = make_package(
+            "pkg",
+            {
+                "c.py": (
+                    "class Widget:\n"
+                    "    def outer(self):\n"
+                    "        return self.inner()\n"
+                    "\n"
+                    "    def inner(self):\n"
+                    "        return 1\n"
+                )
+            },
+        )
+        graph = build_call_graph(Project.load([root]))
+        assert "pkg.c.Widget.inner" in _callees(graph, "pkg.c.Widget.outer")
+
+    def test_every_function_depends_on_its_module_body(self, make_package):
+        root = make_package("pkg", {"m.py": "def f():\n    return 1\n"})
+        graph = build_call_graph(Project.load([root]))
+        assert f"pkg.m.{MODULE_BODY}" in _callees(graph, "pkg.m.f")
+
+    def test_module_body_depends_on_imported_module_bodies(self, make_package):
+        root = make_package(
+            "pkg",
+            {
+                "a.py": "X = 1\n",
+                "b.py": "from .a import X\n",
+            },
+        )
+        graph = build_call_graph(Project.load([root]))
+        assert f"pkg.a.{MODULE_BODY}" in _callees(graph, f"pkg.b.{MODULE_BODY}")
+
+    def test_module_body_sees_class_body_but_not_method_bodies(self, make_package):
+        root = make_package(
+            "pkg",
+            {
+                "a.py": "def table():\n    return (1, 2)\n",
+                "c.py": (
+                    "from .a import table\n"
+                    "\n"
+                    "\n"
+                    "class Holder:\n"
+                    "    ROWS = table()\n"
+                    "\n"
+                    "    def late(self):\n"
+                    "        return table()\n"
+                ),
+            },
+        )
+        graph = build_call_graph(Project.load([root]))
+        # ROWS = table() runs at import; Holder.late() runs when called.
+        assert "pkg.a.table" in _callees(graph, f"pkg.c.{MODULE_BODY}")
+        assert "pkg.a.table" in _callees(graph, "pkg.c.Holder.late")
+
+    def test_duplicate_call_sites_deduplicated(self, make_package):
+        root = make_package(
+            "pkg",
+            {
+                "m.py": (
+                    "def leaf():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return leaf() + leaf()\n"
+                )
+            },
+        )
+        graph = build_call_graph(Project.load([root]))
+        sites = [
+            s for s in graph.callees("pkg.m.caller") if s.callee == "pkg.m.leaf"
+        ]
+        assert len(sites) == 1

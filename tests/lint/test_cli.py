@@ -114,6 +114,24 @@ class TestJsonFormat:
         assert keys == sorted(keys)
 
 
+class TestDefaultPaths:
+    def test_default_path_list_pinned(self):
+        """The production lint surface: source, benchmarks, tests, AND
+        the runnable examples — scripts drift first when untested."""
+        from repro.lint.cli import _DEFAULT_PATHS
+
+        assert _DEFAULT_PATHS == ["src", "benchmarks", "tests", "examples"]
+
+    def test_default_paths_all_exist(self):
+        from pathlib import Path
+
+        from repro.lint.cli import _DEFAULT_PATHS
+
+        repo_root = Path(__file__).resolve().parents[2]
+        for path in _DEFAULT_PATHS:
+            assert (repo_root / path).is_dir(), path
+
+
 class TestListRules:
     def test_lists_all_rules(self, capsys):
         from repro.lint import RULES
@@ -124,3 +142,29 @@ class TestListRules:
             assert rule.rule_id in out
             assert rule.name in out
         assert "disable=" in out  # suppression syntax documented
+
+    def test_rpl900_pseudo_rule_surfaced(self, capsys):
+        """RPL900 has no Rule class, but operators meet it the moment a
+        file stops parsing — the catalogue must explain it."""
+        main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert "RPL900" in out
+        assert "parse-error" in out
+        assert "pseudo-rule" in out
+        assert "not selectable" in out.lower() or "Not selectable" in out
+
+    def test_listing_snapshot_is_stable(self, capsys):
+        """The listing is part of the CLI contract: pin its shape (one
+        id+summary line and one rationale line per rule, RPL900 entry,
+        suppression footer) so help output cannot drift silently."""
+        from repro.lint import RULES
+
+        main(["--list-rules"])
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "repro-lint rules:"
+        # one (header, rationale) pair per rule + the RPL900 pair.
+        body = lines[1:-1]
+        assert len(body) == 2 * (len(RULES) + 1)
+        ids = [line.split()[0] for line in body[::2]]
+        assert ids == [rule.rule_id for rule in RULES] + ["RPL900"]
+        assert lines[-1].startswith("suppress a finding with")

@@ -1,0 +1,85 @@
+"""File-discovery guarantees of :func:`repro.lint.core.iter_python_files`.
+
+Both linters' determinism rests on this walk: findings are only
+byte-stable if discovery order is, and CI must fail loudly (not pass
+vacuously) when a configured lint target disappears.
+"""
+
+import sys
+
+import pytest
+
+from repro.lint.core import iter_python_files
+
+
+def _touch(path, content=""):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content, encoding="utf-8")
+    return path
+
+
+class TestOrdering:
+    def test_sorted_regardless_of_argument_order(self, tmp_path):
+        beta = _touch(tmp_path / "beta.py")
+        alpha = _touch(tmp_path / "sub" / "alpha.py")
+        gamma = _touch(tmp_path / "gamma.py")
+        forward = list(iter_python_files([beta, gamma, tmp_path / "sub"]))
+        reverse = list(iter_python_files([tmp_path / "sub", gamma, beta]))
+        assert forward == reverse == sorted([alpha, beta, gamma])
+
+    def test_directory_walk_is_sorted(self, tmp_path):
+        names = ["zz.py", "aa.py", "mm/nested.py", "bb.py"]
+        for name in names:
+            _touch(tmp_path / name)
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["aa.py", "bb.py", "nested.py", "zz.py"]
+
+
+class TestDedup:
+    def test_file_listed_twice_yields_once(self, tmp_path):
+        target = _touch(tmp_path / "mod.py")
+        found = list(iter_python_files([target, target]))
+        assert found == [target]
+
+    def test_file_and_containing_directory_yields_once(self, tmp_path):
+        target = _touch(tmp_path / "mod.py")
+        found = list(iter_python_files([target, tmp_path]))
+        assert found == [target]
+
+    def test_nested_directory_roots_yield_once(self, tmp_path):
+        target = _touch(tmp_path / "sub" / "mod.py")
+        found = list(iter_python_files([tmp_path, tmp_path / "sub"]))
+        assert found == [target]
+
+
+class TestSymlinkSafety:
+    @pytest.mark.skipif(
+        sys.platform == "win32", reason="symlinks need privileges on Windows"
+    )
+    def test_symlink_loop_terminates(self, tmp_path):
+        """A directory symlink pointing back up must not hang the walk
+        (pathlib's ``**`` does not follow directory symlinks)."""
+        _touch(tmp_path / "real" / "mod.py")
+        loop = tmp_path / "real" / "loop"
+        loop.symlink_to(tmp_path, target_is_directory=True)
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["mod.py"]
+
+
+class TestMissingTargets:
+    def test_nonexistent_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such lint target"):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_error_is_eager_not_lazy_surprise(self, tmp_path):
+        """CI configures fixed target lists; a vanished directory must
+        fail the run, not silently lint nothing."""
+        _touch(tmp_path / "ok.py")
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path, tmp_path / "gone"]))
+
+    def test_non_python_files_ignored(self, tmp_path):
+        _touch(tmp_path / "data.json", "{}")
+        _touch(tmp_path / "mod.py")
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["mod.py"]

@@ -1,9 +1,10 @@
 """The acceptance bar, machine-checked: the repo lints itself clean.
 
-``repro-lint src benchmarks tests`` must exit 0 on this tree — every
-true positive the rules find gets fixed (not suppressed), and the only
-standing directives are the documented fixture headers under
-``tests/lint/fixtures`` plus reason-annotated line suppressions.
+``repro-lint src benchmarks tests examples`` must exit 0 on this tree —
+every true positive the rules find gets fixed (not suppressed), and the
+only standing directives are the documented fixture headers under
+``tests/lint/fixtures`` and ``tests/audit/fixtures`` plus
+reason-annotated line suppressions.
 """
 
 from pathlib import Path
@@ -12,7 +13,12 @@ from repro.lint import lint_paths
 from repro.lint.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-TARGETS = [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "tests"]
+TARGETS = [
+    REPO_ROOT / "src",
+    REPO_ROOT / "benchmarks",
+    REPO_ROOT / "tests",
+    REPO_ROOT / "examples",
+]
 
 
 class TestRepoSelfLint:
@@ -30,7 +36,10 @@ class TestRepoSelfLint:
         report = lint_paths(TARGETS)
         skipped = [f.path for f in report.files if f.file_suppressed]
         assert skipped, "the bad fixtures must exist and be skipped"
-        assert all("tests/lint/fixtures/" in path for path in skipped)
+        assert all(
+            "tests/lint/fixtures/" in path or "tests/audit/fixtures/" in path
+            for path in skipped
+        )
 
     def test_lint_covers_the_whole_tree(self):
         report = lint_paths(TARGETS)
@@ -38,6 +47,7 @@ class TestRepoSelfLint:
         assert any(path.endswith("repro/netsim/events.py") for path in linted)
         assert any(path.endswith("repro/parallel/trials.py") for path in linted)
         assert any("benchmarks/" in path for path in linted)
+        assert any("examples/" in path for path in linted)
         assert len(linted) > 150
 
     def test_fault_layer_obeys_the_determinism_rules(self):
