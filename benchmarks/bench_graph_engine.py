@@ -1,0 +1,152 @@
+"""Sparse graph engine performance at 10^3-10^6 nodes.
+
+Times :class:`repro.netsim.graph.GraphSimulatorVec` on synthetic
+degree-calibrated topologies (Bitcoin's 8 outbound peers plus a Pareto
+tail, per the measured degree skew) over a 400-step attack scenario
+and writes ``BENCH_graph.json`` — the committed perf record for the
+CSR engine.  Each entry records the node count, edge count, wall time,
+steps/sec, and the per-phase split (mine / communicate / collect)
+from :class:`repro.parallel.PhaseTimingCollector`.
+
+Standalone (the committed record uses the default sizes)::
+
+    PYTHONPATH=src python benchmarks/bench_graph_engine.py \\
+        --out BENCH_graph.json
+
+The 10^6-node tier multiplies both construction and run cost, so it
+stays behind ``--huge`` rather than in the default (and CI) set.  Or
+opt-in via pytest: ``pytest -m bench benchmarks/bench_graph_engine.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List
+
+from repro.netsim.graph import GraphConfig, GraphSimulatorVec, GraphSpec
+from repro.parallel import PhaseTimingCollector
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000)
+HUGE_SIZE = 1_000_000
+DEFAULT_STEPS = 400
+
+
+def _scenario(num_nodes: int, seed: int) -> GraphConfig:
+    """The Figure 7 attack scenario on a synthetic Bitcoin-like graph."""
+    return GraphConfig(
+        spec=GraphSpec.synthetic(num_nodes, seed=seed),
+        failure_rate=0.10,
+        steps_per_block=20,
+        attacker_share=0.30,
+        attacker_node=7 % num_nodes,
+        attack_start_step=100,
+        seed=seed,
+    )
+
+
+def time_graph_engine(num_nodes: int, steps: int, seed: int) -> Dict[str, object]:
+    """One timed run; returns the BENCH record for ``num_nodes``."""
+    build_start = time.perf_counter()
+    config = _scenario(num_nodes, seed)
+    phases = PhaseTimingCollector()
+    sim = GraphSimulatorVec(config, phase_metrics=phases)
+    build_seconds = time.perf_counter() - build_start
+    start = time.perf_counter()
+    sim.run(steps)
+    seconds = time.perf_counter() - start
+    return {
+        "name": f"graph-n{num_nodes}",
+        "engine": "graph",
+        "nodes": num_nodes,
+        "edges": config.spec.num_edges,
+        "steps": steps,
+        "stats": {
+            "build_seconds": build_seconds,
+            "wall_seconds": seconds,
+            "steps_per_second": steps / seconds if seconds else 0.0,
+        },
+        "phases": {
+            phase: entry["seconds"] for phase, entry in phases.summary().items()
+        },
+        "forks_seen": len(sim.fork_births),
+    }
+
+
+def run_benchmarks(
+    sizes: List[int], steps: int, seed: int = 0
+) -> Dict[str, object]:
+    """Time the graph engine at every size; returns the BENCH document."""
+    return {
+        "suite": "netsim-graph-engine",
+        "scenario": "figure7-attack-synthetic",
+        "steps": steps,
+        "seed": seed,
+        "benchmarks": [
+            time_graph_engine(num_nodes, steps, seed) for num_nodes in sizes
+        ],
+    }
+
+
+def write_bench_json(document: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _render(document: Dict[str, object]) -> str:
+    lines = ["nodes      edges      wall(s)  steps/s   communicate-share"]
+    for record in document["benchmarks"]:
+        stats = record["stats"]
+        total = sum(record["phases"].values())
+        share = record["phases"].get("communicate", 0.0) / total if total else 0.0
+        lines.append(
+            f"{record['nodes']:>9} {record['edges']:>10} "
+            f"{stats['wall_seconds']:>9.3f} {stats['steps_per_second']:>8.0f}   "
+            f"{share:.0%}"
+        )
+    return "\n".join(lines)
+
+
+def test_graph_engine_benchmark(benchmark, tmp_path):
+    """Pytest entry: the 10^3-node tier (fast enough for -m bench)."""
+    document = benchmark.pedantic(
+        run_benchmarks, args=([1_000], DEFAULT_STEPS), rounds=1, iterations=1
+    )
+    out = tmp_path / "BENCH_graph.json"
+    write_bench_json(document, str(out))
+    print()
+    print(_render(document))
+    (record,) = document["benchmarks"]
+    assert record["stats"]["wall_seconds"] > 0
+    assert record["forks_seen"] >= 1
+    assert set(record["phases"]) == {"mine", "communicate", "collect"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="node counts to time (default: 1000 10000 100000)",
+    )
+    parser.add_argument(
+        "--huge", action="store_true",
+        help=f"also time the {HUGE_SIZE}-node tier (slow; opt-in)",
+    )
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_graph.json")
+    args = parser.parse_args(argv)
+    sizes = list(args.sizes)
+    if args.huge and HUGE_SIZE not in sizes:
+        sizes.append(HUGE_SIZE)
+    document = run_benchmarks(sizes, args.steps, args.seed)
+    write_bench_json(document, args.out)
+    print(_render(document))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

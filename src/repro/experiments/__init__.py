@@ -8,8 +8,10 @@ worker budget, consults the optional on-disk result cache, and only
 then dispatches to the experiment module.
 """
 
+import inspect
 from typing import Callable, Dict, Optional
 
+from ..errors import ConfigurationError
 from ..parallel import FailurePolicy, ResultCache, resolve_jobs
 from . import (
     figure3,
@@ -54,6 +56,7 @@ def run_experiment(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     policy: Optional[FailurePolicy] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id (raises KeyError for unknown ids).
 
@@ -79,10 +82,29 @@ def run_experiment(
             surfaces as a
             :class:`~repro.parallel.TrialExecutionError` naming the
             reproducing ``(experiment_id, index, seed)``.
+        engine: Optional simulation engine override (see
+            :data:`repro.netsim.ENGINES`) for experiments backed by
+            the propagation simulators (e.g. ``figure7``).  ``None``
+            keeps each experiment's default and leaves cache keys
+            untouched; a non-default engine joins the cache config, so
+            engine variants never collide.  Passing an engine to an
+            experiment that does not take one raises
+            :class:`~repro.errors.ConfigurationError` instead of
+            silently ignoring the override.
     """
     fn = REGISTRY[experiment_id]
     jobs = resolve_jobs(jobs)
     config = {"fast": bool(fast)}
+    kwargs = {}
+    if engine is not None:
+        if "engine" not in inspect.signature(fn).parameters:
+            raise ConfigurationError(
+                "experiment does not accept an engine override",
+                experiment=experiment_id,
+                engine=engine,
+            )
+        config["engine"] = engine
+        kwargs["engine"] = engine
     if cache is not None:
         payload = cache.get(experiment_id, config, seed)
         if payload is not None:
@@ -91,7 +113,7 @@ def run_experiment(
             except (KeyError, TypeError, ValueError):
                 cache.corrupt_entries += 1
                 cache.discard(experiment_id, config, seed)
-    result = fn(seed=seed, fast=fast, jobs=jobs, policy=policy)
+    result = fn(seed=seed, fast=fast, jobs=jobs, policy=policy, **kwargs)
     if cache is not None:
         cache.put(experiment_id, config, seed, result.to_dict())
     return result

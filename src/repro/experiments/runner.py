@@ -14,7 +14,10 @@ The ``--csv`` directory receives one file per figure series
 processes; results are bit-identical for every N.  ``--cache DIR``
 keys finished results by (experiment, config, seed, code version) so
 re-runs skip completed work; ``--no-cache`` bypasses the cache without
-forgetting the directory flag.
+forgetting the directory flag.  ``--engine`` overrides the simulation
+engine for simulator-backed experiments (``figure7``): ``graph`` runs
+the grid scenario through the sparse CSR engine's exact-equivalence
+bridge; experiments without an engine knob reject the override.
 
 Failure semantics: ``--retries N`` re-runs a failed trial up to N times
 with its original seed (a recovered run is bit-identical to an
@@ -102,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to dump figure series as CSV files",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "vec", "graph"),
+        default=None,
+        help="simulation engine override for simulator-backed experiments",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -170,6 +179,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=jobs,
                 cache=cache,
                 policy=policy,
+                engine=args.engine,
             )
         except TrialExecutionError as exc:
             failures += 1

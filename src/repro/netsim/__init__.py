@@ -13,11 +13,21 @@ This package models the live network the paper measured and attacked:
 - :mod:`repro.netsim.miner` — miners/pools and stratum servers;
 - :mod:`repro.netsim.network` — assembly, partitions, attack hooks;
 - :mod:`repro.netsim.grid` — the paper's grid simulator (Figure 7);
+- :mod:`repro.netsim.graph` — the sparse CSR engine for arbitrary
+  topologies (AS-level graphs, synthetic power-law networks);
 - :mod:`repro.netsim.metrics` — per-node lag sampling for Figure 6.
 """
 
 from .churn import ChurnConfig, ChurnProcess
 from .events import EventQueue, Simulator
+from .graph import (
+    GraphConfig,
+    GraphSimulatorVec,
+    GraphSnapshot,
+    GraphSpec,
+    graph_config_from_grid,
+    hijack_partition_mask,
+)
 from .grid import (
     ENGINES,
     GridConfig,
@@ -45,6 +55,12 @@ __all__ = [
     "EventQueue",
     "Simulator",
     "ENGINES",
+    "GraphConfig",
+    "GraphSimulatorVec",
+    "GraphSnapshot",
+    "GraphSpec",
+    "graph_config_from_grid",
+    "hijack_partition_mask",
     "GridSimulator",
     "GridSimulatorVec",
     "GridConfig",

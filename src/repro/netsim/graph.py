@@ -1,0 +1,622 @@
+"""Sparse-graph (CSR) propagation engine for arbitrary topologies.
+
+:class:`GraphSimulatorVec` generalizes the vectorized grid engine's
+synchronous push+pull scatter-max reconcile (see
+:mod:`repro.netsim.grid`) from the fixed ``(N, 8)`` Moore neighbourhood
+to compressed-sparse-row adjacency: ``indptr``/``indices`` arrays
+describing an *arbitrary* directed graph, with optional per-edge delay
+ticks.  Mining, fork bookkeeping, and the per-step phase structure are
+shared with the grid engines through ``_GridEngineBase`` /
+``_VecEngineBase``, so the same physics (Bernoulli block production,
+honest/attacker hash-rate split, natural forks, longest-chain
+adoption) runs on any topology the paper cares about — the square
+grid, AS-level graphs built from :mod:`repro.topology`, or synthetic
+degree-calibrated networks at 10^5-10^6 nodes.
+
+Graph RNG protocol (``GraphSimulatorVec``): all draws come from the
+NumPy generator of the stream named by ``GraphSpec.rng_stream``
+(default ``"graph.vec"``).  Per step, the scalar mining draws happen
+in exactly the vectorized grid engine's order (see the grid module
+docstring); the communication phase then draws one length-N uniform
+vector (failure mask) and one length-N neighbour-choice vector:
+``integers(0, d, size=N)`` when every node has the same out-degree
+``d`` (the degree-regular fast path), else ``integers(0, degrees)``
+with the per-node degree as the bound (degree-0 nodes draw a dummy and
+are masked out).  The protocol depends only on ``(config, step)``,
+never on worker count or host, so graph runs are deterministic per
+seed and identical under any ``jobs=N`` fan-out.
+
+Exact-equivalence bridge: :meth:`GraphSpec.from_grid` emits the Moore
+neighbourhood as CSR *in the grid engine's neighbour order* and pins
+``rng_stream="grid.vec"`` plus ``grid_size`` (so honest-seed cells are
+drawn as the grid's row/column pair).  A bridged grid therefore
+replays the vectorized grid engine's draw sequence bit-for-bit: every
+snapshot matches :class:`~repro.netsim.grid.GridSimulatorVec` exactly
+(pinned by ``tests/netsim/test_graph_vec.py``).
+
+Per-edge delays: an edge with delay ``d > 0`` delivers both the pull
+offer (the partner's view to the chooser) and the push offer (the
+chooser's view to the partner) ``d`` steps after the contact, carrying
+the height *and fork label captured at send time*.  Matured offers
+reconcile through the same scatter-max as same-step offers; ties on
+the encoded ``(height, source)`` key resolve toward the
+latest-enqueued batch, which is deterministic because batches are
+enqueued in sorted-delay order.  Delay 0 (the default) is the grid
+engines' same-step semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import RngStreams
+from .grid import GridConfig, GridSimulatorVec, _VecEngineBase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.metrics import PhaseTimingCollector
+
+__all__ = [
+    "GraphSpec",
+    "GraphConfig",
+    "GraphSnapshot",
+    "GraphSimulatorVec",
+    "graph_config_from_grid",
+    "hijack_partition_mask",
+]
+
+
+def _as_index_array(values, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.int64)
+    if array.ndim != 1:
+        raise ConfigurationError(f"{name} must be one-dimensional", shape=array.shape)
+    return array
+
+
+@dataclass(eq=False)
+class GraphSpec:
+    """A directed graph in CSR form, plus simulation metadata.
+
+    Attributes:
+        indptr: Row pointer array of length ``num_nodes + 1``; node
+            ``i``'s out-edges are ``indices[indptr[i]:indptr[i + 1]]``.
+        indices: Flat destination array (one entry per edge).  The
+            within-row order is part of the spec: the neighbour-choice
+            draw indexes into it.
+        edge_delays: Optional per-edge delay ticks (same length as
+            ``indices``, non-negative).  ``None`` means every edge
+            delivers in the same step, like the grid engines.
+        grid_size: Set by :meth:`from_grid` — honest-seed cells are
+            then drawn as a (row, column) pair, replaying the grid
+            engines' two-draw protocol exactly.
+        rng_stream: Name of the NumPy stream the engine draws from
+            (``"graph.vec"``; the grid bridge pins ``"grid.vec"``).
+        node_ids: Optional external identity per node (e.g. ASNs for
+            topology-derived graphs), in node-index order.
+        node_weights: Optional per-node weight (e.g. Bitcoin full
+            nodes hosted per AS).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_delays: Optional[np.ndarray] = None
+    grid_size: Optional[int] = None
+    rng_stream: str = "graph.vec"
+    node_ids: Optional[Tuple[int, ...]] = None
+    node_weights: Optional[np.ndarray] = None
+    _degrees: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.indptr = _as_index_array(self.indptr, "indptr")
+        self.indices = _as_index_array(self.indices, "indices")
+        if self.indptr.size < 2:
+            raise ConfigurationError("graph needs at least one node")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ConfigurationError(
+                "indptr must span indices",
+                first=int(self.indptr[0]),
+                last=int(self.indptr[-1]),
+                edges=int(self.indices.size),
+            )
+        self._degrees = np.diff(self.indptr)
+        if (self._degrees < 0).any():
+            raise ConfigurationError("indptr must be non-decreasing")
+        num_nodes = self.num_nodes
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= num_nodes
+        ):
+            raise ConfigurationError(
+                "edge destination out of range", num_nodes=num_nodes
+            )
+        if self.edge_delays is not None:
+            self.edge_delays = _as_index_array(self.edge_delays, "edge_delays")
+            if self.edge_delays.size != self.indices.size:
+                raise ConfigurationError(
+                    "one delay per edge required",
+                    edges=int(self.indices.size),
+                    delays=int(self.edge_delays.size),
+                )
+            if self.edge_delays.size and self.edge_delays.min() < 0:
+                raise ConfigurationError("edge delays must be non-negative")
+        if self.node_ids is not None and len(self.node_ids) != num_nodes:
+            raise ConfigurationError(
+                "one node id per node required",
+                nodes=num_nodes,
+                ids=len(self.node_ids),
+            )
+        if not self.rng_stream:
+            raise ConfigurationError("rng_stream must be non-empty")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree per node."""
+        return self._degrees
+
+    @property
+    def regular_degree(self) -> Optional[int]:
+        """The uniform out-degree, or ``None`` for irregular graphs."""
+        if self.num_edges == 0:
+            return None
+        first = int(self._degrees[0])
+        if first > 0 and bool((self._degrees == first).all()):
+            return first
+        return None
+
+    # ------------------------------------------------------------------
+    # Adapters
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_grid(cls, size: int) -> "GraphSpec":
+        """The toroidal Moore-neighbourhood grid as CSR.
+
+        Rows keep the grid engine's (dr, dc) neighbour enumeration
+        order and the spec pins ``rng_stream="grid.vec"`` and
+        ``grid_size``, making a bridged run bit-identical to
+        :class:`~repro.netsim.grid.GridSimulatorVec`.
+        """
+        if size < 2:
+            raise ConfigurationError("grid size must be >= 2", size=size)
+        matrix = GridSimulatorVec._build_neighbor_matrix(size)
+        num_nodes = size * size
+        return cls(
+            indptr=np.arange(num_nodes + 1, dtype=np.int64) * 8,
+            indices=matrix.reshape(-1),
+            grid_size=size,
+            rng_stream="grid.vec",
+        )
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology,
+        peers_per_node: int = 8,
+        seed: int = 0,
+    ) -> "GraphSpec":
+        """AS-level graph from a :class:`~repro.topology.topology.Topology`.
+
+        One graph node per registered AS, in **sorted ASN order** —
+        construction is ordering-stable no matter what insertion order
+        the dict-backed registries saw.  Each AS draws
+        ``peers_per_node`` distinct peers weighted by hosted-node
+        count plus one (bigger ASes are better connected, per the
+        "All that Glitters is not Bitcoin" degree skew), and the edge
+        set is symmetrized: announcements travel both ways over a
+        peering.  ``node_ids`` carries the ASNs and ``node_weights``
+        the hosted Bitcoin node counts, so BGP-hijack captures map
+        back onto graph nodes (see :func:`hijack_partition_mask`).
+        """
+        if peers_per_node < 1:
+            raise ConfigurationError(
+                "peers_per_node must be >= 1", peers=peers_per_node
+            )
+        asns = sorted(topology.ases.asns())
+        num_nodes = len(asns)
+        if num_nodes < 2:
+            raise ConfigurationError(
+                "topology must register at least two ASes", ases=num_nodes
+            )
+        counts = topology.nodes_per_as()
+        weights = np.array(
+            [counts.get(asn, 0) for asn in asns], dtype=np.float64
+        )
+        rng = RngStreams(seed).numpy_stream("graph.topology")
+        k = min(peers_per_node, num_nodes - 1)
+        preference = weights + 1.0
+        chosen: List[np.ndarray] = []
+        for i in range(num_nodes):
+            p = preference.copy()
+            p[i] = 0.0
+            p /= p.sum()
+            chosen.append(np.sort(rng.choice(num_nodes, size=k, replace=False, p=p)))
+        src = np.repeat(np.arange(num_nodes, dtype=np.int64), k)
+        dst = np.concatenate(chosen).astype(np.int64)
+        # Symmetrize, then sort and deduplicate (row-major edge order).
+        a = np.concatenate([src, dst])
+        b = np.concatenate([dst, src])
+        order = np.lexsort((b, a))
+        a, b = a[order], b[order]
+        keep = np.ones(a.size, dtype=bool)
+        keep[1:] = (a[1:] != a[:-1]) | (b[1:] != b[:-1])
+        a, b = a[keep], b[keep]
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(a, minlength=num_nodes))
+        return cls(
+            indptr=indptr,
+            indices=b,
+            node_ids=tuple(int(asn) for asn in asns),
+            node_weights=weights.astype(np.int64),
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        num_nodes: int,
+        base_degree: int = 8,
+        tail_alpha: float = 2.0,
+        max_extra_degree: int = 120,
+        max_delay: int = 0,
+        seed: int = 0,
+    ) -> "GraphSpec":
+        """Degree-calibrated synthetic topology for scale runs.
+
+        Every node gets Bitcoin's default ``base_degree`` (8) outbound
+        edges plus a Pareto(``tail_alpha``) heavy tail capped at
+        ``max_extra_degree`` — the measured degree skew of "All that
+        Glitters is not Bitcoin" (a reachable core of well-connected
+        supernodes over a thin edge).  Targets are drawn
+        preferentially by degree, so high-degree nodes are also
+        popular.  With ``max_delay > 0`` every edge draws a uniform
+        delay in ``[0, max_delay]`` ticks, approximating the
+        heterogeneous link latencies behind the Nakamoto
+        latency-security model.  Construction is fully vectorized and
+        deterministic per ``seed`` (streams ``"graph.synthetic"``).
+        """
+        if num_nodes < 2:
+            raise ConfigurationError("num_nodes must be >= 2", num=num_nodes)
+        if base_degree < 1:
+            raise ConfigurationError("base_degree must be >= 1", base=base_degree)
+        if tail_alpha <= 0:
+            raise ConfigurationError("tail_alpha must be positive", alpha=tail_alpha)
+        if max_delay < 0:
+            raise ConfigurationError("max_delay must be >= 0", delay=max_delay)
+        rng = RngStreams(seed).numpy_stream("graph.synthetic")
+        extra = np.minimum(
+            rng.pareto(tail_alpha, num_nodes), float(max_extra_degree)
+        ).astype(np.int64)
+        degrees = np.minimum(base_degree + extra, num_nodes - 1)
+        total = int(degrees.sum())
+        weights = degrees / float(total)
+        targets = rng.choice(num_nodes, size=total, p=weights).astype(np.int64)
+        src = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+        loops = targets == src
+        if loops.any():
+            targets[loops] = (targets[loops] + 1) % num_nodes
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(degrees)
+        delays = (
+            rng.integers(0, max_delay + 1, size=total) if max_delay > 0 else None
+        )
+        return cls(indptr=indptr, indices=targets, edge_delays=delays)
+
+    # ------------------------------------------------------------------
+    def partitioned(self, mask: Sequence[bool]) -> "GraphSpec":
+        """The spec with every edge crossing ``mask`` removed.
+
+        ``mask`` is a boolean array over nodes (True = inside the
+        partition); edges whose endpoints disagree are cut, modeling a
+        BGP-hijack or nation-state partition.  Node count, identity,
+        and within-partition edge order are preserved.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_nodes,):
+            raise ConfigurationError(
+                "one mask entry per node required",
+                nodes=self.num_nodes,
+                mask=int(mask.size),
+            )
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), self._degrees
+        )
+        keep = mask[src] == mask[self.indices]
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(src[keep], minlength=self.num_nodes))
+        return GraphSpec(
+            indptr=indptr,
+            indices=self.indices[keep],
+            edge_delays=(
+                None if self.edge_delays is None else self.edge_delays[keep]
+            ),
+            grid_size=self.grid_size,
+            rng_stream=self.rng_stream,
+            node_ids=self.node_ids,
+            node_weights=self.node_weights,
+        )
+
+
+def hijack_partition_mask(
+    spec: GraphSpec,
+    topology,
+    hijack,
+    table,
+    threshold: float = 0.5,
+) -> np.ndarray:
+    """Boolean node mask of ASes captured by a BGP hijack.
+
+    For every graph node (an AS of a :meth:`GraphSpec.from_topology`
+    spec), counts how many of its hosted node IPs currently route to
+    the hijacker under ``table`` and marks the node when the captured
+    fraction reaches ``threshold``.  The mask feeds
+    :meth:`GraphSpec.partitioned`, turning a routing-layer attack from
+    :mod:`repro.topology.bgp` into a propagation-layer partition.
+    """
+    if spec.node_ids is None:
+        raise ConfigurationError(
+            "spec has no node ids; build it with GraphSpec.from_topology"
+        )
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError("threshold must be in (0, 1]", threshold=threshold)
+    mask = np.zeros(spec.num_nodes, dtype=bool)
+    for node, asn in enumerate(spec.node_ids):
+        ips = topology.node_ips_in_as(asn)
+        if not ips:
+            continue
+        captured = hijack.captured_ips(table, ips)
+        mask[node] = len(captured) >= threshold * len(ips)
+    return mask
+
+
+@dataclass(frozen=True, eq=False)
+class GraphConfig:
+    """Parameters of a sparse-graph simulation.
+
+    The simulation fields mirror :class:`~repro.netsim.grid.GridConfig`
+    (per-communication failure rate, steps per expected block,
+    honest/attacker hash split, natural-fork rate), with the topology
+    supplied as a :class:`GraphSpec` and the attacker pinned to a node
+    index instead of a grid cell.
+    """
+
+    spec: GraphSpec
+    failure_rate: float = 0.10
+    steps_per_block: int = 50
+    attacker_share: float = 0.30
+    attacker_node: int = 0
+    attack_start_step: int = 0
+    natural_fork_rate: float = 0.10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ConfigurationError("failure_rate in [0,1)")
+        if self.steps_per_block < 1:
+            raise ConfigurationError("steps_per_block must be >= 1")
+        if not 0.0 <= self.attacker_share < 1.0:
+            raise ConfigurationError("attacker_share in [0,1)")
+        if not 0.0 <= self.natural_fork_rate <= 1.0:
+            raise ConfigurationError("natural_fork_rate in [0,1]")
+        if not 0 <= self.attacker_node < self.spec.num_nodes:
+            raise ConfigurationError(
+                "attacker_node outside graph",
+                node=self.attacker_node,
+                num_nodes=self.spec.num_nodes,
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+
+def graph_config_from_grid(config: GridConfig) -> GraphConfig:
+    """Bridge a grid config onto the graph engine (bit-identical run)."""
+    row, col = config.attacker_cell
+    return GraphConfig(
+        spec=GraphSpec.from_grid(config.size),
+        failure_rate=config.failure_rate,
+        steps_per_block=config.steps_per_block,
+        attacker_share=config.attacker_share,
+        attacker_node=row * config.size + col,
+        attack_start_step=config.attack_start_step,
+        natural_fork_rate=config.natural_fork_rate,
+        seed=config.seed,
+    )
+
+
+@dataclass(frozen=True)
+class GraphSnapshot:
+    """State of the graph at one step: fork label and height per node."""
+
+    step: int
+    labels: Tuple[str, ...]
+    heights: Tuple[int, ...]
+
+    def fork_fractions(self) -> Dict[str, float]:
+        counts: Dict[str, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        total = len(self.labels)
+        return {label: count / total for label, count in counts.items()}
+
+
+class GraphSimulatorVec(_VecEngineBase):
+    """CSR sparse-adjacency propagation engine.
+
+    Mining, fork bookkeeping, and the scatter-max reconcile are shared
+    with :class:`~repro.netsim.grid.GridSimulatorVec` through the
+    engine bases; this class supplies CSR partner selection (see the
+    module docstring for the neighbour-choice protocol), the optional
+    delayed-offer queue, and flat observation views.
+    """
+
+    def __init__(
+        self,
+        config: GraphConfig,
+        phase_metrics: Optional["PhaseTimingCollector"] = None,
+    ) -> None:
+        spec = config.spec
+        self.spec = spec
+        # The stream name is part of the spec so the grid bridge can
+        # replay the "grid.vec" draw sequence; set it before the base
+        # constructs the generator.
+        self.RNG_STREAM = spec.rng_stream
+        super().__init__(config, phase_metrics)
+        self._indptr = spec.indptr
+        self._indices = spec.indices
+        self._num_edges = spec.num_edges
+        self._row_start = spec.indptr[:-1]
+        self._degrees = spec.degrees
+        self._regular_degree = spec.regular_degree
+        self._choice_high = np.maximum(self._degrees, 1)
+        self._active = self._degrees > 0
+        self._edge_delays = spec.edge_delays
+        if self._edge_delays is not None and not self._edge_delays.any():
+            self._edge_delays = None  # all-zero delays: same-step path
+        # arrival step -> [(dest, src, height-at-send, label-at-send)]
+        self._pending: Dict[int, List[Tuple[np.ndarray, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def _attacker_index(self, config) -> int:
+        return config.attacker_node
+
+    def _random_seed_cell(self) -> int:
+        grid_size = self.spec.grid_size
+        if grid_size is not None:
+            # Grid bridge: replay the two-draw row/column protocol.
+            row = self._rand_below(grid_size)
+            col = self._rand_below(grid_size)
+            return row * grid_size + col
+        return self._rand_below(self._num_nodes)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def _draw_choices(self) -> np.ndarray:
+        degree = self._regular_degree
+        if degree is not None:
+            return self._rng.integers(0, degree, size=self._num_nodes)
+        return self._rng.integers(0, self._choice_high)
+
+    def _communicate(self) -> None:
+        """One synchronous CSR communication step.
+
+        Draw order (failure mask, then neighbour choice) matches the
+        grid kernel; partner lookup walks the CSR row instead of the
+        fixed matrix.  Zero-delay offers reconcile through the shared
+        scatter-max; delayed offers are enqueued with their
+        at-send-time view and delivered when they mature.
+        """
+        rng = self._rng
+        num_nodes = self._num_nodes
+        fail = rng.random(num_nodes) < self.config.failure_rate
+        choice = self._draw_choices()
+        if self._num_edges == 0:
+            return  # draws above keep the per-step protocol uniform
+        edge = np.minimum(self._row_start + choice, self._num_edges - 1)
+        partner = self._indices[edge]
+        ok = ~fail & self._active
+        if self._edge_delays is None:
+            self._adopt_from(self._push_pull_best(ok, partner))
+            return
+        delay = np.where(ok, self._edge_delays[edge], 0)
+        delayed = delay > 0
+        if delayed.any():
+            self._enqueue_delayed(np.flatnonzero(delayed), partner, delay)
+        best = self._push_pull_best(ok & ~delayed, partner)
+        matured = self._pending.pop(self.step_count, None)
+        if matured is None:
+            self._adopt_from(best)
+            return
+        for dest, src, height, _ in matured:
+            np.maximum.at(
+                best, dest, height * num_nodes + (num_nodes - 1 - src)
+            )
+        self._adopt_with_sent_labels(best, matured)
+
+    def _enqueue_delayed(
+        self, senders: np.ndarray, partner: np.ndarray, delay: np.ndarray
+    ) -> None:
+        """Queue both offer directions with the current (at-send) view."""
+        heights = self._hgt
+        labels = self._lab
+        sender_delay = delay[senders]
+        for ticks in np.unique(sender_delay):
+            sel = senders[sender_delay == ticks]
+            other = partner[sel]
+            bucket = self._pending.setdefault(self.step_count + int(ticks), [])
+            # Pull: the partner's view reaches the chooser.
+            bucket.append((sel, other, heights[other], labels[other]))
+            # Push: the chooser's view reaches the partner.
+            bucket.append((other, sel, heights[sel], labels[sel]))
+
+    def _adopt_with_sent_labels(
+        self, best: np.ndarray, matured: List[Tuple[np.ndarray, ...]]
+    ) -> None:
+        """Adopt best offers, restoring at-send labels for matured wins."""
+        num_nodes = self._num_nodes
+        heights = self._hgt
+        new_height = best // num_nodes
+        adopt = new_height > heights
+        if self.attacker_fork is not None:
+            adopt[self._attacker_idx] = False  # pinned
+        if not adopt.any():
+            return
+        source = num_nodes - 1 - (best % num_nodes)
+        new_label = self._lab[source]
+        for dest, src, height, label in matured:
+            won = (height * num_nodes + (num_nodes - 1 - src)) == best[dest]
+            if won.any():
+                new_label[dest[won]] = label[won]
+        self._lab[adopt] = new_label[adopt]
+        self._hgt[adopt] = new_height[adopt]
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> List[str]:
+        """Per-node fork labels, in node-index order."""
+        id_labels = self._id_labels
+        return [id_labels[i] for i in self._lab.tolist()]
+
+    @property
+    def heights(self) -> List[int]:
+        """Per-node chain heights, in node-index order."""
+        return self._hgt.tolist()
+
+    def snapshot(self) -> GraphSnapshot:
+        return GraphSnapshot(
+            step=self.step_count,
+            labels=tuple(self.labels),
+            heights=tuple(self.heights),
+        )
+
+    def partition_fractions(self, mask: Sequence[bool]) -> Dict[str, float]:
+        """Fork fractions restricted to the masked nodes."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._num_nodes,):
+            raise ConfigurationError(
+                "one mask entry per node required",
+                nodes=self._num_nodes,
+                mask=int(mask.size),
+            )
+        total = int(mask.sum())
+        if total == 0:
+            return {}
+        counts = np.bincount(self._lab[mask], minlength=len(self._id_labels))
+        return {
+            self._id_labels[i]: int(counts[i]) / total
+            for i in np.flatnonzero(counts).tolist()
+        }

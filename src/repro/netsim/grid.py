@@ -62,7 +62,11 @@ greatest height, ties broken toward the lowest source cell index.
 uses the vectorized engine from :data:`VEC_SIZE_THRESHOLD` (size 50,
 2,500 nodes) upward, where the kernel dominates Python overhead, and
 the scalar engine below, keeping published small-grid artifacts
-bit-identical.
+bit-identical.  A third engine, ``"graph"``
+(:class:`repro.netsim.graph.GraphSimulatorVec`), generalizes the
+vectorized kernel from the fixed ``(N, 8)`` neighbourhood to arbitrary
+CSR adjacency; on a grid bridged through ``GraphSpec.from_grid`` it is
+bit-identical to ``"vec"``.
 """
 
 from __future__ import annotations
@@ -299,8 +303,7 @@ class _GridEngineBase:
         self.fork_births: Dict[str, int] = {"A": 0}
         self.fork_deaths: Dict[str, int] = {}
         self._phase_metrics = phase_metrics
-        row, col = config.attacker_cell
-        self._attacker_idx = row * config.size + col
+        self._attacker_idx = self._attacker_index(config)
         self._on_fork_registered(self.main)
 
     # ------------------------------------------------------------------
@@ -390,13 +393,10 @@ class _GridEngineBase:
         # of the honest branch, topped up with random cells when the
         # counterfeit fork displaced the holders.
         seeds = self._holder_cells(fork)
-        size = self.config.size
         guard = 0
         while len(seeds) < self.HONEST_SEED_CELLS and guard < 100:
             guard += 1
-            row = self._rand_below(size)
-            col = self._rand_below(size)
-            idx = row * size + col
+            idx = self._random_seed_cell()
             if idx != self._attacker_idx and idx not in seeds:
                 seeds.append(idx)
         for idx in seeds:
@@ -459,6 +459,22 @@ class _GridEngineBase:
     # ------------------------------------------------------------------
     # Engine hooks (cell storage and incremental indices)
     # ------------------------------------------------------------------
+    def _attacker_index(self, config) -> int:
+        """Flat cell index of the attacker (grid configs carry a cell)."""
+        row, col = config.attacker_cell
+        return row * config.size + col
+
+    def _random_seed_cell(self) -> int:
+        """Draw one candidate honest-seed cell.
+
+        Grid engines draw a row and a column separately — the original
+        two-draw protocol, load-bearing for golden trajectories.
+        """
+        size = self.config.size
+        row = self._rand_below(size)
+        col = self._rand_below(size)
+        return row * size + col
+
     def _on_fork_registered(self, fork: ForkChain) -> None:
         """Called whenever a fork enters the registry (including genesis)."""
 
@@ -717,28 +733,26 @@ class GridSimulator(_GridEngineBase):
         return self._height_counts[self._max_height] / self.config.num_nodes
 
 
-class GridSimulatorVec(_GridEngineBase):
-    """Vectorized grid engine: NumPy arrays and per-step array kernels.
+class _VecEngineBase(_GridEngineBase):
+    """Shared machinery of the vectorized engines.
 
-    Cell state is two flat arrays (fork id, height) plus a precomputed
-    ``(N, 8)`` neighbour index matrix; the communication step is a
-    synchronous height-compare/adopt kernel over all N nodes at once
-    (see the module docstring for the RNG protocol and the conflict
-    rule).  Fork ids index a small per-fork table (labels, counterfeit
-    flags), so label decoding never walks the registry.
-
-    Semantics differ from :class:`GridSimulator` in exactly one way:
-    the scalar engine reconciles pairs sequentially within a step
-    (cell 0's adoption is visible to cell 1's comparison), while this
-    engine reconciles all pairs against the step's starting state.
-    Both are faithful one-communication-per-node models; their fork
-    trajectories agree in distribution (pinned by the cross-engine
-    statistical-equivalence tests), not draw-by-draw.
+    Cell state is two flat NumPy arrays (fork id, height); fork ids
+    index a small per-fork table (labels, counterfeit flags), so label
+    decoding never walks the registry.  The synchronous push+pull
+    scatter-max reconcile — encode each offer as
+    ``height * N + (N - 1 - source)`` so one elementwise/scatter
+    maximum resolves the height compare *and* the lowest-source
+    tie-break — lives here; subclasses supply the per-step partner
+    choice (a fixed ``(N, 8)`` matrix for the grid, CSR adjacency for
+    arbitrary graphs) and the observation layout.
     """
+
+    #: Name of the NumPy stream the engine draws from.
+    RNG_STREAM = "grid.vec"
 
     def __init__(
         self,
-        config: GridConfig,
+        config,
         phase_metrics: Optional["PhaseTimingCollector"] = None,
     ) -> None:
         # Fork-id tables must exist before the base registers fork A.
@@ -747,26 +761,13 @@ class GridSimulatorVec(_GridEngineBase):
         # A + 24 natural labels + B: at most len(_LABELS) + 1 ids ever.
         self._counterfeit_ids = np.zeros(len(self._LABELS) + 1, dtype=bool)
         super().__init__(config, phase_metrics)
-        self._rng = self.streams.numpy_stream("grid.vec")
+        self._rng = self.streams.numpy_stream(self.RNG_STREAM)
         num_nodes = config.num_nodes
         self._num_nodes = num_nodes
         self._lab = np.zeros(num_nodes, dtype=np.int16)
         self._hgt = np.zeros(num_nodes, dtype=np.int64)
         self._cell_ids = np.arange(num_nodes, dtype=np.int64)
-        self._nbrs = self._build_neighbor_matrix(config.size)
         self._honest_cells_cache: Optional[np.ndarray] = None
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _build_neighbor_matrix(size: int) -> np.ndarray:
-        """Moore neighbourhood as an ``(N, 8)`` flat-index matrix."""
-        rows = np.arange(size).repeat(size)
-        cols = np.tile(np.arange(size), size)
-        offsets = ((-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1))
-        columns = [
-            ((rows + dr) % size) * size + ((cols + dc) % size) for dr, dc in offsets
-        ]
-        return np.stack(columns, axis=1).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Engine hooks
@@ -813,26 +814,30 @@ class GridSimulatorVec(_GridEngineBase):
             holders = holders[order[: self.HONEST_SEED_CELLS]]
         return [int(idx) for idx in holders]
 
-    def _communicate(self) -> None:
-        """Synchronous communication kernel over all N nodes.
-
-        Offers are encoded as ``height * N + (N - 1 - source)`` so a
-        single elementwise/scatter maximum resolves both the
-        height-compare and the deterministic tie-break (higher height
-        wins, then the lower source index).  Each node's best offer
-        combines the pull side (its chosen partner's view) and the push
-        side (every node that chose it as partner this step).
-        """
-        rng = self._rng
+    # ------------------------------------------------------------------
+    # The shared scatter-max reconcile
+    # ------------------------------------------------------------------
+    def _offer_codes(self) -> np.ndarray:
+        """Every cell's offer: ``height * N + (N - 1 - source)``."""
         num_nodes = self._num_nodes
-        heights = self._hgt
-        fail = rng.random(num_nodes) < self.config.failure_rate
-        choice = rng.integers(0, 8, size=num_nodes)
-        partner = self._nbrs[self._cell_ids, choice]
-        ok = ~fail
-        offer = heights * num_nodes + (num_nodes - 1 - self._cell_ids)
+        return self._hgt * num_nodes + (num_nodes - 1 - self._cell_ids)
+
+    def _push_pull_best(self, ok: np.ndarray, partner: np.ndarray) -> np.ndarray:
+        """Best offer per cell from this step's successful contacts.
+
+        Each node's best offer combines the pull side (its chosen
+        partner's view) and the push side (every node that chose it as
+        partner this step); ``ok`` masks the failed attempts.
+        """
+        offer = self._offer_codes()
         best = np.where(ok, offer[partner], 0)
         np.maximum.at(best, partner[ok], offer[ok])
+        return best
+
+    def _adopt_from(self, best: np.ndarray) -> None:
+        """Adopt every strictly-better best offer (attacker pinned)."""
+        num_nodes = self._num_nodes
+        heights = self._hgt
         new_height = best // num_nodes
         adopt = new_height > heights
         if self.attacker_fork is not None:
@@ -847,6 +852,76 @@ class GridSimulatorVec(_GridEngineBase):
     def _live_labels(self) -> Set[str]:
         counts = np.bincount(self._lab, minlength=len(self._id_labels))
         return {self._id_labels[i] for i in np.flatnonzero(counts)}
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def fork_fractions(self) -> Dict[str, float]:
+        counts = np.bincount(self._lab, minlength=len(self._id_labels))
+        total = self.config.num_nodes
+        return {
+            self._id_labels[i]: int(counts[i]) / total
+            for i in np.flatnonzero(counts).tolist()
+        }
+
+    def synced_fraction(self) -> float:
+        """Fraction of nodes at the global maximum height."""
+        at_tip = int(np.count_nonzero(self._hgt == self._hgt.max()))
+        return at_tip / self.config.num_nodes
+
+
+class GridSimulatorVec(_VecEngineBase):
+    """Vectorized grid engine: NumPy arrays and per-step array kernels.
+
+    Cell state and the synchronous height-compare/adopt kernel come
+    from :class:`_VecEngineBase`; this engine adds the precomputed
+    ``(N, 8)`` Moore-neighbourhood index matrix and the grid-shaped
+    observation views (see the module docstring for the RNG protocol
+    and the conflict rule).
+
+    Semantics differ from :class:`GridSimulator` in exactly one way:
+    the scalar engine reconciles pairs sequentially within a step
+    (cell 0's adoption is visible to cell 1's comparison), while this
+    engine reconciles all pairs against the step's starting state.
+    Both are faithful one-communication-per-node models; their fork
+    trajectories agree in distribution (pinned by the cross-engine
+    statistical-equivalence tests), not draw-by-draw.
+    """
+
+    def __init__(
+        self,
+        config: GridConfig,
+        phase_metrics: Optional["PhaseTimingCollector"] = None,
+    ) -> None:
+        super().__init__(config, phase_metrics)
+        self._nbrs = self._build_neighbor_matrix(config.size)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_neighbor_matrix(size: int) -> np.ndarray:
+        """Moore neighbourhood as an ``(N, 8)`` flat-index matrix."""
+        rows = np.arange(size).repeat(size)
+        cols = np.tile(np.arange(size), size)
+        offsets = ((-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1))
+        columns = [
+            ((rows + dr) % size) * size + ((cols + dc) % size) for dr, dc in offsets
+        ]
+        return np.stack(columns, axis=1).astype(np.int64)
+
+    def _communicate(self) -> None:
+        """Synchronous communication kernel over all N nodes.
+
+        Per step: one length-N uniform vector (failure mask), one
+        length-N ``integers(0, 8)`` vector (neighbour choice), then the
+        shared scatter-max reconcile.
+        """
+        rng = self._rng
+        num_nodes = self._num_nodes
+        fail = rng.random(num_nodes) < self.config.failure_rate
+        choice = rng.integers(0, 8, size=num_nodes)
+        partner = self._nbrs[self._cell_ids, choice]
+        ok = ~fail
+        self._adopt_from(self._push_pull_best(ok, partner))
 
     # ------------------------------------------------------------------
     # Observation
@@ -866,19 +941,6 @@ class GridSimulatorVec(_GridEngineBase):
         flat = self._hgt.tolist()
         return [flat[r * size : (r + 1) * size] for r in range(size)]
 
-    def fork_fractions(self) -> Dict[str, float]:
-        counts = np.bincount(self._lab, minlength=len(self._id_labels))
-        total = self.config.num_nodes
-        return {
-            self._id_labels[i]: int(counts[i]) / total
-            for i in np.flatnonzero(counts).tolist()
-        }
-
-    def synced_fraction(self) -> float:
-        """Fraction of nodes at the global maximum height."""
-        at_tip = int(np.count_nonzero(self._hgt == self._hgt.max()))
-        return at_tip / self.config.num_nodes
-
 
 #: Grid edge length from which ``engine="auto"`` switches to the
 #: vectorized engine (2,500 nodes; below this the scalar engine is
@@ -886,23 +948,45 @@ class GridSimulatorVec(_GridEngineBase):
 VEC_SIZE_THRESHOLD = 50
 
 #: Accepted ``engine=`` values.
-ENGINES = ("auto", "scalar", "vec")
+ENGINES = ("auto", "scalar", "vec", "graph")
 
 
 def make_simulator(
-    config: GridConfig,
+    config,
     engine: str = "auto",
     phase_metrics: Optional["PhaseTimingCollector"] = None,
 ) -> _GridEngineBase:
-    """Build the grid engine for ``config``.
+    """Build the simulation engine for ``config``.
 
-    ``engine``: ``"scalar"`` (bit-identical reference), ``"vec"``
-    (NumPy kernel, own RNG protocol), or ``"auto"`` — vectorized from
-    :data:`VEC_SIZE_THRESHOLD` upward, scalar below.
+    ``config`` is a :class:`GridConfig` or a
+    :class:`~repro.netsim.graph.GraphConfig`.  ``engine``:
+    ``"scalar"`` (bit-identical reference), ``"vec"`` (NumPy kernel,
+    own RNG protocol), ``"graph"`` (CSR sparse-adjacency kernel for
+    arbitrary topologies; a grid config is bridged via
+    ``GraphSpec.from_grid`` and stays bit-identical to ``"vec"``), or
+    ``"auto"`` — for grid configs, vectorized from
+    :data:`VEC_SIZE_THRESHOLD` upward and scalar below; for graph
+    configs, always the graph engine (graph topologies have no scalar
+    or fixed-neighbour fallback, so ``"auto"`` can never silently
+    degrade them).
     """
+    from .graph import GraphConfig, GraphSimulatorVec, graph_config_from_grid
+
     if engine not in ENGINES:
         raise ConfigurationError(
             "unknown grid engine", engine=engine, choices=ENGINES
+        )
+    if isinstance(config, GraphConfig):
+        if engine not in ("auto", "graph"):
+            raise ConfigurationError(
+                "graph configs require the graph engine",
+                engine=engine,
+                choices=("auto", "graph"),
+            )
+        return GraphSimulatorVec(config, phase_metrics=phase_metrics)
+    if engine == "graph":
+        return GraphSimulatorVec(
+            graph_config_from_grid(config), phase_metrics=phase_metrics
         )
     if engine == "auto":
         engine = "vec" if config.size >= VEC_SIZE_THRESHOLD else "scalar"

@@ -21,33 +21,37 @@ from repro.parallel import FaultPlan, TrialEngine, inject, make_trials
 HELP_SNAPSHOT = textwrap.dedent(
     """\
     usage: repro-experiments [-h] [--seed SEED] [--fast] [--jobs N] [--cache DIR]
-                             [--no-cache] [--csv DIR] [--retries N]
+                             [--no-cache] [--csv DIR]
+                             [--engine {auto,scalar,vec,graph}] [--retries N]
                              [--trial-timeout S] [--max-failures N]
                              [ID ...]
 
     Regenerate the paper's tables and figures.
 
     positional arguments:
-      ID                 artifact ids to run (default: all). Known: figure3,
-                         figure4, figure6, figure7, figure8, table1, table2,
-                         table3, table4, table5, table6, table7, table8
+      ID                    artifact ids to run (default: all). Known: figure3,
+                            figure4, figure6, figure7, figure8, table1, table2,
+                            table3, table4, table5, table6, table7, table8
 
     options:
-      -h, --help         show this help message and exit
-      --seed SEED        experiment seed
-      --fast             reduced workloads (CI-sized)
-      --jobs N           worker processes per experiment's trial sweep (default:
-                         1)
-      --cache DIR        on-disk result cache directory (reruns skip completed
-                         work)
-      --no-cache         bypass the result cache even when --cache is given
-      --csv DIR          directory to dump figure series as CSV files
-      --retries N        retry each failed trial up to N times with its original
-                         seed
-      --trial-timeout S  per-trial timeout in seconds (hung/dead workers are
-                         respawned)
-      --max-failures N   abort the sweep (exit 2) once more than N trials have
-                         failed
+      -h, --help            show this help message and exit
+      --seed SEED           experiment seed
+      --fast                reduced workloads (CI-sized)
+      --jobs N              worker processes per experiment's trial sweep
+                            (default: 1)
+      --cache DIR           on-disk result cache directory (reruns skip completed
+                            work)
+      --no-cache            bypass the result cache even when --cache is given
+      --csv DIR             directory to dump figure series as CSV files
+      --engine {auto,scalar,vec,graph}
+                            simulation engine override for simulator-backed
+                            experiments
+      --retries N           retry each failed trial up to N times with its
+                            original seed
+      --trial-timeout S     per-trial timeout in seconds (hung/dead workers are
+                            respawned)
+      --max-failures N      abort the sweep (exit 2) once more than N trials have
+                            failed
     """
 )
 

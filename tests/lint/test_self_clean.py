@@ -50,6 +50,33 @@ class TestRepoSelfLint:
         assert any("examples/" in path for path in linted)
         assert len(linted) > 150
 
+    def test_graph_engine_obeys_the_determinism_rules(self):
+        """The CSR engine is the hot simulation kernel — any global RNG,
+        set-iteration, or wall-clock habit there would silently poison
+        every seed-equivalence guarantee — so pin that it passes every
+        rule without a file suppression."""
+        graph_path = REPO_ROOT / "src" / "repro" / "netsim" / "graph.py"
+        report = lint_paths([graph_path])
+        assert report.findings == [], "\n".join(
+            f"{f.location()}: {f.rule_id} {f.message}" for f in report.findings
+        )
+        (entry,) = report.files
+        assert not entry.file_suppressed
+
+    def test_graph_engine_passes_the_whole_program_audit(self):
+        """The CSR engine must also be clean under the RPL2xx
+        whole-program audit (effect and seed-flow analysis), not just
+        the per-file rules — its arrays flow into every cached trial."""
+        from repro.audit import run_audit
+
+        report = run_audit([str(REPO_ROOT / "src")])
+        offenders = [
+            f for f in report.findings if "netsim/graph" in f.location()
+        ]
+        assert offenders == [], "\n".join(
+            f"{f.location()}: {f.rule_id} {f.message}" for f in offenders
+        )
+
     def test_fault_layer_obeys_the_determinism_rules(self):
         """The fault-tolerance layer is process-juggling code — exactly
         where global RNG, module state, and wall-clock habits creep in —

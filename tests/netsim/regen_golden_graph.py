@@ -1,0 +1,40 @@
+"""Regenerate the graph-engine golden fixture.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.netsim.regen_golden_graph
+
+Rewrites ``tests/netsim/fixtures/golden_graph.json`` from the scenario
+definitions in :mod:`tests.netsim.graph_scenarios`.  Only run this
+after deliberately changing the engine's draw protocol or a scenario
+definition — the new capture becomes the pinned truth, so review the
+diff of the fixture like any other behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from . import graph_scenarios
+
+FIXTURE = Path(__file__).parent / "fixtures" / graph_scenarios.FIXTURE_NAME
+
+
+def main() -> None:
+    captured = {
+        name: graph_scenarios.capture(name)
+        for name in graph_scenarios.SCENARIO_NAMES
+    }
+    FIXTURE.write_text(json.dumps(captured, indent=1, sort_keys=True) + "\n")
+    for name, scenario in captured.items():
+        print(
+            f"{name}: {scenario['num_nodes']} nodes, "
+            f"{scenario['num_edges']} edges, "
+            f"digest {scenario['final_state_sha256'][:12]}"
+        )
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    main()

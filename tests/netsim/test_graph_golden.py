@@ -1,0 +1,106 @@
+"""Golden-trajectory regression tests for the sparse graph engine.
+
+The fixtures in ``fixtures/golden_graph.json`` were captured by
+``regen_golden_graph.py`` from the five scenarios defined in
+``graph_scenarios.py`` (grid bridge, star, two-cluster partition,
+AS-level topology, delayed edges).  Every scenario must reproduce
+exactly: the CSR spec digest (did an adapter change the topology it
+builds?), per-sample fork fractions, fork births/deaths/lifetimes,
+synced and attacker fractions, and a digest of the full final node
+state.
+
+If a trajectory test fails after a change to ``netsim/graph.py`` or
+the engine bases in ``netsim/grid.py``, the change altered the
+simulation itself (draw order, arguments, or semantics), not just its
+performance.  If only the spec digest fails, an adapter now builds a
+different graph — regenerate deliberately with::
+
+    PYTHONPATH=src python -m tests.netsim.regen_golden_graph
+
+and review the fixture diff like any other behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.netsim.graph import GraphSimulatorVec
+
+from . import graph_scenarios
+
+FIXTURE = Path(__file__).parent / "fixtures" / graph_scenarios.FIXTURE_NAME
+SCENARIOS = json.loads(FIXTURE.read_text())
+
+
+def _drift_message(name: str, step: int, expected: dict, got: dict) -> str:
+    keys = sorted(set(expected) | set(got))
+    lines = [f"{name} diverged at step {step}:"]
+    for key in keys:
+        want = expected.get(key)
+        have = got.get(key)
+        marker = "  " if want == have else "->"
+        lines.append(f" {marker} fork {key!r}: expected {want}, got {have}")
+    lines.append(
+        "If this drift is deliberate, regenerate with "
+        "`PYTHONPATH=src python -m tests.netsim.regen_golden_graph` "
+        "and review the fixture diff."
+    )
+    return "\n".join(lines)
+
+
+def test_fixture_covers_all_scenarios() -> None:
+    assert sorted(SCENARIOS) == sorted(graph_scenarios.SCENARIO_NAMES)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_spec(name: str) -> None:
+    """The adapter still builds the captured topology (CSR digest)."""
+    config = graph_scenarios.build_config(name)
+    scenario = SCENARIOS[name]
+    assert config.num_nodes == scenario["num_nodes"]
+    assert config.spec.num_edges == scenario["num_edges"]
+    assert graph_scenarios.spec_digest(config.spec) == scenario["spec_sha256"], (
+        f"{name}: the scenario's GraphSpec drifted — an adapter builds a "
+        "different graph than the captured one"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trajectory(name: str) -> None:
+    """Sampled fork fractions match the capture exactly."""
+    scenario = SCENARIOS[name]
+    sim = GraphSimulatorVec(graph_scenarios.build_config(name))
+    sample_every = scenario["sample_every"]
+    horizon = scenario["horizon"]
+    for step in range(sample_every, horizon + 1, sample_every):
+        sim.run(step - sim.step_count)
+        expected = scenario["trajectory"][str(step)]
+        got = sim.fork_fractions()
+        assert got == expected, _drift_message(name, step, expected, got)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_final_state(name: str) -> None:
+    """Fork bookkeeping and the final state digest match the capture."""
+    scenario = SCENARIOS[name]
+    sim = GraphSimulatorVec(graph_scenarios.build_config(name))
+    sim.run(scenario["horizon"])
+    assert sim.fork_births == scenario["fork_births"]
+    assert sim.fork_deaths == scenario["fork_deaths"]
+    assert sim.fork_lifetimes_in_blocks() == scenario["fork_lifetimes_blocks"]
+    assert sim.synced_fraction() == scenario["synced_fraction"]
+    assert sim.attacker_fraction() == scenario["attacker_fraction"]
+    assert graph_scenarios.state_digest(sim) == scenario["final_state_sha256"]
+
+
+def test_two_cluster_scenario_isolates_attacker() -> None:
+    """The partition cut actually confines the attacker fork."""
+    scenario = SCENARIOS["two_cluster"]
+    final = scenario["trajectory"][str(scenario["horizon"])]
+    # Cluster 1 (the attacker-free half) can never adopt fork B, so the
+    # attacker fraction is capped at half the nodes.
+    assert scenario["attacker_fraction"] <= 0.5
+    assert final.get("B", 0.0) <= 0.5

@@ -144,7 +144,7 @@ class TestEngineSelection:
             make_simulator(GridConfig(size=10), engine="cuda")
 
     def test_engine_catalogue(self):
-        assert ENGINES == ("auto", "scalar", "vec")
+        assert ENGINES == ("auto", "scalar", "vec", "graph")
 
 
 class TestCrossEngineStatisticalEquivalence:
