@@ -18,7 +18,13 @@ Public surface::
 Command line: ``repro-audit`` (or ``python -m repro.audit``).
 """
 
-from .callgraph import CallGraph, CallSite, build_call_graph
+from .callgraph import (
+    CallGraph,
+    CallSite,
+    ClassHierarchy,
+    build_call_graph,
+    function_body_walk,
+)
 from .effects import Effect, EffectClosure, TracedEffect, direct_effects, effect_closure
 from .manifest import (
     DEFAULT_MANIFEST,
@@ -45,6 +51,7 @@ __all__ = [
     "AuditRule",
     "CallGraph",
     "CallSite",
+    "ClassHierarchy",
     "ClassNode",
     "DEFAULT_MANIFEST",
     "Effect",
@@ -63,6 +70,7 @@ __all__ = [
     "direct_effects",
     "effect_closure",
     "find_workers",
+    "function_body_walk",
     "render_manifest",
     "run_audit",
 ]

@@ -26,7 +26,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from .project import MODULE_BODY, ClassNode, FunctionNode, ModuleRecord, Project
 
-__all__ = ["CallGraph", "CallSite", "build_call_graph", "function_body_walk"]
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassHierarchy",
+    "build_call_graph",
+    "function_body_walk",
+]
 
 
 @dataclass(frozen=True)
@@ -127,8 +133,106 @@ def _class_of_method(qualname: str) -> Optional[str]:
     return None
 
 
-def build_call_graph(project: Project) -> CallGraph:
-    """Resolve every call site in every module into the graph."""
+class ClassHierarchy:
+    """Project-wide subclass/base relations over :class:`ClassNode` s.
+
+    Base-class expressions are recorded per class as canonical dotted
+    names (module import-map resolution); here they are resolved to
+    project classes, giving an upward ``bases`` map and its transpose,
+    a ``subclasses`` map.  Classes whose bases leave the project
+    (stdlib ABCs, third-party) simply have fewer edges — resolution is
+    best-effort, matching the may-call philosophy.
+    """
+
+    def __init__(self, project: Project) -> None:
+        self._project = project
+        #: class fq -> direct base class fqs (declaration order)
+        self.bases: Dict[str, Tuple[str, ...]] = {}
+        #: class fq -> sorted direct subclass fqs
+        self.subclasses: Dict[str, List[str]] = {}
+        for record in project.modules.values():
+            for cls in record.classes.values():
+                resolved: List[str] = []
+                for base in cls.bases:
+                    target = project.resolve_local(record, base)
+                    if target is not None and target[0] == "class":
+                        resolved.append(target[1].fq)
+                self.bases[cls.fq] = tuple(resolved)
+        for derived, base_fqs in sorted(self.bases.items()):
+            for base_fq in base_fqs:
+                self.subclasses.setdefault(base_fq, []).append(derived)
+
+    def class_node(self, class_fq: str) -> Optional[ClassNode]:
+        module, _, name = class_fq.rpartition(".")
+        record = self._project.modules.get(module)
+        if record is None:
+            return None
+        return record.classes.get(name)
+
+    def ancestors(self, class_fq: str) -> List[str]:
+        """``class_fq`` plus its transitive bases, nearest first (BFS)."""
+        order: List[str] = []
+        queue = [class_fq]
+        seen: Set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            queue.extend(self.bases.get(current, ()))
+        return order
+
+    def descendants(self, class_fq: str) -> List[str]:
+        """Transitive subclasses of ``class_fq`` (excluding itself), sorted."""
+        found: Set[str] = set()
+        queue = list(self.subclasses.get(class_fq, []))
+        while queue:
+            current = queue.pop(0)
+            if current in found:
+                continue
+            found.add(current)
+            queue.extend(self.subclasses.get(current, []))
+        return sorted(found)
+
+    def resolve_method(self, class_fq: str, method: str) -> Optional[FunctionNode]:
+        """First definition of ``method`` along the ancestor chain."""
+        for ancestor in self.ancestors(class_fq):
+            node = self.class_node(ancestor)
+            if node is None:
+                continue
+            record = self._project.modules[node.module]
+            fn = record.functions.get(f"{node.name}.{method}")
+            if fn is not None:
+                return fn
+        return None
+
+    def overriding_methods(self, class_fq: str, method: str) -> List[FunctionNode]:
+        """Subclass redefinitions of ``method`` below ``class_fq``."""
+        out: List[FunctionNode] = []
+        for descendant in self.descendants(class_fq):
+            node = self.class_node(descendant)
+            if node is None:
+                continue
+            record = self._project.modules[node.module]
+            fn = record.functions.get(f"{node.name}.{method}")
+            if fn is not None:
+                out.append(fn)
+        return out
+
+
+def build_call_graph(project: Project, inheritance: bool = False) -> CallGraph:
+    """Resolve every call site in every module into the graph.
+
+    With ``inheritance=True``, ``self.method()`` calls additionally
+    resolve *upward* to the nearest base-class definition when the own
+    class has no such method, and *downward* to every subclass override
+    (at runtime ``self`` may be any subclass instance).  The default
+    keeps the original same-class-only behavior so existing audit
+    output — including ``AUDIT_MANIFEST.json`` — is unchanged; the
+    ``repro-vec`` hot-path pass opts in.
+    """
+    hierarchy = ClassHierarchy(project) if inheritance else None
     graph = CallGraph()
     for record in project.modules.values():
         for fn in record.functions.values():
@@ -163,6 +267,34 @@ def build_call_graph(project: Project) -> CallGraph:
                         graph.add_edge(
                             CallSite(fn.fq, sibling.fq, line, f"self.{func.attr}")
                         )
+                    resolved_self = sibling is not None
+                    if hierarchy is not None:
+                        own_fq = f"{record.name}.{own_class}"
+                        if sibling is None:
+                            inherited = hierarchy.resolve_method(own_fq, func.attr)
+                            if inherited is not None:
+                                graph.add_edge(
+                                    CallSite(
+                                        fn.fq,
+                                        inherited.fq,
+                                        line,
+                                        f"self.{func.attr} (inherited)",
+                                    )
+                                )
+                                resolved_self = True
+                        for override in hierarchy.overriding_methods(
+                            own_fq, func.attr
+                        ):
+                            graph.add_edge(
+                                CallSite(
+                                    fn.fq,
+                                    override.fq,
+                                    line,
+                                    f"self.{func.attr} (override)",
+                                )
+                            )
+                            resolved_self = True
+                    if resolved_self:
                         continue
                 canonical = record.info.resolve(func)
                 if canonical is None:

@@ -77,6 +77,10 @@ class ClassNode:
     methods: Tuple[str, ...]  # method qualnames (``Class.m``)
     init_params: Tuple[str, ...]  # explicit ``__init__`` params or dataclass fields
     lineno: int
+    #: Canonical dotted names of the base-class expressions, as resolved
+    #: by the module's import map (project-level resolution happens in
+    #: :class:`~repro.audit.callgraph.ClassHierarchy`).
+    bases: Tuple[str, ...] = ()
 
     @property
     def fq(self) -> str:
@@ -162,6 +166,11 @@ def _build_record(name: str, info: ModuleInfo) -> ModuleRecord:
             methods: List[str] = []
             fields: List[str] = []
             init_params: Tuple[str, ...] = ()
+            bases: List[str] = []
+            for base in stmt.bases:
+                canonical = info.resolve(base)
+                if canonical is not None:
+                    bases.append(canonical)
             for item in stmt.body:
                 if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     qualname = f"{stmt.name}.{item.name}"
@@ -190,6 +199,7 @@ def _build_record(name: str, info: ModuleInfo) -> ModuleRecord:
                 methods=tuple(methods),
                 init_params=init_params,
                 lineno=stmt.lineno,
+                bases=tuple(bases),
             )
     return record
 

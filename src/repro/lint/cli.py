@@ -95,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs/names to skip",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the per-file analysis (default: 1); "
+            "the report is identical at any worker count"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -119,6 +130,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-lint: error: {exc.args[0]}", file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print("repro-lint: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
     paths = args.paths if args.paths else list(_DEFAULT_PATHS)
     missing = [path for path in paths if not Path(path).exists()]
     if missing:
@@ -128,7 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    report = lint_paths(paths, select=select, ignore=ignore)
+    report = lint_paths(paths, select=select, ignore=ignore, jobs=args.jobs)
     if args.format == "json":
         print(render_json(report))
     else:

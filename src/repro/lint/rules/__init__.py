@@ -18,7 +18,26 @@ from .pickling import UnpicklableWorkerRule
 from .rng import GlobalRngRule
 from .state import GlobalStateRule
 
-__all__ = ["RULES", "Rule", "rule_by_identifier"]
+__all__ = ["FAMILIES", "RULES", "Rule", "family_of", "rule_by_identifier"]
+
+#: The three static-analysis tiers sharing the RPL namespace (plus the
+#: shared parse-error band).  Keyed by rule-ID prefix; every tool's
+#: ``--list-rules`` and the README table derive their framing from here
+#: so the tiers stay described in one place.
+FAMILIES = {
+    "RPL1": "determinism lint, per-file (repro-lint)",
+    "RPL2": "purity audit, whole-program (repro-audit)",
+    "RPL3": "numeric & hot-path analysis (repro-vec)",
+    "RPL9": "parse errors, shared by every tier",
+}
+
+
+def family_of(rule_id: str) -> str:
+    """Human framing of a rule's tier (``"RPL301"`` -> the vec tier)."""
+    for prefix, description in FAMILIES.items():
+        if rule_id.startswith(prefix):
+            return description
+    return "unknown rule family"
 
 RULES: List[Rule] = sorted(
     [

@@ -54,7 +54,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import RngStreams
-from .grid import GridConfig, GridSimulatorVec, _VecEngineBase
+from .grid import (
+    GridConfig,
+    GridSimulatorVec,
+    OFFER_DTYPE,
+    OFFER_HEIGHT_HEADROOM,
+    _VecEngineBase,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..parallel.metrics import PhaseTimingCollector
@@ -66,7 +72,21 @@ __all__ = [
     "GraphSimulatorVec",
     "graph_config_from_grid",
     "hijack_partition_mask",
+    "offer_height_bound",
 ]
+
+
+def offer_height_bound(num_nodes: int) -> int:
+    """Highest mined height the offer encoding supports at this size.
+
+    The reconcile packs offers as ``height * N + (N - 1 - source)`` in
+    ``OFFER_DTYPE``; this is the largest ``height`` for which every
+    source still fits.
+    """
+    if num_nodes <= 0:
+        return 0
+    max_code = int(np.iinfo(OFFER_DTYPE).max)
+    return (max_code - (num_nodes - 1)) // num_nodes
 
 
 def _as_index_array(values, name: str) -> np.ndarray:
@@ -149,6 +169,18 @@ class GraphSpec:
             )
         if not self.rng_stream:
             raise ConfigurationError("rng_stream must be non-empty")
+        height_bound = offer_height_bound(num_nodes)
+        if height_bound < OFFER_HEIGHT_HEADROOM:
+            raise ConfigurationError(
+                f"offer-encoding headroom exhausted: at {num_nodes} nodes "
+                f"the {np.dtype(OFFER_DTYPE).name} code "
+                "height * N + (N - 1 - source) overflows past height "
+                f"{height_bound}, below the required "
+                f"{OFFER_HEIGHT_HEADROOM}-block headroom",
+                num_nodes=num_nodes,
+                height_bound=height_bound,
+                required_headroom=OFFER_HEIGHT_HEADROOM,
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -552,7 +584,7 @@ class GraphSimulatorVec(_VecEngineBase):
         heights = self._hgt
         labels = self._lab
         sender_delay = delay[senders]
-        for ticks in np.unique(sender_delay):
+        for ticks in np.unique(sender_delay):  # repro-lint: disable=RPL311 iterates distinct delay values (small, bounded by the delay distribution), not nodes
             sel = senders[sender_delay == ticks]
             other = partner[sel]
             bucket = self._pending.setdefault(self.step_count + int(ticks), [])

@@ -400,7 +400,12 @@ class _GridEngineBase:
             if idx != self._attacker_idx and idx not in seeds:
                 seeds.append(idx)
         for idx in seeds:
-            self._set_cell(idx, fork.label, fork.tip_height)
+            # Longest-chain rule: a node already ahead of the new tip
+            # (e.g. captured by a longer counterfeit branch) does not
+            # reorg down to it; the block still extends the registry's
+            # honest branch and seeds once that branch catches up.
+            if fork.tip_height > self._height_at(idx):
+                self._set_cell(idx, fork.label, fork.tip_height)
 
     def _mine_attacker(self) -> None:
         """The attacker extends its counterfeit fork at its cell."""
@@ -649,7 +654,9 @@ class GridSimulator(_GridEngineBase):
     def _honest_cell_at(self, k: int) -> int:
         """The k-th honest cell in row-major order, via the exclusion set."""
         idx = k
-        for excluded in sorted(self._counterfeit_cells | {self._attacker_idx}):
+        for excluded in sorted(  # repro-lint: disable=RPL311 scalar reference engine; exclusion set is attacker-sized, not node-sized
+            self._counterfeit_cells | {self._attacker_idx}
+        ):
             if excluded <= idx:
                 idx += 1
             else:
@@ -666,7 +673,7 @@ class GridSimulator(_GridEngineBase):
         attacker_idx = self._attacker_idx
         return heapq.nsmallest(
             self.HONEST_SEED_CELLS,
-            (idx for idx in cells if idx != attacker_idx),
+            (idx for idx in cells if idx != attacker_idx),  # repro-lint: disable=RPL311 scalar reference engine; nsmallest keeps a 3-element heap
             key=lambda idx: (-heights[idx], idx),
         )
 
@@ -687,7 +694,7 @@ class GridSimulator(_GridEngineBase):
         labels = self._labels
         set_cell = self._set_cell
         attacker_idx = self._attacker_idx if self.attacker_fork is not None else -1
-        for idx in range(self.config.num_nodes):
+        for idx in range(self.config.num_nodes):  # repro-lint: disable=RPL311 the scalar reference engine is per-node by definition; GridSimulatorVec is the vectorized path
             if failure and rng_random() < failure:
                 continue
             other = neighbors[idx][rng_randrange(8)]
@@ -733,6 +740,18 @@ class GridSimulator(_GridEngineBase):
         return self._height_counts[self._max_height] / self.config.num_nodes
 
 
+#: Dtype the vectorized engines carry heights and encoded offers in.
+#: The scatter-max reconcile packs ``(height, source)`` into a single
+#: integer ``height * N + (N - 1 - source)``, so this dtype bounds how
+#: far a simulation can mine before the code overflows.
+OFFER_DTYPE = np.int64
+
+#: Mined-height headroom every topology must leave in the offer
+#: encoding; :class:`~repro.netsim.graph.GraphSpec` refuses node counts
+#: that could not mine this many blocks without overflowing.
+OFFER_HEIGHT_HEADROOM = 1 << 20
+
+
 class _VecEngineBase(_GridEngineBase):
     """Shared machinery of the vectorized engines.
 
@@ -765,8 +784,8 @@ class _VecEngineBase(_GridEngineBase):
         num_nodes = config.num_nodes
         self._num_nodes = num_nodes
         self._lab = np.zeros(num_nodes, dtype=np.int16)
-        self._hgt = np.zeros(num_nodes, dtype=np.int64)
-        self._cell_ids = np.arange(num_nodes, dtype=np.int64)
+        self._hgt = np.zeros(num_nodes, dtype=OFFER_DTYPE)
+        self._cell_ids = np.arange(num_nodes, dtype=OFFER_DTYPE)
         self._honest_cells_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -812,7 +831,7 @@ class _VecEngineBase(_GridEngineBase):
             # (lexsort: last key is primary).
             order = np.lexsort((holders, -self._hgt[holders]))
             holders = holders[order[: self.HONEST_SEED_CELLS]]
-        return [int(idx) for idx in holders]
+        return [int(idx) for idx in holders]  # repro-lint: disable=RPL311 holders is sliced to HONEST_SEED_CELLS (3) above
 
     # ------------------------------------------------------------------
     # The shared scatter-max reconcile
@@ -851,7 +870,7 @@ class _VecEngineBase(_GridEngineBase):
 
     def _live_labels(self) -> Set[str]:
         counts = np.bincount(self._lab, minlength=len(self._id_labels))
-        return {self._id_labels[i] for i in np.flatnonzero(counts)}
+        return {self._id_labels[i] for i in np.flatnonzero(counts)}  # repro-lint: disable=RPL311 label-count scale (few dozen forks), not node scale
 
     # ------------------------------------------------------------------
     # Observation

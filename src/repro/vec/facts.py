@@ -1,0 +1,136 @@
+"""Dtype lattice and array facts for the vec analyzer.
+
+The abstract domain is deliberately small: an expression either has an
+:class:`ArrayFact` (it is ndarray-like, with an optional known
+:class:`DType` and an optional symbolic shape) or it has no fact at all
+(python scalar, untracked object).  Promotion follows NumPy's
+same-kind/weak-scalar behaviour closely enough for the RPL30x rules:
+
+- ``bool`` promotes to anything;
+- ``int``/``uint`` of different widths promote to the wider width
+  (mixed signedness promotes to signed, widened one step, capped at
+  64 — the ``int32 + uint32 -> int64`` shape);
+- any ``float`` operand makes the result ``float`` at the wider width;
+- an operand *without* a fact is treated as a weak python scalar and
+  leaves the known operand's dtype unchanged (NEP-50 semantics, which
+  is also the conservative choice: a literal ``1`` never widens an
+  encode, so the narrow dtype stays visible to RPL301).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ArrayFact",
+    "DType",
+    "parse_dtype",
+    "promote",
+]
+
+_FAMILY_RANK = {"bool": 0, "int": 1, "uint": 1, "float": 2}
+
+
+@dataclass(frozen=True)
+class DType:
+    """One point of the dtype lattice: a family and a bit width."""
+
+    family: str  # "bool" | "int" | "uint" | "float"
+    bits: int
+
+    @property
+    def name(self) -> str:
+        if self.family == "bool":
+            return "bool"
+        return f"{self.family}{self.bits}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.name
+
+
+BOOL = DType("bool", 8)
+INT8, INT16, INT32, INT64 = (DType("int", b) for b in (8, 16, 32, 64))
+UINT8, UINT16, UINT32, UINT64 = (DType("uint", b) for b in (8, 16, 32, 64))
+FLOAT16, FLOAT32, FLOAT64 = (DType("float", b) for b in (16, 32, 64))
+
+_DTYPE_SPELLINGS = (
+    (BOOL, ("bool", "bool_", "bool8")),
+    (INT8, ("int8", "byte")),
+    (INT16, ("int16", "short")),
+    (INT32, ("int32", "intc")),
+    (INT64, ("int64", "int", "int_", "intp", "longlong")),
+    (UINT8, ("uint8", "ubyte")),
+    (UINT16, ("uint16", "ushort")),
+    (UINT32, ("uint32", "uintc")),
+    (UINT64, ("uint64", "uint", "uintp")),
+    (FLOAT16, ("float16", "half")),
+    (FLOAT32, ("float32", "single")),
+    (FLOAT64, ("float64", "float", "float_", "double")),
+)
+
+#: Canonical dotted names (as the lint import map produces them) and
+#: bare spellings (dtype="int32") to lattice points.  ``intp``/``int_``
+#: and python builtins map to the 64-bit defaults of every platform the
+#: engines target.
+_DTYPE_NAMES: Dict[str, DType] = {
+    spelled: dtype
+    for dtype, names in _DTYPE_SPELLINGS
+    for name in names
+    for spelled in (name, f"numpy.{name}", f"np.{name}")
+}
+
+
+def parse_dtype(name: Optional[str]) -> Optional[DType]:
+    """Lattice point for a canonical dotted name or bare dtype string."""
+    if name is None:
+        return None
+    return _DTYPE_NAMES.get(name)
+
+
+def promote(a: Optional[DType], b: Optional[DType]) -> Optional[DType]:
+    """Result dtype of combining two operands (weak-scalar for None)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    rank_a, rank_b = _FAMILY_RANK[a.family], _FAMILY_RANK[b.family]
+    if a.family == "bool":
+        return b
+    if b.family == "bool":
+        return a
+    if rank_a == 2 or rank_b == 2:
+        bits = max(
+            a.bits if a.family == "float" else min(a.bits * 2, 64),
+            b.bits if b.family == "float" else min(b.bits * 2, 64),
+        )
+        return DType("float", min(bits, 64))
+    if a.family == b.family:
+        return DType(a.family, max(a.bits, b.bits))
+    # int vs uint: signed result, widened past the unsigned operand.
+    unsigned = a if a.family == "uint" else b
+    signed = a if a.family == "int" else b
+    if signed.bits > unsigned.bits:
+        return signed
+    return DType("int", min(max(signed.bits, unsigned.bits * 2), 64))
+
+
+@dataclass(frozen=True)
+class ArrayFact:
+    """What the analyzer knows about one ndarray-producing expression."""
+
+    dtype: Optional[DType] = None
+    #: Symbolic dims rendered from source (``("num_nodes",)``), best
+    #: effort — ``None`` when unknown, which most facts are.
+    shape: Optional[Tuple[str, ...]] = None
+
+    def with_dtype(self, dtype: Optional[DType]) -> "ArrayFact":
+        return ArrayFact(dtype=dtype, shape=self.shape)
+
+    def describe(self) -> str:
+        dtype = self.dtype.name if self.dtype is not None else "unknown-dtype"
+        if self.shape:
+            return f"{dtype}[{', '.join(self.shape)}]"
+        return dtype

@@ -1,0 +1,106 @@
+"""The vec manifest: a committed, CI-gated hot-path ledger.
+
+``VEC_MANIFEST.json`` records the analyzer's complete account of the
+engines' hot surface: the entry-point roots, every function in their
+call closure, and every *sanctioned* scalar loop — a hot-path RPL31x
+finding muted on its line with ``# repro-lint: disable=RPL31x reason``.
+Sanctioned loops produce no findings but stay on the ledger, so a
+reviewer sees exactly which per-node Python loops were declared
+acceptable and where.
+
+Entries are keyed line-free (rule, owning function, message) so pure
+code motion doesn't churn the file, and the whole payload is rendered
+deterministically (sorted keys/lists).  ``repro-vec --check-manifest``
+re-derives it from source and fails CI with a unified diff on drift:
+new vectorization debt in a hot path — or a change to what is hot —
+must land in the same commit as the manifest update acknowledging it.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .rules import LOOP_RULE_IDS, VecReport
+
+__all__ = [
+    "DEFAULT_MANIFEST",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "diff_manifest",
+    "render_manifest",
+]
+
+#: Default committed location, relative to the repo root.
+DEFAULT_MANIFEST = "VEC_MANIFEST.json"
+
+#: Bump when the manifest envelope shape changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def _function_of(report: VecReport, path: str, line: int) -> str:
+    for record in report.context.project.modules.values():
+        if record.info.path == path:
+            return record.function_at_line(line).fq
+    return "<unknown>"
+
+
+def build_manifest(report: VecReport) -> Dict[str, Any]:
+    """The manifest payload, pure data, deterministically ordered."""
+    sanctioned: List[Dict[str, str]] = []
+    seen = set()
+    for finding in report.suppressed:
+        if finding.rule_id not in LOOP_RULE_IDS:
+            continue
+        entry = {
+            "rule": finding.rule_id,
+            "function": _function_of(report, finding.path, finding.line),
+            "detail": finding.message,
+        }
+        key = (entry["rule"], entry["function"], entry["detail"])
+        if key in seen:
+            continue
+        seen.add(key)
+        sanctioned.append(entry)
+    sanctioned.sort(key=lambda e: (e["rule"], e["function"], e["detail"]))
+    return {
+        "version": MANIFEST_SCHEMA_VERSION,
+        "hot_roots": sorted(fn.fq for fn in report.context.roots),
+        "hot_functions": sorted(report.context.hot),
+        "sanctioned_loops": sanctioned,
+    }
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Byte-stable serialization (what gets committed)."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def diff_manifest(
+    manifest: Dict[str, Any], path: Union[str, Path]
+) -> Optional[str]:
+    """Unified diff committed-vs-derived, or None when they match.
+
+    A missing committed manifest diffs against the empty file, so the
+    first ``--check-manifest`` run tells the operator exactly what to
+    commit rather than crashing.
+    """
+    manifest_path = Path(path)
+    expected = render_manifest(manifest)
+    actual = (
+        manifest_path.read_text(encoding="utf-8")
+        if manifest_path.exists()
+        else ""
+    )
+    if actual == expected:
+        return None
+    return "".join(
+        difflib.unified_diff(
+            actual.splitlines(keepends=True),
+            expected.splitlines(keepends=True),
+            fromfile=f"{manifest_path} (committed)",
+            tofile=f"{manifest_path} (derived from source)",
+        )
+    )

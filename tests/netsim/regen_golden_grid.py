@@ -1,0 +1,68 @@
+"""Regenerate the grid-engine golden fixture.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.netsim.regen_golden_grid
+
+Rewrites ``tests/netsim/fixtures/golden_grid.json`` by re-running every
+scenario already in the fixture (configs, horizons, and sample cadence
+are preserved) on the current :class:`repro.netsim.grid.GridSimulator`.
+Only run this after deliberately changing the engine's draw protocol or
+its semantics — the new capture becomes the pinned truth, so review the
+fixture diff like any other behaviour change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.netsim.grid import GridConfig, GridSimulator
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_grid.json"
+
+
+def _digest(sim: GridSimulator) -> str:
+    """Digest of the full final grid state (labels + heights)."""
+    labels = "\n".join("".join(row) for row in sim.labels)
+    heights = ",".join(str(h) for row in sim.heights for h in row)
+    return hashlib.sha256(f"{labels}|{heights}".encode()).hexdigest()
+
+
+def capture(scenario: dict) -> dict:
+    kwargs = dict(scenario["config"])
+    kwargs["attacker_cell"] = tuple(kwargs["attacker_cell"])
+    sim = GridSimulator(GridConfig(**kwargs))
+    sample_every = scenario["sample_every"]
+    horizon = scenario["horizon"]
+    trajectory = {}
+    for step in range(sample_every, horizon + 1, sample_every):
+        sim.run(step - sim.step_count)
+        trajectory[str(step)] = sim.fork_fractions()
+    sim.run(horizon - sim.step_count)
+    return {
+        "attacker_fraction": sim.attacker_fraction(),
+        "config": scenario["config"],
+        "final_state_sha256": _digest(sim),
+        "fork_births": sim.fork_births,
+        "fork_deaths": sim.fork_deaths,
+        "fork_lifetimes_blocks": sim.fork_lifetimes_in_blocks(),
+        "horizon": horizon,
+        "sample_every": sample_every,
+        "synced_fraction": sim.synced_fraction(),
+        "trajectory": trajectory,
+    }
+
+
+def main() -> None:
+    scenarios = json.loads(FIXTURE.read_text())
+    captured = {name: capture(scenarios[name]) for name in sorted(scenarios)}
+    FIXTURE.write_text(json.dumps(captured, indent=1, sort_keys=True) + "\n")
+    for name, scenario in captured.items():
+        print(f"{name}: digest {scenario['final_state_sha256'][:12]}")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    main()

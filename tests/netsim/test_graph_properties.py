@@ -173,3 +173,63 @@ class TestSpecValidation:
         spec = GraphSpec(indptr=[0, 1, 2], indices=[1, 0])
         with pytest.raises(ConfigurationError):
             spec.partitioned([True])
+
+
+class TestOfferHeadroomGuard:
+    """The dtype-headroom guard on the offer encoding (RPL301's fix).
+
+    The encode ``height * N + (N - 1 - source)`` is carried in
+    ``OFFER_DTYPE``; construction must refuse any node count whose
+    supported height bound falls below ``OFFER_HEIGHT_HEADROOM``.
+    int64 cannot be exhausted by an allocatable graph, so the boundary
+    is exercised by narrowing ``OFFER_DTYPE`` to int32 in the
+    ``graph`` module (the guard reads it at construction time).
+    """
+
+    @staticmethod
+    def _ring_spec(num_nodes: int):
+        indptr = np.arange(num_nodes + 1, dtype=np.int64)
+        indices = (np.arange(num_nodes, dtype=np.int64) + 1) % num_nodes
+        return GraphSpec(indptr=indptr, indices=indices)
+
+    def test_height_bound_formula(self):
+        from repro.netsim.graph import offer_height_bound
+
+        max_code = np.iinfo(np.int64).max
+        n = 1_000_000
+        bound = offer_height_bound(n)
+        assert bound * n + (n - 1) <= max_code
+        assert (bound + 1) * n + (n - 1) > max_code
+
+    def test_int64_accepts_million_node_graphs(self):
+        from repro.netsim.graph import OFFER_HEIGHT_HEADROOM, offer_height_bound
+
+        assert offer_height_bound(1_000_000) >= OFFER_HEIGHT_HEADROOM
+
+    def test_guard_fires_at_the_boundary(self, monkeypatch):
+        import repro.netsim.graph as graph_mod
+
+        monkeypatch.setattr(graph_mod, "OFFER_DTYPE", np.int32)
+        max_code = np.iinfo(np.int32).max
+        # Largest node count whose height bound still meets the headroom.
+        largest_ok = (max_code + 1) // (graph_mod.OFFER_HEIGHT_HEADROOM + 1)
+        assert graph_mod.offer_height_bound(largest_ok) >= (
+            graph_mod.OFFER_HEIGHT_HEADROOM
+        )
+        self._ring_spec(largest_ok)  # constructs
+        with pytest.raises(ConfigurationError) as excinfo:
+            self._ring_spec(largest_ok * 2)
+        message = str(excinfo.value)
+        assert str(largest_ok * 2) in message  # node count named
+        assert "height" in message  # height bound named
+
+    def test_guard_message_names_the_bound(self, monkeypatch):
+        import repro.netsim.graph as graph_mod
+
+        monkeypatch.setattr(graph_mod, "OFFER_DTYPE", np.int32)
+        num_nodes = 1 << 16
+        with pytest.raises(ConfigurationError) as excinfo:
+            self._ring_spec(num_nodes)
+        assert str(graph_mod.offer_height_bound(num_nodes)) in str(
+            excinfo.value
+        )

@@ -1,0 +1,25 @@
+"""Override fixture: hotness must flow through inherited dispatch.
+
+The base class owns the ``step`` entry point and calls ``self._kernel``;
+only the subclass implements it.  Without the inheritance-aware call
+graph the override would look unreachable and its scalar loop would
+escape the census.
+"""
+
+import numpy as np
+
+
+class _EngineBase:
+    def step(self):
+        return self._kernel()
+
+    def _kernel(self):
+        raise NotImplementedError
+
+
+class VecEngine(_EngineBase):
+    def __init__(self, num_nodes):
+        self.cells = np.zeros(num_nodes, dtype=np.int64)
+
+    def _kernel(self):
+        return [int(cell) for cell in self.cells]  # expect: RPL311

@@ -1,0 +1,15 @@
+"""RPL301 bad tree: (height, source) encodes carried in narrow ints."""
+
+import numpy as np
+
+
+def offer_codes(heights, num_nodes):
+    heights = np.asarray(heights, dtype=np.int32)
+    source = np.arange(num_nodes, dtype=np.int32)
+    return heights * num_nodes + source  # expect: RPL301
+
+
+def mixed_codes(heights, cells):
+    heights = np.asarray(heights, dtype=np.int16)
+    cells = np.asarray(cells, dtype=np.int32)
+    return heights * 1024 + cells  # expect: RPL301

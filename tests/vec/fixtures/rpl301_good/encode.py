@@ -1,0 +1,24 @@
+"""RPL301 good tree: the closest silent look-alikes.
+
+An int64 encode has the full node-count x height headroom; float math
+shaped like ``a * k + b`` is arithmetic, not a packed code; and an
+encode whose operand dtypes are unknown must stay silent (no fact, no
+finding).
+"""
+
+import numpy as np
+
+
+def offer_codes(heights, num_nodes):
+    heights = np.asarray(heights, dtype=np.int64)
+    source = np.arange(num_nodes, dtype=np.int64)
+    return heights * num_nodes + source
+
+
+def weighted_scores(weights, bias):
+    scores = np.asarray(weights, dtype=np.float32)
+    return scores * 4 + bias
+
+
+def opaque_codes(heights, num_nodes, source):
+    return heights * num_nodes + source

@@ -1,0 +1,18 @@
+"""RPL302 bad tree: wide values silently truncated at store boundaries."""
+
+import numpy as np
+
+
+def bank_heights(offers):
+    bank = np.zeros(16, dtype=np.int16)
+    codes = np.asarray(offers, dtype=np.int64)
+    bank[:4] = codes  # expect: RPL302
+    np.maximum(codes, 0, out=bank)  # expect: RPL302
+    return bank
+
+
+def flag_floats(samples):
+    flags = np.zeros(8, dtype=np.int32)
+    values = np.asarray(samples, dtype=np.float64)
+    flags[0] = values  # expect: RPL302
+    return flags

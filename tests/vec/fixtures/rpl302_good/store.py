@@ -1,0 +1,18 @@
+"""RPL302 good tree: explicit casts and widening stores stay silent.
+
+``.astype`` is by definition intentional; storing narrow values into a
+wider target loses nothing; an ``out=`` of the same width is the
+canonical allocation-free idiom the hot loops rely on.
+"""
+
+import numpy as np
+
+
+def bank_heights(offers):
+    bank = np.zeros(16, dtype=np.int16)
+    codes = np.asarray(offers, dtype=np.int64)
+    bank[:4] = codes.astype(np.int16)
+    wide = np.zeros_like(codes)
+    wide[:4] = bank
+    np.maximum(codes, 0, out=wide)
+    return bank, wide

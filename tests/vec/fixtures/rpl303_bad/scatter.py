@@ -1,0 +1,17 @@
+"""RPL303 bad tree: scatters that cast element-wise into a narrow buffer."""
+
+import numpy as np
+
+
+def reconcile(offers, partner):
+    best = np.zeros(len(partner), dtype=np.int32)
+    codes = np.asarray(offers, dtype=np.int64)
+    np.maximum.at(best, partner, codes)  # expect: RPL303
+    return best
+
+
+def tally(weights, partner):
+    totals = np.zeros(len(partner), dtype=np.int64)
+    values = np.asarray(weights, dtype=np.float64)
+    np.add.at(totals, partner, values)  # expect: RPL303
+    return totals

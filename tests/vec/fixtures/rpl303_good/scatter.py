@@ -1,0 +1,20 @@
+"""RPL303 good tree: matching-dtype scatters and unknown operands.
+
+The matching case is the engines' own reconcile idiom; the unknown
+case pins the no-fact-stays-silent contract (imprecision must cost
+recall, never false positives).
+"""
+
+import numpy as np
+
+
+def reconcile(offers, partner):
+    best = np.zeros(len(partner), dtype=np.int64)
+    codes = np.asarray(offers, dtype=np.int64)
+    np.maximum.at(best, partner, codes)
+    return best
+
+
+def reconcile_opaque(best, partner, codes):
+    np.maximum.at(best, partner, codes)
+    return best

@@ -1,0 +1,14 @@
+"""RPL304 bad tree: CSR arrays built and used without validation."""
+
+import numpy as np
+
+
+def pack_topology(degrees):
+    counts = np.asarray(degrees, dtype=np.int64)
+    indptr = np.cumsum(counts)  # expect: RPL304
+    return indptr
+
+
+def shift_topology(indptr_base, offset):
+    indptr = indptr_base + offset  # expect: RPL304
+    return indptr

@@ -1,0 +1,38 @@
+"""RPL304 good tree: validated construction and validating handoff.
+
+Monotonicity asserts, guarding ``if`` tests, and handing both CSR
+arrays to a constructor (which owns the invariant checks) all count as
+validation; a bare re-binding of an existing array is not construction.
+"""
+
+import numpy as np
+
+
+def make_spec(indptr, indices):
+    return (indptr, indices)
+
+
+def validated_topology(degrees):
+    counts = np.asarray(degrees, dtype=np.int64)
+    indptr = np.cumsum(counts)
+    assert np.all(np.diff(indptr) >= 0)
+    return indptr
+
+
+def guarded_topology(degrees):
+    counts = np.asarray(degrees, dtype=np.int64)
+    indptr = np.cumsum(counts)
+    if indptr[-1] != counts.sum():
+        raise ValueError("inconsistent degrees")
+    return indptr
+
+
+def handed_off_topology(degrees, indices):
+    counts = np.asarray(degrees, dtype=np.int64)
+    indptr = np.cumsum(counts)
+    return make_spec(indptr=indptr, indices=indices)
+
+
+def aliased_topology(existing_indptr):
+    indptr = existing_indptr
+    return indptr

@@ -1,0 +1,24 @@
+"""RPL311 bad tree: per-node Python loops inside the step closure."""
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self, num_nodes):
+        self.num_nodes = num_nodes
+        self.heights = np.zeros(num_nodes, dtype=np.int64)
+
+    def step(self):
+        total = 0
+        for height in self.heights.tolist():  # expect: RPL311
+            total += height
+        return total
+
+    def run(self, steps):
+        best = 0
+        for idx in range(self.num_nodes):  # expect: RPL311
+            best = max(best, int(self.heights[idx]))
+        return best
+
+    def _communicate(self):
+        return [int(h) for h in self.heights]  # expect: RPL311

@@ -1,0 +1,27 @@
+"""RPL311 good tree: hot loops that are not node-scale, and cold scans.
+
+Dict iteration is fork-count scale, a constant-bound ``range`` is a
+fixed trial count, and an observation helper outside the step closure
+can scan freely — none of these multiply by the node count per step.
+"""
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self, num_nodes):
+        self.heights = np.zeros(num_nodes, dtype=np.int64)
+        self.forks = {}
+
+    def step(self):
+        for label, members in self.forks.items():
+            members.add(label)
+        for _ in range(8):
+            self._shuffle()
+        return int(self.heights.sum())
+
+    def _shuffle(self):
+        return None
+
+    def observed_heights(self):
+        return [int(height) for height in self.heights.tolist()]

@@ -1,0 +1,16 @@
+"""RPL312 bad tree: a fresh buffer allocated on every loop iteration."""
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self, num_nodes):
+        self.offers = np.zeros(num_nodes, dtype=np.int64)
+
+    def step(self):
+        for _ in range(3):
+            scratch = np.zeros_like(self.offers)  # expect: RPL312
+            self._absorb(scratch)
+
+    def _absorb(self, scratch):
+        self.offers += scratch

@@ -1,0 +1,27 @@
+"""RPL312 good tree: the hoisted-buffer idiom, plus cold allocation.
+
+One allocation per step outside any loop is the engines' normal
+working-set churn; a buffer reused across iterations is the fix RPL312
+asks for; and a cold helper may allocate in a loop freely.
+"""
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self, num_nodes):
+        self.offers = np.zeros(num_nodes, dtype=np.int64)
+        self.scratch = np.zeros_like(self.offers)
+
+    def step(self):
+        staging = np.zeros_like(self.offers)
+        for _ in range(3):
+            self.scratch.fill(0)
+            self._absorb(self.scratch)
+        return staging
+
+    def _absorb(self, scratch):
+        self.offers += scratch
+
+    def sample_grid(self, count):
+        return [np.zeros(4) for _ in range(count)]

@@ -1,0 +1,19 @@
+"""RPL313 bad tree: the CSR structure rebuilt on every step."""
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self, num_nodes):
+        self.num_nodes = num_nodes
+        self.indptr, self.indices = self._build_csr()
+
+    def _build_csr(self):
+        indptr = np.arange(self.num_nodes + 1, dtype=np.int64)
+        assert np.all(np.diff(indptr) >= 0)
+        indices = np.zeros(self.num_nodes, dtype=np.int64)
+        return indptr, indices
+
+    def step(self):
+        self.indptr, self.indices = self._build_csr()  # expect: RPL313
+        return int(self.indptr[-1])

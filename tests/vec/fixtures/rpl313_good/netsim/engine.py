@@ -1,0 +1,27 @@
+"""RPL313 good tree: build once at __init__, reuse in the step loop.
+
+The construction helper keeps its build_* name (called from cold
+``__init__`` only); the step body reads the arrays and calls helpers
+whose names do not look like structure builds.
+"""
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self, num_nodes):
+        self.num_nodes = num_nodes
+        self.indptr, self.indices = self._build_csr()
+
+    def _build_csr(self):
+        indptr = np.arange(self.num_nodes + 1, dtype=np.int64)
+        assert np.all(np.diff(indptr) >= 0)
+        indices = np.zeros(self.num_nodes, dtype=np.int64)
+        return indptr, indices
+
+    def step(self):
+        self._refresh_view()
+        return int(self.indptr[-1] + self.indices[0])
+
+    def _refresh_view(self):
+        return None

@@ -1,0 +1,19 @@
+"""Sanctioning fixture: a reviewed hot loop muted with a reasoned directive.
+
+The loop is a real RPL311 true positive; the line directive moves the
+finding to the suppressed ledger, from where the manifest records it as
+a sanctioned loop instead of failing the run.
+"""
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self, num_nodes):
+        self.cells = np.zeros(num_nodes, dtype=np.int64)
+
+    def step(self):
+        total = 0
+        for cell in self.cells.tolist():  # repro-lint: disable=RPL311 reference engine keeps the scalar scan for readability
+            total += cell
+        return total

@@ -1,0 +1,84 @@
+"""Dtype lattice unit tests: spellings, promotion, reporting."""
+
+import pytest
+
+from repro.vec.facts import (
+    ArrayFact,
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT16,
+    INT32,
+    INT64,
+    UINT32,
+    UINT64,
+    DType,
+    parse_dtype,
+    promote,
+)
+
+
+class TestParseDtype:
+    @pytest.mark.parametrize(
+        "spelling, expected",
+        [
+            ("int64", INT64),
+            ("np.int32", INT32),
+            ("numpy.float64", FLOAT64),
+            ("numpy.intp", INT64),
+            ("float", FLOAT64),
+            ("bool_", BOOL),
+            ("np.uint32", UINT32),
+        ],
+    )
+    def test_known_spellings(self, spelling, expected):
+        assert parse_dtype(spelling) == expected
+
+    def test_unknown_and_none_stay_unknown(self):
+        assert parse_dtype("complex128") is None
+        assert parse_dtype(None) is None
+
+
+class TestPromote:
+    def test_weak_scalar_leaves_known_operand_alone(self):
+        assert promote(INT32, None) == INT32
+        assert promote(None, INT16) == INT16
+        assert promote(None, None) is None
+
+    def test_bool_promotes_to_anything(self):
+        assert promote(BOOL, INT32) == INT32
+        assert promote(FLOAT32, BOOL) == FLOAT32
+
+    def test_same_family_takes_the_wider_width(self):
+        assert promote(INT16, INT64) == INT64
+        assert promote(FLOAT32, FLOAT64) == FLOAT64
+
+    def test_float_wins_over_int(self):
+        assert promote(INT32, FLOAT32) == FLOAT64
+        assert promote(INT64, FLOAT64) == FLOAT64
+
+    def test_mixed_signedness_widens_to_signed(self):
+        assert promote(INT32, UINT32) == INT64
+        assert promote(INT64, UINT64) == INT64
+        assert promote(UINT32, INT64) == INT64
+
+    def test_promotion_is_symmetric(self):
+        pairs = [(INT16, UINT32), (BOOL, FLOAT32), (INT32, FLOAT64)]
+        for a, b in pairs:
+            assert promote(a, b) == promote(b, a)
+
+
+class TestArrayFact:
+    def test_describe_with_and_without_facts(self):
+        assert ArrayFact(dtype=INT64).describe() == "int64"
+        assert ArrayFact().describe() == "unknown-dtype"
+        fact = ArrayFact(dtype=INT32, shape=("num_nodes",))
+        assert fact.describe() == "int32[num_nodes]"
+
+    def test_with_dtype_keeps_shape(self):
+        fact = ArrayFact(dtype=INT32, shape=("n",))
+        assert fact.with_dtype(INT64) == ArrayFact(dtype=INT64, shape=("n",))
+
+    def test_dtype_names(self):
+        assert DType("int", 32).name == "int32"
+        assert BOOL.name == "bool"
