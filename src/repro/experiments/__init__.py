@@ -57,6 +57,7 @@ def run_experiment(
     cache: Optional[ResultCache] = None,
     policy: Optional[FailurePolicy] = None,
     engine: Optional[str] = None,
+    delay_model: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id (raises KeyError for unknown ids).
 
@@ -91,6 +92,12 @@ def run_experiment(
             experiment that does not take one raises
             :class:`~repro.errors.ConfigurationError` instead of
             silently ignoring the override.
+        delay_model: Optional calibrated propagation-delay model name
+            (see :data:`repro.netsim.latency.DELAY_MODELS`) for
+            experiments that take one (``figure7``, with
+            ``engine="graph"``).  Joins the cache config like
+            ``engine``; experiments without the knob raise
+            :class:`~repro.errors.ConfigurationError`.
     """
     fn = REGISTRY[experiment_id]
     jobs = resolve_jobs(jobs)
@@ -105,6 +112,15 @@ def run_experiment(
             )
         config["engine"] = engine
         kwargs["engine"] = engine
+    if delay_model is not None:
+        if "delay_model" not in inspect.signature(fn).parameters:
+            raise ConfigurationError(
+                "experiment does not accept a delay-model override",
+                experiment=experiment_id,
+                delay_model=delay_model,
+            )
+        config["delay_model"] = delay_model
+        kwargs["delay_model"] = delay_model
     if cache is not None:
         payload = cache.get(experiment_id, config, seed)
         if payload is not None:

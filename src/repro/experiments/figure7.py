@@ -38,7 +38,10 @@ HORIZON = 400
 
 
 def run_simulation(
-    seed: int = 0, size: int = 25, engine: str = "auto"
+    seed: int = 0,
+    size: int = 25,
+    engine: str = "auto",
+    delay_model: Optional[str] = None,
 ) -> Tuple[Any, Dict[int, Dict[str, float]]]:
     """Run the Figure 7 scenario; returns (sim, step -> fork fractions).
 
@@ -46,6 +49,9 @@ def run_simulation(
     see :func:`repro.netsim.grid.make_simulator`).  The published panel
     sizes (15 and 25) resolve to the scalar engine under ``"auto"``, so
     default outputs are bit-identical to the original implementation.
+    ``delay_model`` names a calibrated propagation-delay model
+    (:data:`repro.netsim.latency.DELAY_MODELS`); it requires the graph
+    engine, which carries the sampled per-edge tick delays.
     """
     config = GridConfig(
         size=size,
@@ -56,7 +62,7 @@ def run_simulation(
         attack_start_step=100,
         seed=seed,
     )
-    sim = make_simulator(config, engine=engine)
+    sim = make_simulator(config, engine=engine, delay_model=delay_model)
     trajectory: Dict[int, Dict[str, float]] = {}
     for step in range(SAMPLE_EVERY, HORIZON + 1, SAMPLE_EVERY):
         sim.run(step - sim.step_count)
@@ -70,6 +76,7 @@ def _candidate_trial(trial: Trial) -> Dict[str, Any]:
         seed=trial.seed,
         size=trial.param("size"),
         engine=trial.param("engine", "auto"),
+        delay_model=trial.param("delay_model", None),
     )
     return {
         "seed": trial.seed,
@@ -92,6 +99,7 @@ def _representative(
     attempts: int = 12,
     jobs: int = 1,
     engine: str = "auto",
+    delay_model: Optional[str] = None,
     policy: Optional[FailurePolicy] = None,
 ) -> Optional[Dict[str, Any]]:
     """First candidate seed matching the paper's panel narrative.
@@ -102,7 +110,12 @@ def _representative(
     wave-by-wave and selects the same lowest-index candidate.
     """
     trials = [
-        Trial("figure7", attempt, seed + attempt, (("size", size), ("engine", engine)))
+        Trial(
+            "figure7",
+            attempt,
+            seed + attempt,
+            (("size", size), ("engine", engine), ("delay_model", delay_model)),
+        )
         for attempt in range(attempts)
     ]
     hit = TrialEngine(jobs=jobs, policy=policy).first_match(
@@ -119,6 +132,7 @@ def run(
     fast: bool = False,
     jobs: int = 1,
     engine: str = "auto",
+    delay_model: Optional[str] = None,
     policy: Optional[FailurePolicy] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 7's fork-fraction trajectory.
@@ -126,9 +140,14 @@ def run(
     ``engine`` is forwarded to the grid simulator; the default
     ``"auto"`` resolves to the scalar engine at the published sizes,
     keeping the artifact bit-identical to earlier releases.
+    ``delay_model`` (requires ``engine="graph"``) swaps the uniform
+    zero-delay links for per-edge delays sampled from a calibrated
+    propagation-delay CDF.
     """
     size = 15 if fast else 25
-    panel = _representative(seed, size, jobs=jobs, engine=engine, policy=policy)
+    panel = _representative(
+        seed, size, jobs=jobs, engine=engine, delay_model=delay_model, policy=policy
+    )
     trajectory = panel["trajectory"]
     peak_b, final_a = panel["peak_b"], panel["final_a"]
 

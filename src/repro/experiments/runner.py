@@ -18,6 +18,10 @@ forgetting the directory flag.  ``--engine`` overrides the simulation
 engine for simulator-backed experiments (``figure7``): ``graph`` runs
 the grid scenario through the sparse CSR engine's exact-equivalence
 bridge; experiments without an engine knob reject the override.
+``--delay-model calibrated`` (graph engine only) swaps zero-delay
+links for per-edge delays sampled from the measured propagation-delay
+CDF (:data:`repro.netsim.latency.BITCOIN_PROPAGATION_2019`), quantized
+to whole simulation ticks.
 
 Failure semantics: ``--retries N`` re-runs a failed trial up to N times
 with its original seed (a recovered run is bit-identical to an
@@ -38,6 +42,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from ..netsim.latency import DELAY_MODELS
 from ..parallel import (
     METRICS,
     ExcessiveFailuresError,
@@ -111,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine override for simulator-backed experiments",
     )
     parser.add_argument(
+        "--delay-model",
+        choices=tuple(sorted(DELAY_MODELS)),
+        default=None,
+        help=(
+            "calibrated propagation-delay model for simulator-backed "
+            "experiments (requires --engine graph)"
+        ),
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -144,6 +158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown experiment ids: {', '.join(unknown)}")
 
     jobs = resolve_jobs(args.jobs)
+    if args.delay_model is not None and args.engine != "graph":
+        parser.error("--delay-model requires --engine graph")
     if args.retries < 0:
         parser.error("--retries must be >= 0")
     if args.max_failures is not None and args.max_failures < 0:
@@ -180,6 +196,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cache=cache,
                 policy=policy,
                 engine=args.engine,
+                delay_model=args.delay_model,
             )
         except TrialExecutionError as exc:
             failures += 1

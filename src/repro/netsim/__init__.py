@@ -39,10 +39,14 @@ from .grid import (
     span_ratio_delay,
 )
 from .latency import (
+    BITCOIN_PROPAGATION_2019,
+    DELAY_MODELS,
     ConstantLatency,
     DiffusionLatency,
+    EmpiricalLatency,
     LatencyModel,
     UniformLatency,
+    quantize_ticks,
 )
 from .messages import AddrMsg, BlockMsg, GetDataMsg, GetTipMsg, InvMsg, Message, TipMsg, TxMsg
 from .miner import Miner, MiningPool, StratumServer
@@ -68,10 +72,14 @@ __all__ = [
     "VEC_SIZE_THRESHOLD",
     "make_simulator",
     "span_ratio_delay",
+    "BITCOIN_PROPAGATION_2019",
+    "DELAY_MODELS",
     "ConstantLatency",
     "DiffusionLatency",
+    "EmpiricalLatency",
     "LatencyModel",
     "UniformLatency",
+    "quantize_ticks",
     "AddrMsg",
     "BlockMsg",
     "GetDataMsg",

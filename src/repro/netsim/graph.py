@@ -26,6 +26,44 @@ are masked out).  The protocol depends only on ``(config, step)``,
 never on worker count or host, so graph runs are deterministic per
 seed and identical under any ``jobs=N`` fan-out.
 
+RNG protocol v2 (``GraphSpec.rng_protocol = 2``): the communication
+draws above are the protocol-1 cost floor — ``Generator.integers``
+with an array bound has no ``out=`` and runs Lemire rejection per
+element, ~20 ms/step at 10^6 nodes.  Protocol 2 replaces them with
+*one* length-N float32 uniform vector filled into a preallocated
+buffer (``Generator.random(out=u, dtype=float32)``) that drives both
+decisions: ``u < failure_rate`` gates failures, and for the survivors
+the conditional uniform ``(u - failure_rate) / (1 - failure_rate)``
+picks the neighbour (``floor(v * degree)``, clamped to
+``[0, degree - 1]`` — the clamp also disposes of the negative values
+failed contacts produce, which are masked out anyway).  Protocol 2
+also *fast-forwards quiesced steps*: when every non-pinned node sits
+at the global maximum height no offer can adopt, so the step draws
+nothing (see ``GraphSimulatorVec._comm_quiesced``; the skip is
+state-identical to a full step and deterministic, so it is simply
+part of the versioned draw sequence).  Mining draws are unchanged.
+Because the draw sequence differs, protocol 2 is an
+*explicitly versioned stream*: the engine appends ``".p2"`` to
+``rng_stream``, so protocol-1 trajectories (and every golden) are
+untouched, and a protocol-2 run can never silently replay protocol-1
+draws.  The two protocols agree statistically (pinned by the
+equivalence tests), not draw-by-draw.  The grid bridge
+(``grid_size``) requires protocol 1.
+
+Reconcile kernels: ``GraphSimulatorVec(config, kernel="edge")`` (the
+default) runs the edge-parallel batched reconcile — offers are
+destination-grouped through one indexed max-reduce pass over the
+step's contact batch, with every intermediate (failure mask, partner
+gather, offer codes, best-offer table, adoption mask) written into
+preallocated buffers, and offer codes adaptively rebased to int32 when
+the step's height spread fits (halving gather/scatter traffic).
+``kernel="scatter"`` preserves the historical allocating scatter-max
+dataflow as a benchmark baseline.  Both kernels consume identical
+draws and produce bit-identical trajectories (pinned by the
+cross-kernel suite); an explicit argsort/segment-reduce variant was
+benchmarked ~30x slower than the indexed max-reduce on NumPy >= 2.x
+and rejected.
+
 Exact-equivalence bridge: :meth:`GraphSpec.from_grid` emits the Moore
 neighbourhood as CSR *in the grid engine's neighbour order* and pins
 ``rng_stream="grid.vec"`` plus ``grid_size`` (so honest-seed cells are
@@ -38,21 +76,32 @@ Per-edge delays: an edge with delay ``d > 0`` delivers both the pull
 offer (the partner's view to the chooser) and the push offer (the
 chooser's view to the partner) ``d`` steps after the contact, carrying
 the height *and fork label captured at send time*.  Matured offers
-reconcile through the same scatter-max as same-step offers; ties on
-the encoded ``(height, source)`` key resolve toward the
-latest-enqueued batch, which is deterministic because batches are
-enqueued in sorted-delay order.  Delay 0 (the default) is the grid
-engines' same-step semantics.
+reconcile through the same max-reduce as same-step offers; ties on the
+encoded ``(height, source)`` key resolve toward the latest-enqueued
+batch.  That tie-break is *observationally order-independent*: two
+queued offers can only tie when they carry the same ``(height,
+source)``, and a node's label cannot change without its height
+changing, so tied offers always carry the same label (pinned by the
+maturation-permutation property test).  Delay 0 (the default) is the
+grid engines' same-step semantics.
+
+The edge kernel stores queued offers in a preallocated flat store of
+arrays (destination, source, height, label, arrival step), appended
+per step and compacted on maturation, so delivery is one vectorized
+merge; the total queue is bounded by ``2 * N * max_delay`` entries
+(pinned under Hypothesis).  The scatter kernel keeps the historical
+dict-of-batches queue.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from ..rng import RngStreams
 from .grid import (
     GridConfig,
@@ -60,12 +109,16 @@ from .grid import (
     OFFER_DTYPE,
     OFFER_HEIGHT_HEADROOM,
     _VecEngineBase,
+    offer_source_bits,
+    span_ratio_delay,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..parallel.metrics import PhaseTimingCollector
+    from .latency import EmpiricalLatency
 
 __all__ = [
+    "GRAPH_KERNELS",
     "GraphSpec",
     "GraphConfig",
     "GraphSnapshot",
@@ -75,18 +128,28 @@ __all__ = [
     "offer_height_bound",
 ]
 
+#: Accepted reconcile kernels: ``"edge"`` is the buffered edge-parallel
+#: batched reconcile (the default), ``"scatter"`` the historical
+#: allocating scatter-max, kept as a bit-identical benchmark baseline.
+GRAPH_KERNELS = ("edge", "scatter")
+
+#: Accepted ``GraphSpec.rng_protocol`` values (see the module
+#: docstring; 2 is the versioned fast-draw stream).
+RNG_PROTOCOLS = (1, 2)
+
 
 def offer_height_bound(num_nodes: int) -> int:
     """Highest mined height the offer encoding supports at this size.
 
-    The reconcile packs offers as ``height * N + (N - 1 - source)`` in
-    ``OFFER_DTYPE``; this is the largest ``height`` for which every
-    source still fits.
+    The reconcile packs offers as
+    ``(height << offer_source_bits(N)) | (N - 1 - source)`` in
+    ``OFFER_DTYPE``; this is the largest ``height`` for which the
+    shifted code still fits.
     """
     if num_nodes <= 0:
         return 0
     max_code = int(np.iinfo(OFFER_DTYPE).max)
-    return (max_code - (num_nodes - 1)) // num_nodes
+    return max_code >> offer_source_bits(num_nodes)
 
 
 def _as_index_array(values, name: str) -> np.ndarray:
@@ -118,6 +181,10 @@ class GraphSpec:
             topology-derived graphs), in node-index order.
         node_weights: Optional per-node weight (e.g. Bitcoin full
             nodes hosted per AS).
+        rng_protocol: Communication draw protocol: 1 (the historical
+            draws, default) or 2 (buffered float32 fast draws under
+            the versioned ``rng_stream + ".p2"`` stream; see the
+            module docstring).  The grid bridge requires protocol 1.
     """
 
     indptr: np.ndarray
@@ -127,6 +194,7 @@ class GraphSpec:
     rng_stream: str = "graph.vec"
     node_ids: Optional[Tuple[int, ...]] = None
     node_weights: Optional[np.ndarray] = None
+    rng_protocol: int = 1
     _degrees: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -169,13 +237,25 @@ class GraphSpec:
             )
         if not self.rng_stream:
             raise ConfigurationError("rng_stream must be non-empty")
+        if self.rng_protocol not in RNG_PROTOCOLS:
+            raise ConfigurationError(
+                "unknown rng_protocol",
+                protocol=self.rng_protocol,
+                choices=RNG_PROTOCOLS,
+            )
+        if self.rng_protocol != 1 and self.grid_size is not None:
+            raise ConfigurationError(
+                "the grid bridge replays the grid engine's draw "
+                "sequence and therefore requires rng_protocol 1",
+                protocol=self.rng_protocol,
+            )
         height_bound = offer_height_bound(num_nodes)
         if height_bound < OFFER_HEIGHT_HEADROOM:
             raise ConfigurationError(
                 f"offer-encoding headroom exhausted: at {num_nodes} nodes "
                 f"the {np.dtype(OFFER_DTYPE).name} code "
-                "height * N + (N - 1 - source) overflows past height "
-                f"{height_bound}, below the required "
+                "(height << source_bits) | (N - 1 - source) overflows "
+                f"past height {height_bound}, below the required "
                 f"{OFFER_HEIGHT_HEADROOM}-block headroom",
                 num_nodes=num_nodes,
                 height_bound=height_bound,
@@ -235,6 +315,8 @@ class GraphSpec:
         topology,
         peers_per_node: int = 8,
         seed: int = 0,
+        delay_model: Optional["EmpiricalLatency"] = None,
+        tick_seconds: Optional[float] = None,
     ) -> "GraphSpec":
         """AS-level graph from a :class:`~repro.topology.topology.Topology`.
 
@@ -248,6 +330,13 @@ class GraphSpec:
         peering.  ``node_ids`` carries the ASNs and ``node_weights``
         the hosted Bitcoin node counts, so BGP-hijack captures map
         back onto graph nodes (see :func:`hijack_partition_mask`).
+
+        With ``delay_model`` (an
+        :class:`~repro.netsim.latency.EmpiricalLatency`), every
+        directed edge draws a propagation delay from the calibrated
+        distribution, quantized to ticks of ``tick_seconds`` (default:
+        the span-ratio tick for this node count) — see
+        :meth:`with_delay_model`.
         """
         if peers_per_node < 1:
             raise ConfigurationError(
@@ -284,15 +373,20 @@ class GraphSpec:
         a, b = a[keep], b[keep]
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         indptr[1:] = np.cumsum(np.bincount(a, minlength=num_nodes))
-        return cls(
+        spec = cls(
             indptr=indptr,
             indices=b,
             node_ids=tuple(int(asn) for asn in asns),
             node_weights=weights.astype(np.int64),
         )
+        if delay_model is not None:
+            spec = spec.with_delay_model(
+                delay_model, tick_seconds=tick_seconds, seed=seed
+            )
+        return spec
 
     @classmethod
-    def synthetic(
+    def power_law(
         cls,
         num_nodes: int,
         base_degree: int = 8,
@@ -300,8 +394,11 @@ class GraphSpec:
         max_extra_degree: int = 120,
         max_delay: int = 0,
         seed: int = 0,
+        delay_model: Optional["EmpiricalLatency"] = None,
+        tick_seconds: Optional[float] = None,
+        rng_protocol: int = 1,
     ) -> "GraphSpec":
-        """Degree-calibrated synthetic topology for scale runs.
+        """Degree-calibrated power-law topology for scale runs.
 
         Every node gets Bitcoin's default ``base_degree`` (8) outbound
         edges plus a Pareto(``tail_alpha``) heavy tail capped at
@@ -309,11 +406,23 @@ class GraphSpec:
         Glitters is not Bitcoin" (a reachable core of well-connected
         supernodes over a thin edge).  Targets are drawn
         preferentially by degree, so high-degree nodes are also
-        popular.  With ``max_delay > 0`` every edge draws a uniform
-        delay in ``[0, max_delay]`` ticks, approximating the
-        heterogeneous link latencies behind the Nakamoto
-        latency-security model.  Construction is fully vectorized and
-        deterministic per ``seed`` (streams ``"graph.synthetic"``).
+        popular.  Construction is fully vectorized and deterministic
+        per ``seed`` (streams ``"graph.synthetic"``).
+
+        Delays, one of:
+
+        - ``max_delay > 0``: every edge draws a uniform delay in
+          ``[0, max_delay]`` ticks (the historical synthetic knob);
+        - ``delay_model``: every edge draws from the calibrated
+          empirical propagation-delay distribution
+          (:class:`~repro.netsim.latency.EmpiricalLatency`), quantized
+          to ticks of ``tick_seconds`` — default the span-ratio tick
+          ``span_ratio_delay(num_nodes)`` — via
+          :meth:`with_delay_model`.
+
+        ``rng_protocol=2`` selects the versioned fast-draw
+        communication protocol (see the module docstring), the
+        recommended setting at 10^5 nodes and beyond.
         """
         if num_nodes < 2:
             raise ConfigurationError("num_nodes must be >= 2", num=num_nodes)
@@ -323,6 +432,12 @@ class GraphSpec:
             raise ConfigurationError("tail_alpha must be positive", alpha=tail_alpha)
         if max_delay < 0:
             raise ConfigurationError("max_delay must be >= 0", delay=max_delay)
+        if max_delay > 0 and delay_model is not None:
+            raise ConfigurationError(
+                "max_delay and delay_model are mutually exclusive delay "
+                "sources",
+                max_delay=max_delay,
+            )
         rng = RngStreams(seed).numpy_stream("graph.synthetic")
         extra = np.minimum(
             rng.pareto(tail_alpha, num_nodes), float(max_extra_degree)
@@ -340,7 +455,72 @@ class GraphSpec:
         delays = (
             rng.integers(0, max_delay + 1, size=total) if max_delay > 0 else None
         )
-        return cls(indptr=indptr, indices=targets, edge_delays=delays)
+        spec = cls(
+            indptr=indptr,
+            indices=targets,
+            edge_delays=delays,
+            rng_protocol=rng_protocol,
+        )
+        if delay_model is not None:
+            spec = spec.with_delay_model(
+                delay_model, tick_seconds=tick_seconds, seed=seed
+            )
+        return spec
+
+    @classmethod
+    def synthetic(
+        cls,
+        num_nodes: int,
+        base_degree: int = 8,
+        tail_alpha: float = 2.0,
+        max_extra_degree: int = 120,
+        max_delay: int = 0,
+        seed: int = 0,
+    ) -> "GraphSpec":
+        """Historical name for :meth:`power_law` (same draws, same spec)."""
+        return cls.power_law(
+            num_nodes,
+            base_degree=base_degree,
+            tail_alpha=tail_alpha,
+            max_extra_degree=max_extra_degree,
+            max_delay=max_delay,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def with_delay_model(
+        self,
+        delay_model: "EmpiricalLatency",
+        tick_seconds: Optional[float] = None,
+        seed: int = 0,
+    ) -> "GraphSpec":
+        """The spec with per-edge delays drawn from ``delay_model``.
+
+        Every directed edge samples one propagation delay from the
+        calibrated empirical CDF and quantizes it to ticks of
+        ``tick_seconds`` (default: the span-ratio tick
+        ``span_ratio_delay(num_nodes)``, the engine's per-step wall
+        time).  Sampling streams ``"graph.delay"`` under ``seed``, so
+        the delay assignment is deterministic and independent of the
+        topology draws.  Node identity, edge order, and the RNG
+        protocol are preserved.
+        """
+        if tick_seconds is None:
+            tick_seconds = span_ratio_delay(self.num_nodes)
+        rng = RngStreams(seed).numpy_stream("graph.delay")
+        ticks = delay_model.sample_edge_ticks(
+            rng, self.num_edges, tick_seconds=tick_seconds
+        )
+        return GraphSpec(
+            indptr=self.indptr,
+            indices=self.indices,
+            edge_delays=ticks,
+            grid_size=self.grid_size,
+            rng_stream=self.rng_stream,
+            node_ids=self.node_ids,
+            node_weights=self.node_weights,
+            rng_protocol=self.rng_protocol,
+        )
 
     # ------------------------------------------------------------------
     def partitioned(self, mask: Sequence[bool]) -> "GraphSpec":
@@ -374,6 +554,7 @@ class GraphSpec:
             rng_stream=self.rng_stream,
             node_ids=self.node_ids,
             node_weights=self.node_weights,
+            rng_protocol=self.rng_protocol,
         )
 
 
@@ -481,27 +662,152 @@ class GraphSnapshot:
         return {label: count / total for label, count in counts.items()}
 
 
+class _PhaseLapper:
+    """Records wall-clock laps between communicate sub-phases."""
+
+    __slots__ = ("_metrics", "_last")
+
+    def __init__(self, metrics: "PhaseTimingCollector") -> None:
+        self._metrics = metrics
+        self._last = time.perf_counter()
+
+    def lap(self, phase: str) -> None:
+        now = time.perf_counter()
+        self._metrics.add(phase, now - self._last)
+        self._last = now
+
+
+class _DelayedOfferStore:
+    """Flat preallocated store of in-flight delayed offers.
+
+    One set of parallel arrays (destination, source, height-at-send,
+    label-at-send, arrival step) holds every queued offer; a step's
+    enqueue is one slice append (growing geometrically, never
+    shrinking) and maturation is one mask-select plus compaction, so
+    both directions of the delay path are single vectorized merges.
+    Append order is preserved, which keeps the matured-offer tie-break
+    identical to the historical per-bucket queue.
+
+    The store is bounded under stepped operation: each step enqueues
+    at most ``2 * N`` offers (one pull and one push per successful
+    delayed contact) and every offer matures within ``max_delay``
+    steps of its send, so a stepping run's live count never exceeds
+    ``2 * N * max_delay`` (= :attr:`bound`, pinned under Hypothesis).
+    Direct repeated ``_communicate()`` calls at a frozen step count
+    can exceed it — nothing matures while the clock stands still — so
+    the bound is documented and tested rather than enforced inline.
+    """
+
+    __slots__ = ("_dest", "_src", "_hgt", "_lab", "_arrive", "_count", "bound")
+
+    def __init__(self, index_dtype, bound: int) -> None:
+        self._dest = np.empty(0, dtype=index_dtype)
+        self._src = np.empty(0, dtype=index_dtype)
+        self._hgt = np.empty(0, dtype=OFFER_DTYPE)
+        self._lab = np.empty(0, dtype=np.int16)
+        self._arrive = np.empty(0, dtype=np.int64)
+        self._count = 0
+        self.bound = bound
+
+    @property
+    def count(self) -> int:
+        """Number of offers currently in flight."""
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Allocated entry capacity (grows geometrically)."""
+        return int(self._dest.size)
+
+    def append(self, dest, src, hgt, lab, arrive) -> None:
+        need = self._count + dest.size
+        if need > self._dest.size:
+            cap = max(1024, 2 * self._dest.size, need)
+            for name in ("_dest", "_src", "_hgt", "_lab", "_arrive"):
+                old = getattr(self, name)
+                grown = np.empty(cap, dtype=old.dtype)
+                grown[: self._count] = old[: self._count]
+                setattr(self, name, grown)
+        sl = slice(self._count, need)
+        self._dest[sl] = dest
+        self._src[sl] = src
+        self._hgt[sl] = hgt
+        self._lab[sl] = lab
+        self._arrive[sl] = arrive
+        self._count = need
+
+    def pop(self, step: int) -> Optional[Tuple[np.ndarray, ...]]:
+        """Extract and remove every offer arriving at ``step``."""
+        count = self._count
+        if count == 0:
+            return None
+        mature = self._arrive[:count] == step
+        if not mature.any():
+            return None
+        matured = (
+            self._dest[:count][mature],
+            self._src[:count][mature],
+            self._hgt[:count][mature],
+            self._lab[:count][mature],
+        )
+        keep = ~mature
+        remaining = int(np.count_nonzero(keep))
+        if remaining:
+            for name in ("_dest", "_src", "_hgt", "_lab", "_arrive"):
+                array = getattr(self, name)
+                array[:remaining] = array[:count][keep]
+        self._count = remaining
+        return matured
+
+
 class GraphSimulatorVec(_VecEngineBase):
     """CSR sparse-adjacency propagation engine.
 
-    Mining, fork bookkeeping, and the scatter-max reconcile are shared
-    with :class:`~repro.netsim.grid.GridSimulatorVec` through the
-    engine bases; this class supplies CSR partner selection (see the
-    module docstring for the neighbour-choice protocol), the optional
+    Mining, fork bookkeeping, and the max-reduce reconcile semantics
+    are shared with :class:`~repro.netsim.grid.GridSimulatorVec`
+    through the engine bases; this class supplies CSR partner
+    selection (see the module docstring for the neighbour-choice
+    protocols), the reconcile kernels (``kernel="edge"`` — buffered
+    edge-parallel batched reconcile, the default — or ``"scatter"``,
+    the historical allocating baseline; bit-identical), the
     delayed-offer queue, and flat observation views.
     """
+
+    #: Running upper bound on the global chain height.  Heights only
+    #: grow through ``_set_cell`` (mining / fork seeding); adoption
+    #: copies an existing height.  While the bound fits the absolute
+    #: int32 code window the reconcile skips its min/max rebase scans.
+    _hmax_track = 0
+
+    #: Whether ``_code32`` / ``_h32`` currently mirror
+    #: ``(hgt << bits) | rev`` and ``hgt`` with base 0.  Maintained
+    #: incrementally at the height-mutation sites (``_set_cell`` and
+    #: the edge kernel's adopt commit) so the reconcile's full
+    #: re-encode pass is skipped on steady steps and the adoption mask
+    #: is an int32 compare.
+    _codes_valid = False
 
     def __init__(
         self,
         config: GraphConfig,
         phase_metrics: Optional["PhaseTimingCollector"] = None,
+        kernel: str = "edge",
     ) -> None:
+        if kernel not in GRAPH_KERNELS:
+            raise ConfigurationError(
+                "unknown reconcile kernel", kernel=kernel, choices=GRAPH_KERNELS
+            )
         spec = config.spec
         self.spec = spec
+        self.kernel = kernel
+        self._protocol = spec.rng_protocol
         # The stream name is part of the spec so the grid bridge can
         # replay the "grid.vec" draw sequence; set it before the base
-        # constructs the generator.
-        self.RNG_STREAM = spec.rng_stream
+        # constructs the generator.  Protocol 2 draws a different
+        # sequence, so it gets an explicitly versioned stream name.
+        self.RNG_STREAM = (
+            spec.rng_stream if self._protocol == 1 else spec.rng_stream + ".p2"
+        )
         super().__init__(config, phase_metrics)
         self._indptr = spec.indptr
         self._indices = spec.indices
@@ -511,10 +817,68 @@ class GraphSimulatorVec(_VecEngineBase):
         self._regular_degree = spec.regular_degree
         self._choice_high = np.maximum(self._degrees, 1)
         self._active = self._degrees > 0
+        self._all_active = bool(self._active.all())
         self._edge_delays = spec.edge_delays
         if self._edge_delays is not None and not self._edge_delays.any():
             self._edge_delays = None  # all-zero delays: same-step path
+        num_nodes = self._num_nodes
+        # Compressed index dtype: int32 indices halve gather/scatter
+        # memory traffic whenever node and edge counts allow.
+        compact = max(num_nodes, self._num_edges) < 2**31
+        itype = np.int32 if compact else np.int64
+        self._itype = itype
+        self._indices_c = self._indices.astype(itype, copy=False)
+        # Communication buffers, reused every step (both kernels share
+        # the draw buffers; the code/best/adopt buffers serve the edge
+        # kernel).
+        self._ok_buf = np.empty(num_nodes, dtype=bool)
+        self._partner_buf = np.empty(num_nodes, dtype=itype)
+        if self._protocol == 2:
+            self._u1 = np.empty(num_nodes, dtype=np.float32)
+            self._cf = np.empty(num_nodes, dtype=np.float32)
+            # Conditional-uniform scale: (u - f) * degree / (1 - f)
+            # maps each surviving draw back onto [0, degree).
+            survive = 1.0 - config.failure_rate
+            self._deg_scale = (
+                self._degrees / survive if survive > 0.0 else self._degrees * 0.0
+            ).astype(np.float32)
+            self._choice_cap = np.maximum(self._degrees - 1, 0).astype(itype)
+            self._choice_buf = np.empty(num_nodes, dtype=itype)
+            self._edge_buf = np.empty(num_nodes, dtype=itype)
+            # Row starts clamped into the edge range: a degree-0 tail
+            # node's row start equals num_edges, and its (masked-out)
+            # dummy edge index must still be gatherable.
+            self._row_start_c = np.minimum(
+                self._row_start, max(self._num_edges - 1, 0)
+            ).astype(itype)
+        else:
+            self._u1 = np.empty(num_nodes, dtype=np.float64)
+        if kernel == "edge":
+            self._code64 = np.empty(num_nodes, dtype=OFFER_DTYPE)
+            self._best64 = np.empty(num_nodes, dtype=OFFER_DTYPE)
+            self._adopt_buf = np.empty(num_nodes, dtype=bool)
+            self._push_buf = np.empty(num_nodes, dtype=bool)
+            self._use32 = compact and self._src_bits < 31
+            if self._use32:
+                self._h32 = np.empty(num_nodes, dtype=np.int32)
+                self._code32 = np.empty(num_nodes, dtype=np.int32)
+                self._best32 = np.empty(num_nodes, dtype=np.int32)
+                self._d32 = np.empty(num_nodes, dtype=np.int32)
+                self._rev32 = self._rev_ids.astype(np.int32)
+                # Largest per-step height spread the rebased int32
+                # code can carry.
+                self._spread_cap32 = (1 << (31 - self._src_bits)) - 1
+        if self._edge_delays is not None:
+            self._edge_delays_c = self._edge_delays.astype(itype, copy=False)
+            self._delay_buf = np.empty(num_nodes, dtype=itype)
+            self._delayed_buf = np.empty(num_nodes, dtype=bool)
+            self._newlab_buf = np.empty(num_nodes, dtype=np.int16)
+            max_delay = int(self._edge_delays.max())
+            self._store = _DelayedOfferStore(
+                itype, bound=2 * num_nodes * max_delay
+            )
         # arrival step -> [(dest, src, height-at-send, label-at-send)]
+        # (the scatter kernel's historical queue)
         self._pending: Dict[int, List[Tuple[np.ndarray, ...]]] = {}
 
     # ------------------------------------------------------------------
@@ -522,6 +886,19 @@ class GraphSimulatorVec(_VecEngineBase):
     # ------------------------------------------------------------------
     def _attacker_index(self, config) -> int:
         return config.attacker_node
+
+    def _set_cell(self, idx: int, label: str, height: int) -> None:
+        super()._set_cell(idx, label, height)
+        if height > self._hmax_track:
+            self._hmax_track = height
+        if self._codes_valid:
+            if height <= self._spread_cap32:
+                self._h32[idx] = height
+                self._code32[idx] = (height << self._src_bits) | int(
+                    self._rev32[idx]
+                )
+            else:
+                self._codes_valid = False
 
     def _random_seed_cell(self) -> int:
         grid_size = self.spec.grid_size
@@ -544,38 +921,326 @@ class GraphSimulatorVec(_VecEngineBase):
     def _communicate(self) -> None:
         """One synchronous CSR communication step.
 
-        Draw order (failure mask, then neighbour choice) matches the
-        grid kernel; partner lookup walks the CSR row instead of the
-        fixed matrix.  Zero-delay offers reconcile through the shared
-        scatter-max; delayed offers are enqueued with their
-        at-send-time view and delivered when they mature.
+        Dispatches to the configured reconcile kernel; when a phase
+        collector is attached, the kernel reports its sub-phases
+        (``communicate.draw`` / ``.queue`` / ``.reconcile`` /
+        ``.adopt``) so regressions localize to the stage that moved.
+
+        Protocol 2 fast-forwards quiesced steps: when no node can
+        possibly adopt (every non-pinned node already sits at the
+        global maximum height, so every offer — same-step or queued —
+        carries a height no greater than its receiver's), the step
+        draws nothing and sends nothing; queued offers still mature
+        and are discarded.  State-wise this is exactly what a full
+        step would compute.  The skip is part of the versioned ``.p2``
+        draw sequence — protocol 1 never skips, and both kernels skip
+        identically, so cross-kernel bit-identity is preserved.
+        """
+        metrics = self._phase_metrics
+        clock = None if metrics is None else _PhaseLapper(metrics)
+        if self._protocol == 2 and self._comm_quiesced():
+            if self._edge_delays is not None:
+                if self.kernel == "edge":
+                    self._store.pop(self.step_count)
+                else:
+                    self._pending.pop(self.step_count, None)
+            if clock is not None:
+                clock.lap("communicate.draw")
+            return
+        if self.kernel == "edge":
+            self._communicate_edge(clock)
+        else:
+            self._communicate_scatter(clock)
+
+    def _comm_quiesced(self) -> bool:
+        """Whether no communication step could change any node's state.
+
+        True when every node a reconcile may update sits at the global
+        maximum height: adoption requires a *strictly greater* height,
+        offers never carry more than the global maximum, and heights
+        never decrease — so neither this step's contacts nor any
+        queued offer can adopt.  The pinned attacker is exempt from
+        the uniform-height requirement (it never adopts); before the
+        attack starts it is an ordinary node and must be included.
+        """
+        heights = self._h32 if self._codes_valid else self._hgt
+        hmax = heights.max()
+        if self.attacker_fork is None:
+            return bool(heights.min() == hmax)
+        att = self._attacker_idx
+        a = heights[att]  # scalar copy; a <= hmax by construction
+        heights[att] = hmax
+        hmin = heights.min()
+        heights[att] = a
+        return bool(hmin == hmax)
+
+    def _comm_draw(self) -> Optional[np.ndarray]:
+        """Fill the failure/partner buffers for this step's contacts.
+
+        Returns the per-node edge-index array (``None`` on an edgeless
+        graph, after consuming the step's draws so the per-step
+        protocol stays uniform).  Both kernels share this, so a kernel
+        swap can never shift the draw sequence.
         """
         rng = self._rng
-        num_nodes = self._num_nodes
-        fail = rng.random(num_nodes) < self.config.failure_rate
-        choice = self._draw_choices()
-        if self._num_edges == 0:
-            return  # draws above keep the per-step protocol uniform
-        edge = np.minimum(self._row_start + choice, self._num_edges - 1)
-        partner = self._indices[edge]
-        ok = ~fail & self._active
+        ok = self._ok_buf
+        if self._protocol == 2:
+            rng.random(out=self._u1, dtype=np.float32)
+            np.greater_equal(self._u1, self.config.failure_rate, out=ok)
+            if not self._all_active:
+                ok &= self._active
+            if self._num_edges == 0:
+                return None
+            # The surviving tail of the same uniform picks the
+            # neighbour: conditioned on u >= f, (u - f) / (1 - f) is
+            # again Uniform[0, 1), so floor of it times the degree is
+            # the choice.  Clamp to [0, degree - 1]: float32 rounding
+            # can land exactly on degree, and failed contacts (u < f)
+            # produce negative values that must stay gatherable until
+            # the ok-mask disposes of them.
+            cf = self._cf
+            np.subtract(self._u1, np.float32(self.config.failure_rate), out=cf)
+            np.multiply(cf, self._deg_scale, out=cf)
+            choice = self._choice_buf
+            np.copyto(choice, cf, casting="unsafe")
+            np.clip(choice, 0, self._choice_cap, out=choice)
+            edge = self._edge_buf
+            np.add(self._row_start_c, choice, out=edge)
+        else:
+            rng.random(out=self._u1)
+            np.greater_equal(self._u1, self.config.failure_rate, out=ok)
+            ok &= self._active
+            choice = self._draw_choices()
+            if self._num_edges == 0:
+                return None
+            edge = np.minimum(self._row_start + choice, self._num_edges - 1)
+        np.take(self._indices_c, edge, out=self._partner_buf)
+        return edge
+
+    def _communicate_edge(self, clock: Optional[_PhaseLapper]) -> None:
+        """Edge-parallel batched reconcile over preallocated buffers.
+
+        The step's offers (pull: the chosen partner's view; push: the
+        chooser's view to its partner) are destination-grouped through
+        a single indexed max-reduce pass over compressed offer codes;
+        every intermediate lives in a buffer allocated once in
+        ``__init__``.  Matured delayed offers join the same batch, so
+        delivery is one merge.  Trajectories are bit-identical to the
+        scatter kernel.
+        """
+        edge = self._comm_draw()
+        if clock is not None:
+            clock.lap("communicate.draw")
+        if edge is None:
+            return
+        ok = self._ok_buf
+        partner = self._partner_buf
+        matured = None
+        if self._edge_delays is not None:
+            delay = self._delay_buf
+            np.take(self._edge_delays_c, edge, out=delay)
+            np.multiply(delay, ok, out=delay)
+            delayed = self._delayed_buf
+            np.greater(delay, 0, out=delayed)
+            if delayed.any():
+                senders = np.flatnonzero(delayed)
+                other = partner[senders]
+                heights = self._hgt
+                labels = self._lab
+                arrive = self.step_count + delay[senders].astype(np.int64)
+                # Pull then push, preserving the historical maturation
+                # order (see _DelayedOfferStore).
+                self._store.append(
+                    np.concatenate([senders, other]),
+                    np.concatenate([other, senders]),
+                    np.concatenate([heights[other], heights[senders]]),
+                    np.concatenate([labels[other], labels[senders]]),
+                    np.concatenate([arrive, arrive]),
+                )
+                ok &= ~delayed
+            matured = self._store.pop(self.step_count)
+            if clock is not None:
+                clock.lap("communicate.queue")
+        best, base = self._comm_reconcile(ok, partner, matured)
+        if clock is not None:
+            clock.lap("communicate.reconcile")
+        self._comm_adopt(best, base, matured)
+        if clock is not None:
+            clock.lap("communicate.adopt")
+
+    def _comm_reconcile(
+        self,
+        ok: np.ndarray,
+        partner: np.ndarray,
+        matured: Optional[Tuple[np.ndarray, ...]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Destination-grouped max over this step's offer batch.
+
+        Offer codes are carried in int32 whenever they fit — with base
+        0 while the running height bound allows (the steady state, in
+        which ``_code32`` persists across steps and is patched
+        incrementally at the height-mutation sites instead of being
+        re-encoded), else rebased to the step's minimum height; the
+        full int64 code is the final fallback.  All paths order offers
+        identically, so the choice of width is invisible in
+        trajectories.
+
+        The push side scatters only the *outranking* subset — senders
+        whose code exceeds their receiver's own code.  A dropped push
+        carries a height no greater than its receiver's, so it can
+        never adopt; and whenever adoption does happen the winning
+        offer outranks the receiver, so it was never dropped and the
+        winner (hence the decoded source/label) is identical to the
+        unfiltered reduce.  Returns ``(best, base_height)``.
+        """
+        hgt = self._hgt
+        zero = np.int64(0)
+        use32 = self._use32
+        base = zero
+        if use32 and self._hmax_track > self._spread_cap32:
+            base = hgt.min()
+            high = hgt.max()
+            if matured is not None:
+                base = min(base, matured[2].min())
+                high = max(high, matured[2].max())
+            if int(high - base) > self._spread_cap32:
+                use32 = False
+                base = zero
+        if use32:
+            if base != 0 or not self._codes_valid:
+                np.subtract(hgt, base, out=self._h32, casting="unsafe")
+                np.left_shift(self._h32, self._src_bits, out=self._code32)
+                np.bitwise_or(self._code32, self._rev32, out=self._code32)
+                self._codes_valid = base == 0
+            code, best = self._code32, self._best32
+        else:
+            self._codes_valid = False
+            np.left_shift(hgt, self._src_bits, out=self._code64)
+            np.bitwise_or(self._code64, self._rev_ids, out=self._code64)
+            code, best = self._code64, self._best64
+        # Pull side: the partner's offer, zeroed where the contact
+        # failed (code 0 decodes to base height and never adopts).
+        np.take(code, partner, out=best)
+        np.multiply(best, ok, out=best)
+        # Push side: destination-grouped max-reduce of the outranking
+        # contacts (for an ok sender, best still holds its receiver's
+        # unmasked code at this point).
+        push = self._push_buf
+        np.greater(code, best, out=push)
+        push &= ok
+        senders = np.flatnonzero(push)
+        if senders.size:
+            np.maximum.at(best, partner[senders], code[senders])
+        if matured is not None:
+            np.maximum.at(best, matured[0], self._matured_codes(matured, best.dtype, base))
+        return best, base
+
+    def _matured_codes(self, matured, dtype, base) -> np.ndarray:
+        """Offer codes of a matured batch, in the step's code width."""
+        _, src, height, _ = matured
+        codes = ((height - base) << self._src_bits) | (
+            (self._num_nodes - 1) - src
+        )
+        return codes.astype(dtype, copy=False)
+
+    def _comm_adopt(
+        self,
+        best: np.ndarray,
+        base: np.ndarray,
+        matured: Optional[Tuple[np.ndarray, ...]],
+    ) -> None:
+        """Adopt strictly-better offers; matured wins restore at-send
+        labels (attacker pinned).
+
+        On the persistent-code fast path the exact adoption mask
+        (offer height strictly above the node's) is two int32 passes —
+        shift the best codes down to heights and compare against the
+        maintained ``_h32`` mirror; only the adopting subset is ever
+        decoded.  The fallback decodes through int64 as before.
+        """
+        adopt = self._adopt_buf
+        if self._codes_valid:
+            nh32 = self._d32
+            np.right_shift(best, self._src_bits, out=nh32)
+            np.greater(nh32, self._h32, out=adopt)
+        else:
+            heights = (best.astype(OFFER_DTYPE, copy=False) >> self._src_bits) + base
+            np.greater(heights, self._hgt, out=adopt)
+        if self.attacker_fork is not None:
+            adopt[self._attacker_idx] = False  # pinned
+        adopting = np.flatnonzero(adopt)
+        if adopting.size == 0:
+            return
+        won_best = best[adopting].astype(OFFER_DTYPE, copy=False)
+        nh = (won_best >> self._src_bits) + base
+        source = (self._num_nodes - 1) - (won_best & self._src_mask)
+        new_label = self._lab[source]
+        if matured is not None:
+            mdest, _, _, mlab = matured
+            won = self._matured_codes(matured, best.dtype, base) == best[mdest]
+            won &= adopt[mdest]
+            if won.any():
+                # Route the override through a full-length scratch so
+                # matured winners land on their adopting destinations.
+                scratch = self._newlab_buf
+                scratch[adopting] = new_label
+                scratch[mdest[won]] = mlab[won]
+                new_label = scratch[adopting]
+        self._lab[adopting] = new_label
+        self._hgt[adopting] = nh
+        if self._codes_valid:
+            # Patch the persistent mirrors: new height, own source bits.
+            self._h32[adopting] = nh32[adopting]
+            self._code32[adopting] = (
+                best[adopting] & ~np.int32(self._src_mask)
+            ) | self._rev32[adopting]
+
+    def _communicate_scatter(self, clock: Optional[_PhaseLapper]) -> None:
+        """The historical allocating scatter-max reconcile.
+
+        Kept as a bit-identical baseline for the kernel benchmarks and
+        the cross-kernel suite: same draws (through ``_comm_draw``),
+        same trajectories, the pre-optimization dataflow (fresh
+        ``np.where`` allocation, unbuffered ``np.maximum.at``,
+        dict-of-batches delay queue).
+        """
+        edge = self._comm_draw()
+        if clock is not None:
+            clock.lap("communicate.draw")
+        if edge is None:
+            return
+        ok = self._ok_buf
+        partner = self._partner_buf
         if self._edge_delays is None:
-            self._adopt_from(self._push_pull_best(ok, partner))
+            best = self._push_pull_best(ok, partner)
+            if clock is not None:
+                clock.lap("communicate.reconcile")
+            self._adopt_from(best)
+            if clock is not None:
+                clock.lap("communicate.adopt")
             return
         delay = np.where(ok, self._edge_delays[edge], 0)
         delayed = delay > 0
         if delayed.any():
             self._enqueue_delayed(np.flatnonzero(delayed), partner, delay)
-        best = self._push_pull_best(ok & ~delayed, partner)
+            ok = ok & ~delayed
         matured = self._pending.pop(self.step_count, None)
+        if clock is not None:
+            clock.lap("communicate.queue")
+        best = self._push_pull_best(ok, partner)
+        if matured is not None:
+            bits = self._src_bits
+            rev_base = self._num_nodes - 1
+            for dest, src, height, _ in matured:
+                np.maximum.at(best, dest, (height << bits) | (rev_base - src))
+        if clock is not None:
+            clock.lap("communicate.reconcile")
         if matured is None:
             self._adopt_from(best)
-            return
-        for dest, src, height, _ in matured:
-            np.maximum.at(
-                best, dest, height * num_nodes + (num_nodes - 1 - src)
-            )
-        self._adopt_with_sent_labels(best, matured)
+        else:
+            self._adopt_with_sent_labels(best, matured)
+        if clock is not None:
+            clock.lap("communicate.adopt")
 
     def _enqueue_delayed(
         self, senders: np.ndarray, partner: np.ndarray, delay: np.ndarray
@@ -597,18 +1262,19 @@ class GraphSimulatorVec(_VecEngineBase):
         self, best: np.ndarray, matured: List[Tuple[np.ndarray, ...]]
     ) -> None:
         """Adopt best offers, restoring at-send labels for matured wins."""
-        num_nodes = self._num_nodes
         heights = self._hgt
-        new_height = best // num_nodes
+        new_height = best >> self._src_bits
         adopt = new_height > heights
         if self.attacker_fork is not None:
             adopt[self._attacker_idx] = False  # pinned
         if not adopt.any():
             return
-        source = num_nodes - 1 - (best % num_nodes)
+        source = (self._num_nodes - 1) - (best & self._src_mask)
         new_label = self._lab[source]
+        bits = self._src_bits
+        rev_base = self._num_nodes - 1
         for dest, src, height, label in matured:
-            won = (height * num_nodes + (num_nodes - 1 - src)) == best[dest]
+            won = ((height << bits) | (rev_base - src)) == best[dest]
             if won.any():
                 new_label[dest[won]] = label[won]
         self._lab[adopt] = new_label[adopt]

@@ -96,6 +96,7 @@ __all__ = [
     "ForkChain",
     "VEC_SIZE_THRESHOLD",
     "make_simulator",
+    "offer_source_bits",
     "span_ratio_delay",
 ]
 
@@ -452,9 +453,22 @@ class _GridEngineBase:
         return fork
 
     def _collect_dead_forks(self) -> None:
+        # Only forks that are not the main chain, not the attacker's,
+        # and not already dead can die this step; when no such fork is
+        # registered (the common steady state) the holder census is
+        # skipped entirely — the census marks nothing in that case, so
+        # skipping it is observationally identical.
+        attacker_label = (
+            self.attacker_fork.label if self.attacker_fork is not None else None
+        )
+        if all(
+            label == "A" or label == attacker_label or label in self.fork_deaths
+            for label in self.forks
+        ):
+            return
         live = self._live_labels()
-        if self.attacker_fork is not None:
-            live.add(self.attacker_fork.label)
+        if attacker_label is not None:
+            live.add(attacker_label)
         for label in list(self.forks):
             if label == "A":
                 continue
@@ -742,14 +756,32 @@ class GridSimulator(_GridEngineBase):
 
 #: Dtype the vectorized engines carry heights and encoded offers in.
 #: The scatter-max reconcile packs ``(height, source)`` into a single
-#: integer ``height * N + (N - 1 - source)``, so this dtype bounds how
-#: far a simulation can mine before the code overflows.
+#: integer ``(height << source_bits) | (N - 1 - source)`` (see
+#: :func:`offer_source_bits`), so this dtype bounds how far a
+#: simulation can mine before the code overflows.
 OFFER_DTYPE = np.int64
 
 #: Mined-height headroom every topology must leave in the offer
 #: encoding; :class:`~repro.netsim.graph.GraphSpec` refuses node counts
 #: that could not mine this many blocks without overflowing.
 OFFER_HEIGHT_HEADROOM = 1 << 20
+
+
+def offer_source_bits(num_nodes: int) -> int:
+    """Bits the offer encoding reserves for the reversed source index.
+
+    Offers pack ``(height, source)`` as
+    ``(height << bits) | (num_nodes - 1 - source)`` — a shift/mask
+    compression of the historical ``height * N + (N - 1 - source)``
+    multiply encode.  Both encodings are strictly monotone in the
+    ``(height, N - 1 - source)`` lexicographic order, so the max-reduce
+    reconcile picks the same winner (greatest height, ties toward the
+    lowest source index) under either; the shift form decodes with a
+    shift and a mask instead of a division and a modulo.
+    """
+    if num_nodes <= 1:
+        return 1
+    return int(num_nodes - 1).bit_length()
 
 
 class _VecEngineBase(_GridEngineBase):
@@ -759,11 +791,12 @@ class _VecEngineBase(_GridEngineBase):
     index a small per-fork table (labels, counterfeit flags), so label
     decoding never walks the registry.  The synchronous push+pull
     scatter-max reconcile — encode each offer as
-    ``height * N + (N - 1 - source)`` so one elementwise/scatter
-    maximum resolves the height compare *and* the lowest-source
-    tie-break — lives here; subclasses supply the per-step partner
-    choice (a fixed ``(N, 8)`` matrix for the grid, CSR adjacency for
-    arbitrary graphs) and the observation layout.
+    ``(height << source_bits) | (N - 1 - source)`` (see
+    :func:`offer_source_bits`) so one elementwise/scatter maximum
+    resolves the height compare *and* the lowest-source tie-break —
+    lives here; subclasses supply the per-step partner choice (a fixed
+    ``(N, 8)`` matrix for the grid, CSR adjacency for arbitrary
+    graphs) and the observation layout.
     """
 
     #: Name of the NumPy stream the engine draws from.
@@ -786,6 +819,10 @@ class _VecEngineBase(_GridEngineBase):
         self._lab = np.zeros(num_nodes, dtype=np.int16)
         self._hgt = np.zeros(num_nodes, dtype=OFFER_DTYPE)
         self._cell_ids = np.arange(num_nodes, dtype=OFFER_DTYPE)
+        self._src_bits = offer_source_bits(num_nodes)
+        self._src_mask = (1 << self._src_bits) - 1
+        # Reversed source ids: the low bits of every cell's offer code.
+        self._rev_ids = (num_nodes - 1) - self._cell_ids
         self._honest_cells_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -826,20 +863,25 @@ class _VecEngineBase(_GridEngineBase):
         fid = self._fork_ids[fork.label]
         holders = np.flatnonzero(self._lab == fid)
         holders = holders[holders != self._attacker_idx]
-        if holders.size > self.HONEST_SEED_CELLS:
-            # Top cells by height; ties toward the lowest cell index
-            # (lexsort: last key is primary).
-            order = np.lexsort((holders, -self._hgt[holders]))
-            holders = holders[order[: self.HONEST_SEED_CELLS]]
+        k = self.HONEST_SEED_CELLS
+        if holders.size > k:
+            # Top cells by height, ties toward the lowest cell index:
+            # the offer code (height << bits | reversed index) orders
+            # exactly that way, so a bounded argpartition selects the
+            # same cells the historical full lexsort did without
+            # sorting all holders.
+            codes = (self._hgt[holders] << self._src_bits) | self._rev_ids[holders]
+            top = np.argpartition(codes, holders.size - k)[holders.size - k :]
+            top = top[np.argsort(-codes[top], kind="stable")]
+            holders = holders[top]
         return [int(idx) for idx in holders]  # repro-lint: disable=RPL311 holders is sliced to HONEST_SEED_CELLS (3) above
 
     # ------------------------------------------------------------------
     # The shared scatter-max reconcile
     # ------------------------------------------------------------------
     def _offer_codes(self) -> np.ndarray:
-        """Every cell's offer: ``height * N + (N - 1 - source)``."""
-        num_nodes = self._num_nodes
-        return self._hgt * num_nodes + (num_nodes - 1 - self._cell_ids)
+        """Every cell's offer: ``(height << bits) | (N - 1 - source)``."""
+        return (self._hgt << self._src_bits) | self._rev_ids
 
     def _push_pull_best(self, ok: np.ndarray, partner: np.ndarray) -> np.ndarray:
         """Best offer per cell from this step's successful contacts.
@@ -855,18 +897,18 @@ class _VecEngineBase(_GridEngineBase):
 
     def _adopt_from(self, best: np.ndarray) -> None:
         """Adopt every strictly-better best offer (attacker pinned)."""
-        num_nodes = self._num_nodes
         heights = self._hgt
-        new_height = best // num_nodes
+        new_height = best >> self._src_bits
         adopt = new_height > heights
         if self.attacker_fork is not None:
             adopt[self._attacker_idx] = False  # pinned
-        if not adopt.any():
+        adopting = np.flatnonzero(adopt)
+        if adopting.size == 0:
             return
-        source = num_nodes - 1 - (best % num_nodes)
-        adopted_from = source[adopt]
-        self._lab[adopt] = self._lab[adopted_from]
-        self._hgt[adopt] = new_height[adopt]
+        # Decode sources only for the (usually small) adopting subset.
+        source = (self._num_nodes - 1) - (best[adopting] & self._src_mask)
+        self._lab[adopting] = self._lab[source]
+        self._hgt[adopting] = new_height[adopting]
 
     def _live_labels(self) -> Set[str]:
         counts = np.bincount(self._lab, minlength=len(self._id_labels))
@@ -974,6 +1016,8 @@ def make_simulator(
     config,
     engine: str = "auto",
     phase_metrics: Optional["PhaseTimingCollector"] = None,
+    delay_model=None,
+    tick_seconds: Optional[Seconds] = None,
 ) -> _GridEngineBase:
     """Build the simulation engine for ``config``.
 
@@ -988,13 +1032,32 @@ def make_simulator(
     configs, always the graph engine (graph topologies have no scalar
     or fixed-neighbour fallback, so ``"auto"`` can never silently
     degrade them).
+
+    ``delay_model`` (an :class:`~repro.netsim.latency.EmpiricalLatency`
+    or a name from :data:`~repro.netsim.latency.DELAY_MODELS`) draws
+    calibrated per-edge propagation delays through
+    :meth:`~repro.netsim.graph.GraphSpec.with_delay_model`, quantized
+    to ticks of ``tick_seconds`` (default: the span-ratio tick).  Only
+    the graph engine carries per-edge delays, so a delay model with a
+    grid engine is a configuration error rather than a silent no-op.
     """
+    import dataclasses
+
     from .graph import GraphConfig, GraphSimulatorVec, graph_config_from_grid
+    from .latency import DELAY_MODELS
 
     if engine not in ENGINES:
         raise ConfigurationError(
             "unknown grid engine", engine=engine, choices=ENGINES
         )
+    if isinstance(delay_model, str):
+        if delay_model not in DELAY_MODELS:
+            raise ConfigurationError(
+                "unknown delay model",
+                delay_model=delay_model,
+                choices=tuple(sorted(DELAY_MODELS)),
+            )
+        delay_model = DELAY_MODELS[delay_model]
     if isinstance(config, GraphConfig):
         if engine not in ("auto", "graph"):
             raise ConfigurationError(
@@ -1002,10 +1065,27 @@ def make_simulator(
                 engine=engine,
                 choices=("auto", "graph"),
             )
+        if delay_model is not None:
+            config = dataclasses.replace(
+                config,
+                spec=config.spec.with_delay_model(
+                    delay_model, tick_seconds=tick_seconds
+                ),
+            )
         return GraphSimulatorVec(config, phase_metrics=phase_metrics)
     if engine == "graph":
-        return GraphSimulatorVec(
-            graph_config_from_grid(config), phase_metrics=phase_metrics
+        graph_config = graph_config_from_grid(config)
+        if delay_model is not None:
+            graph_config = dataclasses.replace(
+                graph_config,
+                spec=graph_config.spec.with_delay_model(
+                    delay_model, tick_seconds=tick_seconds
+                ),
+            )
+        return GraphSimulatorVec(graph_config, phase_metrics=phase_metrics)
+    if delay_model is not None:
+        raise ConfigurationError(
+            "delay models require the graph engine", engine=engine
         )
     if engine == "auto":
         engine = "vec" if config.size >= VEC_SIZE_THRESHOLD else "scalar"

@@ -719,9 +719,12 @@ class _Inferencer:
                         dtype = self._dtype_of(node.args[0])
                     return ArrayFact(dtype=dtype)
             if attr in _RNG_INT_METHODS:
-                return ArrayFact(dtype=INT64)
+                return ArrayFact(dtype=self._dtype_argument(node) or INT64)
             if attr in _RNG_FLOAT_METHODS:
-                return ArrayFact(dtype=FLOAT64)
+                # Generator float draws honour an explicit dtype=
+                # (e.g. random(out=buf, dtype=np.float32) fills the
+                # buffer natively — no float64 intermediate).
+                return ArrayFact(dtype=self._dtype_argument(node) or FLOAT64)
             if attr == "choice" and arg_facts:
                 return first
 

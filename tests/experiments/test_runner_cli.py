@@ -22,7 +22,8 @@ HELP_SNAPSHOT = textwrap.dedent(
     """\
     usage: repro-experiments [-h] [--seed SEED] [--fast] [--jobs N] [--cache DIR]
                              [--no-cache] [--csv DIR]
-                             [--engine {auto,scalar,vec,graph}] [--retries N]
+                             [--engine {auto,scalar,vec,graph}]
+                             [--delay-model {calibrated}] [--retries N]
                              [--trial-timeout S] [--max-failures N]
                              [ID ...]
 
@@ -46,6 +47,9 @@ HELP_SNAPSHOT = textwrap.dedent(
       --engine {auto,scalar,vec,graph}
                             simulation engine override for simulator-backed
                             experiments
+      --delay-model {calibrated}
+                            calibrated propagation-delay model for simulator-
+                            backed experiments (requires --engine graph)
       --retries N           retry each failed trial up to N times with its
                             original seed
       --trial-timeout S     per-trial timeout in seconds (hung/dead workers are

@@ -108,6 +108,9 @@ class TestGraphInvariants:
         sim = GraphSimulatorVec(config)
         before = (sim.labels, sim.heights)
         for _ in range(5):
+            # One communicate per step, as step() guarantees — delayed
+            # offers sent on earlier calls mature on later ones.
+            sim.step_count += 1
             sim._communicate()
         assert (sim.labels, sim.heights) == before
 
@@ -178,12 +181,13 @@ class TestSpecValidation:
 class TestOfferHeadroomGuard:
     """The dtype-headroom guard on the offer encoding (RPL301's fix).
 
-    The encode ``height * N + (N - 1 - source)`` is carried in
-    ``OFFER_DTYPE``; construction must refuse any node count whose
-    supported height bound falls below ``OFFER_HEIGHT_HEADROOM``.
-    int64 cannot be exhausted by an allocatable graph, so the boundary
-    is exercised by narrowing ``OFFER_DTYPE`` to int32 in the
-    ``graph`` module (the guard reads it at construction time).
+    The encode ``(height << offer_source_bits(N)) | (N - 1 - source)``
+    is carried in ``OFFER_DTYPE``; construction must refuse any node
+    count whose supported height bound falls below
+    ``OFFER_HEIGHT_HEADROOM``.  int64 cannot be exhausted by an
+    allocatable graph, so the boundary is exercised by narrowing
+    ``OFFER_DTYPE`` to int32 in the ``graph`` module (the guard reads
+    it at construction time).
     """
 
     @staticmethod
@@ -194,12 +198,36 @@ class TestOfferHeadroomGuard:
 
     def test_height_bound_formula(self):
         from repro.netsim.graph import offer_height_bound
+        from repro.netsim.grid import offer_source_bits
 
         max_code = np.iinfo(np.int64).max
         n = 1_000_000
+        bits = offer_source_bits(n)
         bound = offer_height_bound(n)
-        assert bound * n + (n - 1) <= max_code
-        assert (bound + 1) * n + (n - 1) > max_code
+        # Every source fits under the bound; one more height overflows.
+        assert (bound << bits) | (n - 1) <= max_code
+        assert (bound + 1) << bits > max_code
+
+    def test_source_bits_cover_every_source(self):
+        from repro.netsim.grid import offer_source_bits
+
+        for n in (2, 3, 8, 9, 1 << 10, (1 << 10) + 1, 1_000_000):
+            bits = offer_source_bits(n)
+            assert n - 1 <= (1 << bits) - 1  # reversed source fits
+            assert n - 1 > (1 << (bits - 1)) - 1 or n <= 2  # and is tight
+
+    def test_shift_encode_orders_like_multiply_encode(self):
+        """The shift code is order-isomorphic to the historical
+        multiply code, so the max-reduce picks identical winners."""
+        from repro.netsim.grid import offer_source_bits
+
+        n = 37
+        bits = offer_source_bits(n)
+        heights = np.repeat(np.arange(5), n)
+        sources = np.tile(np.arange(n), 5)
+        shift = (heights << bits) | (n - 1 - sources)
+        multiply = heights * n + (n - 1 - sources)
+        assert np.array_equal(np.argsort(shift), np.argsort(multiply))
 
     def test_int64_accepts_million_node_graphs(self):
         from repro.netsim.graph import OFFER_HEIGHT_HEADROOM, offer_height_bound
@@ -211,8 +239,10 @@ class TestOfferHeadroomGuard:
 
         monkeypatch.setattr(graph_mod, "OFFER_DTYPE", np.int32)
         max_code = np.iinfo(np.int32).max
-        # Largest node count whose height bound still meets the headroom.
-        largest_ok = (max_code + 1) // (graph_mod.OFFER_HEIGHT_HEADROOM + 1)
+        # Largest node count whose height bound still meets the
+        # headroom: source bits up to 10 leave 2^(31-10) - 1 heights,
+        # so the largest admissible count is the full 2^10 source space.
+        largest_ok = 1 << 10
         assert graph_mod.offer_height_bound(largest_ok) >= (
             graph_mod.OFFER_HEIGHT_HEADROOM
         )
@@ -222,6 +252,9 @@ class TestOfferHeadroomGuard:
         message = str(excinfo.value)
         assert str(largest_ok * 2) in message  # node count named
         assert "height" in message  # height bound named
+        assert max_code >> graph_mod.offer_source_bits(largest_ok) >= (
+            graph_mod.OFFER_HEIGHT_HEADROOM
+        )
 
     def test_guard_message_names_the_bound(self, monkeypatch):
         import repro.netsim.graph as graph_mod

@@ -175,9 +175,25 @@ class TestGraphDeterminism:
         collector = PhaseTimingCollector()
         sim = GraphSimulatorVec(_native_config(seed=3), phase_metrics=collector)
         sim.run(40)
-        assert collector.phases == ("mine", "communicate", "collect")
+        # Communicate sub-phases are recorded as the kernel runs (so
+        # they appear first), then the step-level phases.
+        assert collector.phases == (
+            "communicate.draw",
+            "communicate.reconcile",
+            "communicate.adopt",
+            "mine",
+            "communicate",
+            "collect",
+        )
         for phase in collector.phases:
             assert collector.calls(phase) == 40
+        # The sub-phases partition the communicate phase's wall time.
+        sub_total = sum(
+            collector.seconds(p)
+            for p in collector.phases
+            if p.startswith("communicate.")
+        )
+        assert sub_total <= collector.seconds("communicate")
 
 
 class TestEngineSelection:
