@@ -7,6 +7,12 @@ Usage::
     repro-experiments --fast --seed 3 # smaller workloads
     repro-experiments figure6 --csv out/   # also dump figure series
     repro-experiments --fast --jobs 4 --cache .repro-cache  # parallel + cached
+    repro-experiments sweep plan.json --jobs 4 --out artifact.json  # scenario sweep
+
+The ``sweep`` subcommand fans a declarative scenario population (see
+:mod:`repro.sweeps.plan` for the spec-file format) through the trial
+engine and writes a deterministic sweep/frontier artifact; identical
+plans re-run from a warm ``--cache`` with zero trial executions.
 
 The ``--csv`` directory receives one file per figure series
 (``<experiment>_<series>.csv``), ready for external plotting.
@@ -37,11 +43,14 @@ artifact no longer sinks the others.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 from typing import List, Optional
 
+from ..errors import ConfigurationError
+from ..netsim.grid import ENGINES
 from ..netsim.latency import DELAY_MODELS
 from ..parallel import (
     METRICS,
@@ -53,6 +62,7 @@ from ..parallel import (
     resolve_jobs,
 )
 from ..reporting.figures import series_to_csv
+from ..sweeps import compute_frontier, load_specfile, run_sweep
 from . import REGISTRY, run_experiment
 
 __all__ = ["main"]
@@ -74,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
+        epilog=(
+            "Scenario sweeps: 'repro-experiments sweep SPECFILE' runs a "
+            "declarative spec-file sweep (own flags; see --help there)."
+        ),
     )
     parser.add_argument(
         "experiments",
@@ -109,19 +123,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to dump figure series as CSV files",
     )
+    # No argparse choices= on --engine/--delay-model: argparse would
+    # reject a bad value during parse_args, *before* the experiment-id
+    # whitelist runs, so a typo'd id plus a typo'd flag reported the
+    # flag instead of the id.  Values are validated in main(), after
+    # the ids.
     parser.add_argument(
         "--engine",
-        choices=("auto", "scalar", "vec", "graph"),
         default=None,
-        help="simulation engine override for simulator-backed experiments",
+        metavar="ENGINE",
+        help=(
+            "simulation engine override for simulator-backed "
+            f"experiments (one of: {', '.join(ENGINES)})"
+        ),
     )
     parser.add_argument(
         "--delay-model",
-        choices=tuple(sorted(DELAY_MODELS)),
         default=None,
+        metavar="MODEL",
         help=(
             "calibrated propagation-delay model for simulator-backed "
-            "experiments (requires --engine graph)"
+            f"experiments (one of: {', '.join(sorted(DELAY_MODELS))}; "
+            "requires --engine graph)"
         ),
     )
     parser.add_argument(
@@ -149,15 +172,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    # Validation order is part of the CLI contract: experiment ids
+    # first (the primary operands), then flag values — a typo'd id is
+    # reported as such even when a flag value is also wrong.
     chosen = args.experiments or sorted(REGISTRY)
     unknown = [e for e in chosen if e not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiment ids: {', '.join(unknown)}")
 
     jobs = resolve_jobs(args.jobs)
+    if args.engine is not None and args.engine not in ENGINES:
+        parser.error(
+            f"unknown engine '{args.engine}' (choose from {', '.join(ENGINES)})"
+        )
+    if args.delay_model is not None and args.delay_model not in DELAY_MODELS:
+        parser.error(
+            f"unknown delay model '{args.delay_model}' "
+            f"(choose from {', '.join(sorted(DELAY_MODELS))})"
+        )
     if args.delay_model is not None and args.engine != "graph":
         parser.error("--delay-model requires --engine graph")
     if args.retries < 0:
@@ -252,6 +291,145 @@ def main(argv: Optional[List[str]] = None) -> int:
     if budget_exceeded:
         return 2
     return 1 if failures else 0
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description=(
+            "Run a declarative scenario sweep from a JSON spec file "
+            "(see repro.sweeps.plan for the format) and emit a "
+            "deterministic sweep/frontier artifact."
+        ),
+    )
+    parser.add_argument("specfile", metavar="SPECFILE", help="sweep plan JSON file")
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the sweep artifact (summaries + frontier) as JSON",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed (default: the plan's own seed)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep's trials (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="on-disk result cache directory (reruns skip completed specs)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even when --cache is given",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each failed spec up to N times with its original seed",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-spec timeout in seconds (hung/dead workers are respawned)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "tolerate up to N failed specs (their summaries are null); "
+            "exit 2 past the budget.  Default: fail the sweep on the "
+            "first error"
+        ),
+    )
+    return parser
+
+
+def _sweep_main(argv: List[str]) -> int:
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.max_failures is not None and args.max_failures < 0:
+        parser.error("--max-failures must be >= 0")
+    jobs = resolve_jobs(args.jobs)
+    try:
+        plan = load_specfile(args.specfile)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    seed = plan.seed if args.seed is None else args.seed
+    # A sweep aggregates per-spec summaries (not one statistic over all
+    # trials), so a bounded number of failed specs degrades gracefully
+    # to null summaries under a skip policy when a budget is given.
+    if args.max_failures is not None:
+        policy = FailurePolicy(
+            mode="skip",
+            retries=args.retries,
+            trial_timeout=args.trial_timeout,
+            max_failures=args.max_failures,
+        )
+    else:
+        policy = FailurePolicy(
+            mode="raise", retries=args.retries, trial_timeout=args.trial_timeout
+        )
+    cache: Optional[ResultCache] = None
+    if args.cache is not None and not args.no_cache:
+        cache = ResultCache(args.cache)
+    start = time.perf_counter()
+    try:
+        result = run_sweep(
+            plan.specs, root_seed=seed, jobs=jobs, cache=cache, policy=policy
+        )
+    except ExcessiveFailuresError as exc:
+        print(f"[FAIL] sweep '{plan.name}': {exc}", file=sys.stderr)
+        return 2
+    except TrialExecutionError as exc:
+        print(f"[FAIL] sweep '{plan.name}': {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    artifact = result.to_artifact()
+    artifact["name"] = plan.name
+    if plan.frontier is not None:
+        artifact["frontier"] = compute_frontier(
+            result.specs, result.summaries, plan.frontier
+        )
+    if args.out is not None:
+        out_path = Path(args.out)
+        if out_path.parent != Path("."):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            json.dumps(artifact, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"(wrote sweep artifact to {out_path})")
+    rate = len(plan.specs) / elapsed if elapsed > 0 else 0.0
+    print(
+        f"sweep '{plan.name}': {len(plan.specs)} spec(s) in {elapsed:.1f}s "
+        f"({rate:.1f} specs/s); {result.executed} executed, "
+        f"{result.cached} cached, {result.failed} failed"
+    )
+    if result.failures:
+        for index, message in result.failures:
+            print(f"  spec #{index} failed: {message}", file=sys.stderr)
+    if cache is not None:
+        print(cache.format_stats())
+    return 1 if result.failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,6 +52,7 @@ from .messages import AddrMsg, BlockMsg, GetDataMsg, GetTipMsg, InvMsg, Message,
 from .miner import Miner, MiningPool, StratumServer
 from .network import Network, NetworkConfig
 from .node import FullNode, NodeConfig, NodeStats
+from .timeline import Timeline, TimelineEvent
 
 __all__ = [
     "ChurnConfig",
@@ -96,4 +97,6 @@ __all__ = [
     "FullNode",
     "NodeConfig",
     "NodeStats",
+    "Timeline",
+    "TimelineEvent",
 ]

@@ -523,6 +523,41 @@ class GraphSpec:
         )
 
     # ------------------------------------------------------------------
+    def unreachable(self, mask: Sequence[bool]) -> "GraphSpec":
+        """The spec with the masked nodes made unreachable.
+
+        An unreachable peer (NATed / firewalled, the overwhelming
+        majority of the network per the paper's §III measurement)
+        still dials out but accepts no inbound connections: edges
+        *from* masked nodes survive, edges *to* them are removed.
+        Node count, identity, and surviving edge order are preserved.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_nodes,):
+            raise ConfigurationError(
+                "one mask entry per node required",
+                nodes=self.num_nodes,
+                mask=int(mask.size),
+            )
+        keep = ~mask[self.indices]
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), self._degrees
+        )
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(src[keep], minlength=self.num_nodes))
+        return GraphSpec(
+            indptr=indptr,
+            indices=self.indices[keep],
+            edge_delays=(
+                None if self.edge_delays is None else self.edge_delays[keep]
+            ),
+            grid_size=self.grid_size,
+            rng_stream=self.rng_stream,
+            node_ids=self.node_ids,
+            node_weights=self.node_weights,
+            rng_protocol=self.rng_protocol,
+        )
+
     def partitioned(self, mask: Sequence[bool]) -> "GraphSpec":
         """The spec with every edge crossing ``mask`` removed.
 
@@ -799,6 +834,9 @@ class GraphSimulatorVec(_VecEngineBase):
             )
         spec = config.spec
         self.spec = spec
+        #: The unpartitioned topology; timeline partition events derive
+        #: the active edge set from it (see ``_apply_partition_fraction``).
+        self._base_spec = spec
         self.kernel = kernel
         self._protocol = spec.rng_protocol
         # The stream name is part of the spec so the grid bridge can
@@ -809,48 +847,31 @@ class GraphSimulatorVec(_VecEngineBase):
             spec.rng_stream if self._protocol == 1 else spec.rng_stream + ".p2"
         )
         super().__init__(config, phase_metrics)
-        self._indptr = spec.indptr
-        self._indices = spec.indices
-        self._num_edges = spec.num_edges
-        self._row_start = spec.indptr[:-1]
-        self._degrees = spec.degrees
-        self._regular_degree = spec.regular_degree
-        self._choice_high = np.maximum(self._degrees, 1)
-        self._active = self._degrees > 0
-        self._all_active = bool(self._active.all())
-        self._edge_delays = spec.edge_delays
-        if self._edge_delays is not None and not self._edge_delays.any():
-            self._edge_delays = None  # all-zero delays: same-step path
         num_nodes = self._num_nodes
+        # Whether this run carries per-edge delays at all.  Decided
+        # once from the base spec: a partition may cut every delayed
+        # edge, but in-flight offers still mature, so the delay
+        # machinery (store, buffers) must keep running once it exists.
+        base_delays = spec.edge_delays
+        self._has_delay_path = bool(
+            base_delays is not None and base_delays.any()
+        )
         # Compressed index dtype: int32 indices halve gather/scatter
-        # memory traffic whenever node and edge counts allow.
-        compact = max(num_nodes, self._num_edges) < 2**31
+        # memory traffic whenever node and edge counts allow.  Sized
+        # for the base spec; partitions only shrink the edge set.
+        compact = max(num_nodes, spec.num_edges) < 2**31
         itype = np.int32 if compact else np.int64
         self._itype = itype
-        self._indices_c = self._indices.astype(itype, copy=False)
         # Communication buffers, reused every step (both kernels share
         # the draw buffers; the code/best/adopt buffers serve the edge
-        # kernel).
+        # kernel).  All are node-sized, so they survive edge reloads.
         self._ok_buf = np.empty(num_nodes, dtype=bool)
         self._partner_buf = np.empty(num_nodes, dtype=itype)
         if self._protocol == 2:
             self._u1 = np.empty(num_nodes, dtype=np.float32)
             self._cf = np.empty(num_nodes, dtype=np.float32)
-            # Conditional-uniform scale: (u - f) * degree / (1 - f)
-            # maps each surviving draw back onto [0, degree).
-            survive = 1.0 - config.failure_rate
-            self._deg_scale = (
-                self._degrees / survive if survive > 0.0 else self._degrees * 0.0
-            ).astype(np.float32)
-            self._choice_cap = np.maximum(self._degrees - 1, 0).astype(itype)
             self._choice_buf = np.empty(num_nodes, dtype=itype)
             self._edge_buf = np.empty(num_nodes, dtype=itype)
-            # Row starts clamped into the edge range: a degree-0 tail
-            # node's row start equals num_edges, and its (masked-out)
-            # dummy edge index must still be gatherable.
-            self._row_start_c = np.minimum(
-                self._row_start, max(self._num_edges - 1, 0)
-            ).astype(itype)
         else:
             self._u1 = np.empty(num_nodes, dtype=np.float64)
         if kernel == "edge":
@@ -868,18 +889,94 @@ class GraphSimulatorVec(_VecEngineBase):
                 # Largest per-step height spread the rebased int32
                 # code can carry.
                 self._spread_cap32 = (1 << (31 - self._src_bits)) - 1
-        if self._edge_delays is not None:
-            self._edge_delays_c = self._edge_delays.astype(itype, copy=False)
+        if self._has_delay_path:
             self._delay_buf = np.empty(num_nodes, dtype=itype)
             self._delayed_buf = np.empty(num_nodes, dtype=bool)
             self._newlab_buf = np.empty(num_nodes, dtype=np.int16)
-            max_delay = int(self._edge_delays.max())
+            max_delay = int(base_delays.max())
             self._store = _DelayedOfferStore(
                 itype, bound=2 * num_nodes * max_delay
             )
+        self._load_spec_edges(spec)
         # arrival step -> [(dest, src, height-at-send, label-at-send)]
         # (the scatter kernel's historical queue)
         self._pending: Dict[int, List[Tuple[np.ndarray, ...]]] = {}
+
+    def _load_spec_edges(self, spec: GraphSpec) -> None:
+        """(Re)load every edge-dependent array from ``spec``.
+
+        Called once at construction with the base spec, and again by
+        timeline partition events with a cut edge set.  Node-sized
+        state (heights, labels, draw buffers, the delayed-offer store)
+        is untouched, so in-flight delayed offers survive a partition —
+        a block already in transit is delivered even if the link that
+        carried it has since been cut.
+        """
+        self._active_spec = spec
+        self._indptr = spec.indptr
+        self._indices = spec.indices
+        self._num_edges = spec.num_edges
+        self._row_start = spec.indptr[:-1]
+        self._degrees = spec.degrees
+        self._regular_degree = spec.regular_degree
+        self._choice_high = np.maximum(self._degrees, 1)
+        self._active = self._degrees > 0
+        self._all_active = bool(self._active.all())
+        edge_delays = spec.edge_delays
+        if edge_delays is not None and not edge_delays.any():
+            edge_delays = None  # all-zero delays: same-step path
+        if edge_delays is None and self._has_delay_path:
+            # A delayed run whose active edge set lost every delayed
+            # edge still matures queued offers, so the delay path must
+            # stay live: zero-delay edges keep the store draining.
+            edge_delays = np.zeros(self._num_edges, dtype=np.int64)
+        self._edge_delays = edge_delays
+        itype = self._itype
+        self._indices_c = self._indices.astype(itype, copy=False)
+        if self._protocol == 2:
+            self._refresh_deg_scale()
+            self._choice_cap = np.maximum(self._degrees - 1, 0).astype(itype)
+            # Row starts clamped into the edge range: a degree-0 tail
+            # node's row start equals num_edges, and its (masked-out)
+            # dummy edge index must still be gatherable.
+            self._row_start_c = np.minimum(
+                self._row_start, max(self._num_edges - 1, 0)
+            ).astype(itype)
+        if self._edge_delays is not None:
+            self._edge_delays_c = self._edge_delays.astype(itype, copy=False)
+
+    def _refresh_deg_scale(self) -> None:
+        """Protocol 2's conditional-uniform scale, for the active
+        degrees and the *current* failure rate:
+        ``(u - f) * degree / (1 - f)`` maps each surviving draw back
+        onto ``[0, degree)``."""
+        survive = 1.0 - self.config.failure_rate
+        self._deg_scale = (
+            self._degrees / survive if survive > 0.0 else self._degrees * 0.0
+        ).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Timeline hooks
+    # ------------------------------------------------------------------
+    def _on_config_replaced(self, old, new) -> None:
+        if self._protocol == 2 and old.failure_rate != new.failure_rate:
+            self._refresh_deg_scale()
+
+    def _apply_partition_fraction(self, fraction: float) -> None:
+        """Partition off the lowest-index ``round(fraction * N)`` nodes.
+
+        The partition mask is deterministic in the fraction alone, so a
+        timeline event is one number; scenarios that need a specific
+        cut (e.g. a measured hijack) place their attacker/observers by
+        node index instead.  Fraction 0 restores the base edge set.
+        """
+        k = int(round(fraction * self._num_nodes))
+        if k <= 0:
+            self._load_spec_edges(self._base_spec)
+            return
+        mask = np.zeros(self._num_nodes, dtype=bool)
+        mask[:k] = True
+        self._load_spec_edges(self._base_spec.partitioned(mask))
 
     # ------------------------------------------------------------------
     # Engine hooks

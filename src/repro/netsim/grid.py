@@ -75,7 +75,7 @@ import hashlib
 import heapq
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -83,6 +83,7 @@ import numpy as np
 from ..errors import ConfigurationError, SimulationError
 from ..rng import RngStreams
 from ..types import BITCOIN_BLOCK_INTERVAL, Seconds
+from .timeline import Timeline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..parallel.metrics import PhaseTimingCollector
@@ -305,6 +306,10 @@ class _GridEngineBase:
         self.fork_deaths: Dict[str, int] = {}
         self._phase_metrics = phase_metrics
         self._attacker_idx = self._attacker_index(config)
+        self._timeline: Optional[Timeline] = None
+        self._timeline_cursor = 0
+        #: Steps at which timeline events fired (exactly-once audit trail).
+        self.timeline_fired: List[int] = []
         self._on_fork_registered(self.main)
 
     # ------------------------------------------------------------------
@@ -318,8 +323,16 @@ class _GridEngineBase:
     # One simulation step
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance one communication step: mining, then gossip."""
+        """Advance one communication step: mining, then gossip.
+
+        Timeline events attached via :meth:`attach_timeline` fire at
+        the top of their step, before the mining phase, so a
+        changepoint at step ``s`` governs step ``s``'s block production
+        and gossip.
+        """
         self.step_count += 1
+        if self._timeline is not None:
+            self._advance_timeline()
         metrics = self._phase_metrics
         if metrics is None:
             self._maybe_mine()
@@ -340,6 +353,61 @@ class _GridEngineBase:
     def run(self, steps: int) -> None:
         for _ in range(steps):
             self.step()
+
+    # ------------------------------------------------------------------
+    # Timelines (tick-boundary parameter changes)
+    # ------------------------------------------------------------------
+    def attach_timeline(self, timeline: Timeline) -> None:
+        """Install a :class:`~repro.netsim.timeline.Timeline`.
+
+        Must happen before the first step; step-0 events apply to the
+        initial state immediately.  Each event fires exactly once, at
+        the tick boundary of its step (see :meth:`step`).
+        """
+        if self.step_count != 0:
+            raise SimulationError(
+                "timeline must attach before the first step",
+                step=self.step_count,
+            )
+        if self._timeline is not None:
+            raise SimulationError("a timeline is already attached")
+        self._timeline = timeline
+        self._timeline_cursor = 0
+        self._advance_timeline()
+
+    def _advance_timeline(self) -> None:
+        """Fire every event due at or before the current step, once."""
+        events = self._timeline.events
+        cursor = self._timeline_cursor
+        while cursor < len(events) and events[cursor].step <= self.step_count:
+            self._apply_timeline_event(events[cursor])
+            self.timeline_fired.append(self.step_count)
+            cursor += 1
+        self._timeline_cursor = cursor
+
+    def _apply_timeline_event(self, event) -> None:
+        updates = {}
+        if event.attacker_share is not None:
+            updates["attacker_share"] = event.attacker_share
+        if event.failure_rate is not None:
+            updates["failure_rate"] = event.failure_rate
+        if updates:
+            old = self.config
+            # replace() re-runs __post_init__, so the new regime is
+            # validated exactly like a constructor-time config.
+            self.config = replace(old, **updates)
+            self._on_config_replaced(old, self.config)
+        if event.partition_fraction is not None:
+            self._apply_partition_fraction(event.partition_fraction)
+
+    def _on_config_replaced(self, old, new) -> None:
+        """Hook: derived per-config state must refresh here."""
+
+    def _apply_partition_fraction(self, fraction: float) -> None:
+        raise ConfigurationError(
+            "partition timeline events require the graph engine",
+            engine=type(self).__name__,
+        )
 
     def _maybe_mine(self) -> None:
         p_block = 1.0 / self.config.steps_per_block

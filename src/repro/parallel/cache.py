@@ -63,6 +63,7 @@ FINGERPRINT_MODULES = (
     "repro.reporting",
     "repro.rng",
     "repro.scenarios",
+    "repro.sweeps",
     "repro.topology",
     "repro.types",
 )

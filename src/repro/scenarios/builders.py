@@ -21,15 +21,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .datagen.pools import MINING_POOLS, MiningPoolRecord, OTHERS_HASH_SHARE
-from .errors import ConfigurationError
-from .netsim.latency import DiffusionLatency, LatencyModel
-from .netsim.miner import MiningPool
-from .netsim.network import Network, NetworkConfig
-from .topology.builder import build_paper_topology
-from .topology.topology import Topology
+from ..datagen.pools import MINING_POOLS, MiningPoolRecord, OTHERS_HASH_SHARE
+from ..errors import ConfigurationError
+from ..netsim.latency import DiffusionLatency, LatencyModel
+from ..netsim.miner import MiningPool
+from ..netsim.network import Network, NetworkConfig
+from ..topology.builder import build_paper_topology
+from ..topology.topology import Topology
 
-__all__ = ["Scenario", "paper_network"]
+__all__ = ["MISSING_STRATUM_POLICIES", "Scenario", "paper_network"]
+
+#: Accepted ``paper_network(missing_stratum=...)`` policies for pools
+#: whose stratum AS is absent from a scaled topology slice:
+#: ``"rehome"`` hosts the pool at a deterministic fallback node (hash
+#: accounting stays complete), ``"error"`` raises
+#: :class:`~repro.errors.ConfigurationError`, ``"drop"`` restores the
+#: historical silent-drop behaviour.
+MISSING_STRATUM_POLICIES = ("rehome", "error", "drop")
 
 
 @dataclass
@@ -47,6 +55,9 @@ class Scenario:
     topology: Topology
     network: Network
     pools: Dict[str, MiningPool] = field(default_factory=dict)
+    #: Pools hosted away from their stratum AS because the scaled
+    #: topology slice does not represent it: name -> requested ASN.
+    rehomed: Dict[str, int] = field(default_factory=dict)
 
     def nodes_in_as(self, asn: int) -> List[int]:
         """Network node ids hosted in ``asn``."""
@@ -85,6 +96,7 @@ def paper_network(
     latency: Optional[LatencyModel] = None,
     with_pools: bool = True,
     pool_records: Tuple[MiningPoolRecord, ...] = MINING_POOLS,
+    missing_stratum: str = "rehome",
 ) -> Scenario:
     """Build the standard paper scenario.
 
@@ -99,11 +111,26 @@ def paper_network(
         with_pools: Attach the Table IV pools plus an "others"
             aggregate carrying the remaining 34.3% of hash rate.
         pool_records: Pool dataset to attach (defaults to Table IV).
+        missing_stratum: What to do with a pool whose stratum AS has no
+            free host inside the scaled network slice (see
+            :data:`MISSING_STRATUM_POLICIES`).  The default
+            ``"rehome"`` hosts it at the lowest-id free node and
+            records the move in :attr:`Scenario.rehomed`, so the total
+            attached hash rate is complete at every scale; ``"error"``
+            raises instead, and ``"drop"`` is the historical silent
+            drop (which under-counts hash rate and is why it is no
+            longer the default).
 
     Each pool's host node is drawn from the first stratum AS it lists,
     so stratum hijacks in the simulation isolate exactly the pools the
     Table IV analysis predicts.
     """
+    if missing_stratum not in MISSING_STRATUM_POLICIES:
+        raise ConfigurationError(
+            "unknown missing_stratum policy",
+            policy=missing_stratum,
+            choices=MISSING_STRATUM_POLICIES,
+        )
     topology = build_paper_topology(seed=seed, scale=scale)
     total = topology.num_nodes
     if num_nodes is None:
@@ -124,7 +151,29 @@ def paper_network(
     for record in pool_records:
         host = _host_in_as(scenario, record.stratum_asns[0], used_hosts)
         if host is None:
-            continue  # AS not represented in a very small network slice
+            # The scaled slice does not represent this pool's stratum
+            # AS: silently dropping it would leave the attached hash
+            # rate incomplete (the seed bug), so the outcome is an
+            # explicit policy decision.
+            if missing_stratum == "drop":
+                continue
+            if missing_stratum == "error":
+                raise ConfigurationError(
+                    "pool's stratum AS has no free host in the scaled "
+                    "network slice",
+                    pool=record.name,
+                    stratum_asn=record.stratum_asns[0],
+                    scale=scale,
+                    num_nodes=num_nodes,
+                )
+            host = _fallback_host(scenario, used_hosts)
+            if host is None:
+                raise ConfigurationError(
+                    "network too small to host every pool",
+                    pool=record.name,
+                    num_nodes=num_nodes,
+                )
+            scenario.rehomed[record.name] = record.stratum_asns[0]
         used_hosts.add(host)
         pool = network.add_pool(
             record.name,
@@ -149,6 +198,14 @@ def paper_network(
 
 def _host_in_as(scenario: Scenario, asn: int, used: set) -> Optional[int]:
     for node_id in scenario.nodes_in_as(asn):
+        if node_id not in used:
+            return node_id
+    return None
+
+
+def _fallback_host(scenario: Scenario, used: set) -> Optional[int]:
+    """Deterministic rehoming target: the lowest-id unused node."""
+    for node_id in sorted(scenario.network.nodes):
         if node_id not in used:
             return node_id
     return None

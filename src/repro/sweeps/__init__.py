@@ -1,0 +1,33 @@
+"""Scenario sweeps: fan thousands of :class:`ScenarioSpec`s through
+the trial engine and distill attack frontiers.
+
+The pieces:
+
+- :mod:`repro.sweeps.driver` — :func:`run_sweep` executes a list of
+  specs (one cached trial per spec, seeds derived from the spec
+  *digest* so results never depend on position or worker count) and
+  returns a :class:`SweepResult` with a deterministic artifact form;
+- :mod:`repro.sweeps.plan` — :func:`expand_grid` /
+  :func:`sample_random` materialize spec populations, and
+  :func:`load_specfile` reads the declarative JSON sweep format the
+  ``repro-experiments sweep`` CLI consumes;
+- :mod:`repro.sweeps.frontier` — :func:`compute_frontier` reduces a
+  sweep to per-group attack frontiers (the minimum varied value that
+  achieves a success criterion).
+"""
+
+from .driver import SWEEP_EXPERIMENT_ID, SweepResult, run_sweep, sweep_seed
+from .frontier import compute_frontier
+from .plan import SweepPlan, expand_grid, load_specfile, sample_random
+
+__all__ = [
+    "SWEEP_EXPERIMENT_ID",
+    "SweepPlan",
+    "SweepResult",
+    "compute_frontier",
+    "expand_grid",
+    "load_specfile",
+    "run_sweep",
+    "sample_random",
+    "sweep_seed",
+]

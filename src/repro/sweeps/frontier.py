@@ -1,0 +1,100 @@
+"""Frontier reduction: the minimum attack strength that succeeds.
+
+The paper's partitioning analysis repeatedly asks questions of the
+form *"how much attacker hash rate (or partition size, or churn) does
+it take before the attack wins?"*.  A frontier reduction answers that
+over a finished sweep: specs are grouped by the ``group_by`` fields,
+each group's specs are ordered by the ``vary`` field, and the frontier
+is the smallest varied value whose summary satisfies the success
+predicate.
+
+The reduction is pure data → data (no RNG, no clock) and groups are
+emitted in sorted canonical-key order, so the frontier artifact is a
+deterministic function of the sweep artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = ["compute_frontier"]
+
+_OPS = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+}
+
+
+def compute_frontier(
+    specs: Sequence[ScenarioSpec],
+    summaries: Sequence[Optional[Dict[str, object]]],
+    frontier: Dict[str, object],
+) -> List[Dict[str, object]]:
+    """Per-group minimum ``vary`` value achieving the success criterion.
+
+    ``frontier`` is the plan's frontier block: ``vary`` (the spec field
+    being pushed), optional ``group_by`` (spec fields that partition
+    the sweep), and ``success`` — ``{"metric": <summary key>, "op":
+    one of >=, <=, >, <, "threshold": number}``.  Specs whose summary
+    is missing (failed trials under a skip policy) are counted per
+    group but never satisfy the criterion.
+
+    Returns one record per group, sorted by canonical group key::
+
+        {"group": {...}, "frontier": 0.3 | None,
+         "tested": 12, "succeeded": 4}
+    """
+    if len(specs) != len(summaries):
+        raise ConfigurationError(
+            "one summary per spec required",
+            specs=len(specs),
+            summaries=len(summaries),
+        )
+    vary = frontier.get("vary")
+    if not vary:
+        raise ConfigurationError("frontier needs a 'vary' field")
+    group_by = frontier.get("group_by", [])
+    success = frontier.get("success")
+    if not isinstance(success, dict):
+        raise ConfigurationError("frontier needs a 'success' object")
+    metric = success.get("metric")
+    op_name = success.get("op", ">=")
+    if op_name not in _OPS:
+        raise ConfigurationError(
+            "unknown frontier op", op=op_name, choices=tuple(sorted(_OPS))
+        )
+    op = _OPS[op_name]
+    threshold = success.get("threshold")
+    if metric is None or threshold is None:
+        raise ConfigurationError("frontier success needs metric and threshold")
+
+    groups: Dict[str, List] = {}
+    group_dicts: Dict[str, Dict[str, object]] = {}
+    for spec, summary in zip(specs, summaries):
+        spec_dict = spec.to_dict()
+        if vary not in spec_dict:
+            raise ConfigurationError("unknown vary field", vary=vary)
+        group = {name: spec_dict[name] for name in group_by}
+        key = json.dumps(group, sort_keys=True, separators=(",", ":"))
+        group_dicts[key] = group
+        ok = summary is not None and op(summary[metric], threshold)
+        groups.setdefault(key, []).append((spec_dict[vary], ok))
+    records = []
+    for key in sorted(groups):
+        entries = groups[key]
+        succeeded = sorted(value for value, ok in entries if ok)
+        records.append(
+            {
+                "group": group_dicts[key],
+                "frontier": succeeded[0] if succeeded else None,
+                "tested": len(entries),
+                "succeeded": len(succeeded),
+            }
+        )
+    return records

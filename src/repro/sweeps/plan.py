@@ -1,0 +1,188 @@
+"""Declarative sweep plans: grids, random samples, and spec files.
+
+A sweep plan is a JSON document::
+
+    {
+      "name": "partition-frontier",
+      "base": { ...ScenarioSpec fields... },
+      "grid": { "attacker_share": [0.1, 0.2], "failure_rate": [0.1] },
+      "random": {
+        "count": 200,
+        "axes": {
+          "attacker_share": {"uniform": [0.05, 0.45]},
+          "steps_per_block": {"int": [20, 80]},
+          "engine": {"choice": ["auto", "graph"]}
+        }
+      },
+      "frontier": {
+        "vary": "attacker_share",
+        "group_by": ["failure_rate"],
+        "success": {"metric": "peak_attacker_fraction",
+                    "op": ">=", "threshold": 0.5}
+      }
+    }
+
+``base`` seeds every spec; ``grid`` takes the cartesian product of its
+axes (axes iterate in sorted-name order, values in listed order, so
+the spec sequence is deterministic); ``random`` draws ``count``
+additional specs from the named distributions under the plan's own
+derived RNG stream.  Axis values are raw
+:class:`~repro.scenarios.spec.ScenarioSpec` field values — schedules
+and partition windows included (as nested lists).  ``frontier`` is the
+optional reduction :func:`repro.sweeps.frontier.compute_frontier`
+applies to the finished sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..rng import RngStreams
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = ["SweepPlan", "expand_grid", "load_specfile", "sample_random"]
+
+#: Decimal places random float draws are rounded to: keeps spec
+#: digests (and therefore cache keys) platform-stable and the JSON
+#: canonical form short.
+_RANDOM_ROUND = 6
+
+
+def expand_grid(
+    base: Dict[str, object], axes: Dict[str, List[object]]
+) -> List[ScenarioSpec]:
+    """Cartesian product of ``axes`` over ``base``, deterministically.
+
+    Axes iterate in sorted-name order and each axis's values in their
+    listed order, so the returned spec sequence (and every digest in
+    it) is a pure function of the plan.
+    """
+    if not axes:
+        return [ScenarioSpec.from_dict(dict(base))]
+    names = sorted(axes)
+    for name in names:
+        if not isinstance(axes[name], list) or not axes[name]:
+            raise ConfigurationError(
+                "grid axes must be non-empty lists", axis=name
+            )
+    specs = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        merged = dict(base)
+        merged.update(zip(names, combo))
+        specs.append(ScenarioSpec.from_dict(merged))
+    return specs
+
+
+def _draw_axis(rng, dist: Dict[str, object]) -> object:
+    if not isinstance(dist, dict) or len(dist) != 1:
+        raise ConfigurationError(
+            "random axis must be one of {'uniform': [lo, hi]}, "
+            "{'int': [lo, hi]}, {'choice': [...]}",
+            axis=dist,
+        )
+    kind, arg = next(iter(dist.items()))
+    if kind == "uniform":
+        lo, hi = arg
+        return round(float(lo + (hi - lo) * rng.random()), _RANDOM_ROUND)
+    if kind == "int":
+        lo, hi = arg
+        return int(rng.integers(int(lo), int(hi) + 1))
+    if kind == "choice":
+        if not arg:
+            raise ConfigurationError("choice axis needs values")
+        return arg[int(rng.integers(len(arg)))]
+    raise ConfigurationError("unknown random axis kind", kind=kind)
+
+
+def sample_random(
+    base: Dict[str, object],
+    axes: Dict[str, Dict[str, object]],
+    count: int,
+    seed: int = 0,
+) -> List[ScenarioSpec]:
+    """``count`` random specs over ``base``, deterministically seeded.
+
+    Draws stream ``"sweeps.random"`` under ``seed``; axes draw in
+    sorted-name order within each sample, so the sequence depends only
+    on ``(base, axes, count, seed)``.  Float draws are rounded to
+    :data:`_RANDOM_ROUND` decimals to keep digests platform-stable.
+    """
+    if count < 1:
+        raise ConfigurationError("count must be >= 1", count=count)
+    if not axes:
+        raise ConfigurationError("random sampling needs at least one axis")
+    rng = RngStreams(seed).numpy_stream("sweeps.random")
+    names = sorted(axes)
+    specs = []
+    for _ in range(count):
+        merged = dict(base)
+        for name in names:
+            merged[name] = _draw_axis(rng, axes[name])
+        specs.append(ScenarioSpec.from_dict(merged))
+    return specs
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A loaded sweep plan: named spec population plus an optional
+    frontier reduction."""
+
+    name: str
+    specs: Tuple[ScenarioSpec, ...]
+    frontier: Optional[Dict[str, object]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep plan needs a name")
+        if not self.specs:
+            raise ConfigurationError("sweep plan produced no specs")
+
+
+def load_specfile(path: Union[str, Path]) -> SweepPlan:
+    """Parse a sweep-plan JSON file into a :class:`SweepPlan`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            "unreadable sweep spec file", path=str(path), error=str(exc)
+        ) from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError("sweep spec file must be a JSON object")
+    known = {"name", "base", "grid", "random", "frontier", "seed"}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            "unknown sweep plan keys", keys=sorted(unknown)
+        )
+    name = data.get("name") or path.stem
+    base = data.get("base", {})
+    if not isinstance(base, dict):
+        raise ConfigurationError("'base' must be an object")
+    specs: List[ScenarioSpec] = []
+    if "grid" in data:
+        specs.extend(expand_grid(base, data["grid"]))
+    random_block = data.get("random")
+    if random_block is not None:
+        specs.extend(
+            sample_random(
+                base,
+                random_block.get("axes", {}),
+                int(random_block.get("count", 0)),
+                seed=int(random_block.get("seed", data.get("seed", 0))),
+            )
+        )
+    if "grid" not in data and random_block is None:
+        specs.append(ScenarioSpec.from_dict(dict(base)))
+    return SweepPlan(
+        name=name,
+        specs=tuple(specs),
+        frontier=data.get("frontier"),
+        seed=int(data.get("seed", 0)),
+    )

@@ -8,6 +8,7 @@ experiment), and a snapshot of the ``--help`` text so flag/wording
 changes are deliberate.
 """
 
+import json
 import textwrap
 
 import pytest
@@ -21,41 +22,42 @@ from repro.parallel import FaultPlan, TrialEngine, inject, make_trials
 HELP_SNAPSHOT = textwrap.dedent(
     """\
     usage: repro-experiments [-h] [--seed SEED] [--fast] [--jobs N] [--cache DIR]
-                             [--no-cache] [--csv DIR]
-                             [--engine {auto,scalar,vec,graph}]
-                             [--delay-model {calibrated}] [--retries N]
+                             [--no-cache] [--csv DIR] [--engine ENGINE]
+                             [--delay-model MODEL] [--retries N]
                              [--trial-timeout S] [--max-failures N]
                              [ID ...]
 
     Regenerate the paper's tables and figures.
 
     positional arguments:
-      ID                    artifact ids to run (default: all). Known: figure3,
-                            figure4, figure6, figure7, figure8, table1, table2,
-                            table3, table4, table5, table6, table7, table8
+      ID                   artifact ids to run (default: all). Known: figure3,
+                           figure4, figure6, figure7, figure8, table1, table2,
+                           table3, table4, table5, table6, table7, table8
 
     options:
-      -h, --help            show this help message and exit
-      --seed SEED           experiment seed
-      --fast                reduced workloads (CI-sized)
-      --jobs N              worker processes per experiment's trial sweep
-                            (default: 1)
-      --cache DIR           on-disk result cache directory (reruns skip completed
-                            work)
-      --no-cache            bypass the result cache even when --cache is given
-      --csv DIR             directory to dump figure series as CSV files
-      --engine {auto,scalar,vec,graph}
-                            simulation engine override for simulator-backed
-                            experiments
-      --delay-model {calibrated}
-                            calibrated propagation-delay model for simulator-
-                            backed experiments (requires --engine graph)
-      --retries N           retry each failed trial up to N times with its
-                            original seed
-      --trial-timeout S     per-trial timeout in seconds (hung/dead workers are
-                            respawned)
-      --max-failures N      abort the sweep (exit 2) once more than N trials have
-                            failed
+      -h, --help           show this help message and exit
+      --seed SEED          experiment seed
+      --fast               reduced workloads (CI-sized)
+      --jobs N             worker processes per experiment's trial sweep (default:
+                           1)
+      --cache DIR          on-disk result cache directory (reruns skip completed
+                           work)
+      --no-cache           bypass the result cache even when --cache is given
+      --csv DIR            directory to dump figure series as CSV files
+      --engine ENGINE      simulation engine override for simulator-backed
+                           experiments (one of: auto, scalar, vec, graph)
+      --delay-model MODEL  calibrated propagation-delay model for simulator-backed
+                           experiments (one of: calibrated; requires --engine
+                           graph)
+      --retries N          retry each failed trial up to N times with its original
+                           seed
+      --trial-timeout S    per-trial timeout in seconds (hung/dead workers are
+                           respawned)
+      --max-failures N     abort the sweep (exit 2) once more than N trials have
+                           failed
+
+    Scenario sweeps: 'repro-experiments sweep SPECFILE' runs a declarative spec-
+    file sweep (own flags; see --help there).
     """
 )
 
@@ -222,3 +224,125 @@ class TestHelpSnapshot:
             main(["--help"])
         assert excinfo.value.code == 0
         assert capsys.readouterr().out == HELP_SNAPSHOT
+
+
+class TestValidationOrdering:
+    """Regression: the experiment-id whitelist must fire before flag
+    value validation.
+
+    ``--engine``/``--delay-model`` used to be argparse ``choices=``,
+    which validate during ``parse_args`` — so ``repro-experiments
+    bogus-exp --engine bogus`` complained about the engine and never
+    mentioned the unknown experiment id the user actually typoed.
+    """
+
+    def test_unknown_id_reported_before_bad_engine(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bogus-exp", "--engine", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment ids: bogus-exp" in err
+        assert "unknown engine" not in err
+
+    def test_unknown_id_reported_before_bad_delay_model(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["nope", "--delay-model", "warp"])
+        assert excinfo.value.code == 2
+        assert "unknown experiment ids: nope" in capsys.readouterr().err
+
+    def test_bad_engine_alone_still_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table6", "--engine", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'bogus'" in err
+        assert "auto, scalar, vec, graph" in err
+
+    def test_bad_delay_model_alone_still_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table6", "--delay-model", "warp"])
+        assert excinfo.value.code == 2
+        assert "unknown delay model 'warp'" in capsys.readouterr().err
+
+    def test_delay_model_still_requires_graph_engine(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table6", "--delay-model", "calibrated"])
+        assert excinfo.value.code == 2
+        assert "requires --engine graph" in capsys.readouterr().err
+
+
+def _write_plan(tmp_path, name="mini", count=None):
+    plan = {
+        "name": name,
+        "base": {
+            "topology": "grid",
+            "size": 3,
+            "steps": 6,
+            "steps_per_block": 3,
+            "sample_every": 3,
+        },
+        "grid": {"attacker_share": [0.2, 0.4]},
+        "frontier": {
+            "vary": "attacker_share",
+            "success": {
+                "metric": "peak_attacker_fraction",
+                "op": ">=",
+                "threshold": 0.0,
+            },
+        },
+    }
+    if count is not None:
+        plan["random"] = {
+            "count": count,
+            "axes": {"failure_rate": {"uniform": [0.0, 0.3]}},
+        }
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(plan), encoding="utf-8")
+    return path
+
+
+class TestSweepSubcommand:
+    def test_sweep_runs_and_writes_artifact(self, tmp_path, capsys):
+        plan = _write_plan(tmp_path)
+        out = tmp_path / "artifact.json"
+        assert main(["sweep", str(plan), "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "sweep 'mini': 2 spec(s)" in stdout
+        artifact = json.loads(out.read_text(encoding="utf-8"))
+        assert artifact["name"] == "mini"
+        assert artifact["num_specs"] == 2
+        assert len(artifact["summaries"]) == 2
+        assert artifact["frontier"][0]["frontier"] == 0.2
+
+    def test_sweep_cache_warm_rerun_executes_nothing(self, tmp_path, capsys):
+        plan = _write_plan(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(plan), "--cache", str(cache)]) == 0
+        assert "2 executed, 0 cached" in capsys.readouterr().out
+        assert main(["sweep", str(plan), "--cache", str(cache)]) == 0
+        assert "0 executed, 2 cached" in capsys.readouterr().out
+
+    def test_sweep_artifact_identical_across_jobs(self, tmp_path, capsys):
+        plan = _write_plan(tmp_path)
+        serial = tmp_path / "serial.json"
+        fanned = tmp_path / "fanned.json"
+        assert main(["sweep", str(plan), "--out", str(serial)]) == 0
+        assert (
+            main(["sweep", str(plan), "--jobs", "2", "--out", str(fanned)])
+            == 0
+        )
+        capsys.readouterr()
+        assert serial.read_bytes() == fanned.read_bytes()
+
+    def test_sweep_unreadable_specfile_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+        assert "unreadable sweep spec file" in capsys.readouterr().err
+
+    def test_sweep_negative_retries_rejected(self, tmp_path, capsys):
+        plan = _write_plan(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(plan), "--retries", "-1"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()

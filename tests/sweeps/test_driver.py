@@ -1,0 +1,306 @@
+"""Sweep driver determinism, caching, and the frontier reduction.
+
+The heart of this module is the acceptance triangle: a 64-spec sweep
+is bit-identical between ``jobs=1`` and ``jobs=4``, a warm re-run
+executes zero trials, and the warm artifact equals the cold one byte
+for byte.  The cache-collision regression pins the satellite fix —
+sweep cache keys carry the full spec digest, so two specs differing in
+any single field can never share an entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import FailurePolicy, ResultCache
+from repro.scenarios import ScenarioSpec
+from repro.sweeps import (
+    SWEEP_EXPERIMENT_ID,
+    compute_frontier,
+    expand_grid,
+    load_specfile,
+    run_sweep,
+    sample_random,
+    sweep_seed,
+)
+
+BASE = {
+    "topology": "grid",
+    "size": 3,
+    "steps": 6,
+    "steps_per_block": 3,
+    "sample_every": 3,
+}
+
+
+def _grid64():
+    return expand_grid(
+        BASE,
+        {
+            "attacker_share": [0.1, 0.2, 0.3, 0.4],
+            "failure_rate": [0.0, 0.1, 0.2, 0.3],
+            "natural_fork_rate": [0.05, 0.1, 0.15, 0.2],
+        },
+    )
+
+
+class TestDeterminism:
+    def test_jobs_4_matches_serial_over_64_specs(self):
+        specs = _grid64()
+        assert len(specs) == 64
+        serial = run_sweep(specs, root_seed=11, jobs=1)
+        fanned = run_sweep(specs, root_seed=11, jobs=4)
+        assert serial.summaries == fanned.summaries
+        assert json.dumps(serial.to_artifact(), sort_keys=True) == json.dumps(
+            fanned.to_artifact(), sort_keys=True
+        )
+
+    def test_seeds_derive_from_content_not_position(self):
+        specs = _grid64()[:4]
+        full = run_sweep(specs, root_seed=5)
+        sliced = run_sweep(list(reversed(specs))[:2], root_seed=5)
+        by_digest = {
+            spec.digest(): summary
+            for spec, summary in zip(full.specs, full.summaries)
+        }
+        for spec, summary in zip(sliced.specs, sliced.summaries):
+            assert summary == by_digest[spec.digest()]
+        for spec in specs:
+            assert sweep_seed(5, spec) != sweep_seed(6, spec)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep([])
+
+
+class TestCaching:
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        specs = _grid64()[:8]
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(specs, root_seed=3, cache=cache)
+        assert cold.executed == 8 and cold.cached == 0
+        warm = run_sweep(specs, root_seed=3, cache=cache, jobs=4)
+        assert warm.executed == 0 and warm.cached == 8
+        assert cache.hits == 8
+        assert warm.summaries == cold.summaries
+        # Run facts differ; the artifact must not.
+        assert cold.to_artifact() == warm.to_artifact()
+
+    def test_cache_key_includes_full_spec_digest(self, tmp_path):
+        """Regression: specs differing in one field never share an entry.
+
+        Sweep trials all run under one experiment id and (often) equal
+        step counts — a cache key built from anything less than the
+        full spec digest would alias them.
+        """
+        cache = ResultCache(tmp_path / "cache")
+        base = ScenarioSpec.from_dict(dict(BASE))
+        variants = [
+            dataclasses.replace(base, attacker_share=0.4),
+            dataclasses.replace(base, hash_schedule=((2, 0.45),)),
+            dataclasses.replace(base, failure_schedule=((2, 0.25),)),
+            dataclasses.replace(base, sample_every=2),
+        ]
+        result = run_sweep([base] + variants, root_seed=0, cache=cache)
+        assert result.executed == len(variants) + 1
+        assert cache.stores == len(variants) + 1
+        # Each variant warms only its own entry.
+        for spec in variants:
+            solo = run_sweep([spec], root_seed=0, cache=cache)
+            assert solo.cached == 1 and solo.executed == 0
+        digests = {spec.digest() for spec in [base] + variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_root_seed_partitions_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = ScenarioSpec.from_dict(dict(BASE))
+        run_sweep([spec], root_seed=0, cache=cache)
+        other = run_sweep([spec], root_seed=1, cache=cache)
+        assert other.executed == 1 and other.cached == 0
+
+
+def _boom(trial):  # pragma: no cover - runs in workers
+    raise RuntimeError("boom")
+
+
+class TestFailures:
+    def test_skip_policy_leaves_none_and_records_failure(self, monkeypatch):
+        import repro.sweeps.driver as driver
+
+        specs = _grid64()[:3]
+        doomed = specs[1].digest()
+
+        def flaky(trial):
+            spec = ScenarioSpec.from_dict(json.loads(trial.param("spec")))
+            if spec.digest() == doomed:
+                raise RuntimeError("injected")
+            return driver.run_scenario(spec, seed=trial.seed)
+
+        monkeypatch.setattr(driver, "_sweep_worker", flaky)
+        result = driver.run_sweep(
+            specs,
+            policy=FailurePolicy(mode="skip"),
+        )
+        assert result.failed == 1
+        (failure,) = result.failures
+        assert failure[0] == 1
+        assert result.summaries[1] is None
+        assert result.summaries[0] is not None
+        assert result.executed == 2
+
+    def test_artifact_carries_null_summary_for_failures(self, monkeypatch):
+        import repro.sweeps.driver as driver
+
+        monkeypatch.setattr(driver, "_sweep_worker", _boom)
+        result = driver.run_sweep(
+            _grid64()[:2], policy=FailurePolicy(mode="skip")
+        )
+        artifact = result.to_artifact()
+        assert [entry["summary"] for entry in artifact["summaries"]] == [
+            None,
+            None,
+        ]
+
+
+class TestPlans:
+    def test_expand_grid_is_deterministic_and_sorted(self):
+        axes = {"failure_rate": [0.1, 0.2], "attacker_share": [0.3]}
+        first = expand_grid(BASE, axes)
+        second = expand_grid(BASE, dict(reversed(list(axes.items()))))
+        assert [s.digest() for s in first] == [s.digest() for s in second]
+        assert [s.failure_rate for s in first] == [0.1, 0.2]
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(BASE, {"failure_rate": []})
+
+    def test_sample_random_reproducible(self):
+        axes = {
+            "attacker_share": {"uniform": [0.05, 0.45]},
+            "steps_per_block": {"int": [2, 5]},
+        }
+        a = sample_random(BASE, axes, count=16, seed=4)
+        b = sample_random(BASE, axes, count=16, seed=4)
+        assert [s.digest() for s in a] == [s.digest() for s in b]
+        c = sample_random(BASE, axes, count=16, seed=5)
+        assert [s.digest() for s in a] != [s.digest() for s in c]
+
+    def test_load_specfile(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "base": BASE,
+                    "grid": {"attacker_share": [0.2, 0.4]},
+                    "seed": 9,
+                }
+            ),
+            encoding="utf-8",
+        )
+        plan = load_specfile(path)
+        assert plan.name == "plan"
+        assert len(plan.specs) == 2
+        assert plan.seed == 9
+
+    def test_load_specfile_rejects_unknown_keys(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"base": BASE, "turbo": True}))
+        with pytest.raises(ConfigurationError):
+            load_specfile(path)
+
+
+class TestFrontier:
+    def _sweep(self):
+        specs = expand_grid(
+            BASE,
+            {
+                "attacker_share": [0.1, 0.2, 0.3],
+                "failure_rate": [0.0, 0.2],
+            },
+        )
+        result = run_sweep(specs, root_seed=2)
+        return specs, result.summaries
+
+    def test_minimum_success_per_group(self):
+        specs, summaries = self._sweep()
+        records = compute_frontier(
+            specs,
+            summaries,
+            {
+                "vary": "attacker_share",
+                "group_by": ["failure_rate"],
+                "success": {
+                    "metric": "peak_attacker_fraction",
+                    "op": ">=",
+                    "threshold": 0.0,
+                },
+            },
+        )
+        assert [r["group"]["failure_rate"] for r in records] == [0.0, 0.2]
+        for record in records:
+            assert record["tested"] == 3
+            assert record["frontier"] == 0.1  # threshold 0 always succeeds
+
+    def test_unreachable_threshold_yields_none(self):
+        specs, summaries = self._sweep()
+        records = compute_frontier(
+            specs,
+            summaries,
+            {
+                "vary": "attacker_share",
+                "success": {
+                    "metric": "peak_attacker_fraction",
+                    "op": ">=",
+                    "threshold": 2.0,
+                },
+            },
+        )
+        (record,) = records
+        assert record["frontier"] is None
+        assert record["succeeded"] == 0
+        assert record["tested"] == 6
+
+    def test_failed_specs_count_but_never_succeed(self):
+        specs, summaries = self._sweep()
+        summaries = list(summaries)
+        summaries[0] = None
+        (record,) = compute_frontier(
+            specs,
+            summaries,
+            {
+                "vary": "attacker_share",
+                "success": {
+                    "metric": "peak_attacker_fraction",
+                    "op": ">=",
+                    "threshold": 0.0,
+                },
+            },
+        )
+        assert record["tested"] == 6
+        assert record["succeeded"] == 5
+
+    def test_bad_frontier_blocks_rejected(self):
+        specs, summaries = self._sweep()
+        for frontier in [
+            {},
+            {"vary": "attacker_share"},
+            {"vary": "attacker_share", "success": {"metric": "x"}},
+            {
+                "vary": "attacker_share",
+                "success": {"metric": "x", "op": "~", "threshold": 1},
+            },
+            {
+                "vary": "warp",
+                "success": {
+                    "metric": "peak_attacker_fraction",
+                    "op": ">=",
+                    "threshold": 0.0,
+                },
+            },
+        ]:
+            with pytest.raises(ConfigurationError):
+                compute_frontier(specs, summaries, frontier)

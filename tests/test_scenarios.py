@@ -3,6 +3,7 @@
 import pytest
 
 from repro.attacks.spatial import StratumIsolation
+from repro.datagen.pools import MINING_POOLS
 from repro.errors import ConfigurationError
 from repro.scenarios import paper_network
 
@@ -19,9 +20,10 @@ class TestPaperNetwork:
 
     def test_pools_attached_in_their_stratum_ases(self, scenario):
         # The scaled 800-node slice covers the first few ASes; pools
-        # whose stratum AS is inside get attached there.
+        # whose stratum AS is inside get attached there.  Pools whose
+        # AS is missing are rehomed (and recorded), never dropped.
         for pool in scenario.pools.values():
-            if pool.name == "others":
+            if pool.name == "others" or pool.name in scenario.rehomed:
                 continue
             host_asn = scenario.topology.asn_of(pool.node_id)
             assert host_asn == pool.stratum.asn
@@ -30,6 +32,48 @@ class TestPaperNetwork:
         scenario = paper_network(scale=1.0, num_nodes=5000, seed=1, with_pools=True)
         total = sum(pool.hash_share for pool in scenario.pools.values())
         assert total == pytest.approx(1.0)
+
+    def test_small_scale_attaches_every_pool(self):
+        """Regression: a scaled slice whose topology misses a pool's
+        stratum AS must not silently drop the pool (the seed bug left
+        ~40% of Table IV hash rate unattached at scale 0.2)."""
+        scenario = paper_network(scale=0.2, num_nodes=300, seed=3)
+        assert len(scenario.pools) == len(MINING_POOLS) + 1  # + "others"
+        total = sum(pool.hash_share for pool in scenario.pools.values())
+        assert total == pytest.approx(1.0)
+        assert scenario.rehomed  # the tiny slice forced rehoming
+        for name, asn in scenario.rehomed.items():
+            pool = scenario.pools[name]
+            # The pool still declares its real stratum AS; only the
+            # host node moved.
+            assert pool.stratum.asn == asn
+            assert scenario.topology.asn_of(pool.node_id) != asn
+
+    def test_small_scale_rehoming_is_deterministic(self):
+        a = paper_network(scale=0.2, num_nodes=300, seed=3)
+        b = paper_network(scale=0.2, num_nodes=300, seed=3)
+        assert a.rehomed == b.rehomed
+        assert {n: p.node_id for n, p in a.pools.items()} == {
+            n: p.node_id for n, p in b.pools.items()
+        }
+
+    def test_missing_stratum_error_policy_raises(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            paper_network(
+                scale=0.2, num_nodes=300, seed=3, missing_stratum="error"
+            )
+        assert "stratum" in str(excinfo.value)
+
+    def test_missing_stratum_drop_policy_restores_old_behaviour(self):
+        scenario = paper_network(
+            scale=0.2, num_nodes=300, seed=3, missing_stratum="drop"
+        )
+        assert len(scenario.pools) < len(MINING_POOLS) + 1
+        assert scenario.rehomed == {}
+
+    def test_unknown_missing_stratum_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_network(scale=0.2, num_nodes=300, missing_stratum="bogus")
 
     def test_without_pools(self):
         scenario = paper_network(scale=0.2, num_nodes=300, seed=2, with_pools=False)
