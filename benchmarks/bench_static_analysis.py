@@ -24,6 +24,11 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.audit import run_audit
+from repro.flow import (
+    build_manifest as build_flow_manifest,
+    diff_manifest as diff_flow_manifest,
+    run_flow,
+)
 from repro.lint import lint_paths
 from repro.vec import build_manifest, diff_manifest, run_vec
 
@@ -34,6 +39,11 @@ SRC = REPO_ROOT / "src"
 
 #: Wall-clock budget for one full ``repro-vec`` analysis of ``src``.
 VEC_BUDGET_SECONDS = 30.0
+
+#: Wall-clock budget for one full ``repro-flow`` analysis of ``src``.
+#: Same rationale: the fixpoint is quadratic-ish in call-graph size, so
+#: a blow-up must fail here before it rots the CI gate.
+FLOW_BUDGET_SECONDS = 30.0
 
 
 def _timed_vec() -> Dict[str, object]:
@@ -51,9 +61,27 @@ def _timed_vec() -> Dict[str, object]:
     }
 
 
+def _timed_flow() -> Dict[str, object]:
+    start = time.perf_counter()
+    report = run_flow([SRC])
+    manifest = build_flow_manifest(report)
+    drift = diff_flow_manifest(manifest, REPO_ROOT / "FLOW_MANIFEST.json")
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "findings": len(report.findings),
+        "sanctioned": len(report.suppressed),
+        "cache_boundaries": len(manifest["cache_boundaries"]),
+        "manifest_current": drift is None,
+    }
+
+
 def time_analyzers() -> Dict[str, Dict[str, object]]:
     """One timed pass per analyzer over its CI scope."""
-    timings: Dict[str, Dict[str, object]] = {"repro-vec": _timed_vec()}
+    timings: Dict[str, Dict[str, object]] = {
+        "repro-vec": _timed_vec(),
+        "repro-flow": _timed_flow(),
+    }
 
     start = time.perf_counter()
     lint_report = lint_paths([SRC])
@@ -83,6 +111,16 @@ def test_vec_analysis_fits_the_ci_budget():
     assert vec["manifest_current"]
 
 
+def test_flow_analysis_fits_the_ci_budget():
+    flow = _timed_flow()
+    assert flow["seconds"] < FLOW_BUDGET_SECONDS, (
+        f"repro-flow took {flow['seconds']:.1f}s over src; the CI gate "
+        f"assumes < {FLOW_BUDGET_SECONDS:.0f}s"
+    )
+    assert flow["findings"] == 0
+    assert flow["manifest_current"]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Runtime smoke benchmark for the static-analysis gates."
@@ -110,6 +148,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ],
         "extra_info": {
             "vec_budget_seconds": VEC_BUDGET_SECONDS,
+            "flow_budget_seconds": FLOW_BUDGET_SECONDS,
             "per_tool": timings,
         },
     }
@@ -117,10 +156,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dumps(report, indent=2, sort_keys=True), encoding="utf-8"
     )
     vec = timings["repro-vec"]
-    within = vec["seconds"] < VEC_BUDGET_SECONDS  # type: ignore[operator]
+    flow = timings["repro-flow"]
+    within = (
+        vec["seconds"] < VEC_BUDGET_SECONDS  # type: ignore[operator]
+        and flow["seconds"] < FLOW_BUDGET_SECONDS  # type: ignore[operator]
+    )
     print(
         f"repro-vec {vec['seconds']:.2f}s "
-        f"(budget {VEC_BUDGET_SECONDS:.0f}s, "
+        f"(budget {VEC_BUDGET_SECONDS:.0f}s), "
+        f"repro-flow {flow['seconds']:.2f}s "
+        f"(budget {FLOW_BUDGET_SECONDS:.0f}s, "
         f"{'within' if within else 'OVER'}), "
         f"repro-lint {timings['repro-lint']['seconds']:.2f}s, "
         f"repro-audit {timings['repro-audit']['seconds']:.2f}s "

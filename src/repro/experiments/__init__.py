@@ -53,9 +53,9 @@ def run_experiment(
     experiment_id: str,
     seed: int = 0,
     fast: bool = False,
-    jobs: int = 1,
+    jobs: int = 1,  # repro-lint: disable=RPL401 jobs only fans out independent trials; results are bit-identical for every value
     cache: Optional[ResultCache] = None,
-    policy: Optional[FailurePolicy] = None,
+    policy: Optional[FailurePolicy] = None,  # repro-lint: disable=RPL401 retries reuse the trial's seed, so a recovered run is bit-identical to an undisturbed one
     engine: Optional[str] = None,
     delay_model: Optional[str] = None,
 ) -> ExperimentResult:

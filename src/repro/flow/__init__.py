@@ -1,0 +1,89 @@
+"""repro-flow: cache-soundness & config-flow static analysis.
+
+The fourth static-analysis tier.  :mod:`repro.lint` certifies each
+file's determinism in isolation (RPL1xx); :mod:`repro.audit` certifies
+the whole program's purity composition (RPL2xx); :mod:`repro.vec`
+certifies the numeric kernel layer (RPL3xx); this package certifies the
+*content-keyed cache* (RPL4xx): every parameter that can influence a
+cached result is part of its key, every declared spec field enters the
+digest, every module a worker can execute is fingerprinted, signature
+gates raise instead of silently defaulting, and nothing repr-unstable
+flows into key material through a helper.  The committed
+``FLOW_MANIFEST.json`` is the CI-gated ledger of the cache surface and
+every sanctioned exception.
+
+Public surface::
+
+    from repro.flow import run_flow
+    report = run_flow(["src"])
+    report.ok            # no unsanctioned RPL4xx findings
+    report.findings      # RPL4xx + RPL900 findings, sorted
+
+Command line: ``repro-flow`` (or ``python -m repro.flow``).
+"""
+
+from .boundaries import Boundary, find_boundaries
+from .dataflow import (
+    RETURN,
+    BoundCall,
+    CacheCall,
+    Derivation,
+    FunctionFlow,
+    backward_closure,
+    collect_flow,
+    effective_derivations,
+)
+from .digests import DigestClass, find_digest_classes
+from .influence import (
+    INFLUENCE_KINDS,
+    InfluenceSummary,
+    build_flows,
+    build_influence,
+)
+from .manifest import (
+    DEFAULT_MANIFEST,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    diff_manifest,
+    render_manifest,
+)
+from .rules import (
+    FLOW_RULES,
+    FlowContext,
+    FlowReport,
+    FlowRule,
+    build_flow_context,
+    flow_rule_by_identifier,
+    run_flow,
+)
+
+__all__ = [
+    "Boundary",
+    "BoundCall",
+    "CacheCall",
+    "DEFAULT_MANIFEST",
+    "Derivation",
+    "DigestClass",
+    "FLOW_RULES",
+    "FlowContext",
+    "FlowReport",
+    "FlowRule",
+    "FunctionFlow",
+    "INFLUENCE_KINDS",
+    "InfluenceSummary",
+    "MANIFEST_SCHEMA_VERSION",
+    "RETURN",
+    "backward_closure",
+    "build_flow_context",
+    "build_flows",
+    "build_influence",
+    "build_manifest",
+    "collect_flow",
+    "diff_manifest",
+    "effective_derivations",
+    "find_boundaries",
+    "find_digest_classes",
+    "flow_rule_by_identifier",
+    "render_manifest",
+    "run_flow",
+]

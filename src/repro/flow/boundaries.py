@@ -1,0 +1,112 @@
+"""Cache-boundary discovery: which functions key cached artifacts.
+
+A *cache boundary* is any function that consumes the content-key
+surface — a direct ``cache_key(...)`` call or a
+``.get/.put/.key/.entry_path/.discard`` method on a cache-shaped
+receiver.  For each boundary this module computes the account RPL401
+and RPL405 audit:
+
+- ``key_params`` — parameters in the backward closure of the key
+  material arguments (the inputs the key provably covers);
+- ``influencing`` — parameters the inter-procedural fixpoint says can
+  reach a result (return value, RNG stream, or engine construction),
+  with their kinds;
+- ``key_closure`` — every local name feeding key material, which is
+  where RPL405 looks for repr-unstable values.
+
+Cache *handles* (the receiver itself, or any parameter named like one)
+are infrastructure, not inputs, and are exempted from the influence
+set — the hit-path exclusion in :mod:`repro.flow.dataflow` already
+keeps values read from the cache out of the flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..audit.project import FunctionNode, ModuleRecord
+from .dataflow import (
+    FunctionFlow,
+    backward_closure,
+    effective_derivations,
+)
+from .influence import InfluenceSummary
+
+__all__ = ["Boundary", "find_boundaries"]
+
+
+@dataclass
+class Boundary:
+    """One cache-keying function and its key-coverage account."""
+
+    fn: FunctionNode
+    record: ModuleRecord
+    flow: FunctionFlow
+    #: parameter -> influence kinds (only params with at least one kind).
+    influencing: Dict[str, Set[str]]
+    key_params: Set[str]
+    key_closure: Set[str]
+    handles: Set[str]
+    derivations: List[Tuple[frozenset, Set[str], object]]
+
+    def unkeyed(self) -> List[str]:
+        """Influencing parameters the key does not cover, sorted."""
+        return sorted(
+            param
+            for param in self.influencing
+            if param not in self.key_params and param not in self.handles
+        )
+
+
+def _handles(flow: FunctionFlow) -> Set[str]:
+    names = {
+        call.receiver for call in flow.cache_calls if call.receiver is not None
+    }
+    names |= {
+        param for param in flow.fn.params if "cache" in param.lower()
+    }
+    return names
+
+
+def find_boundaries(
+    flows: Dict[str, FunctionFlow],
+    summaries: Dict[str, InfluenceSummary],
+) -> Dict[str, Boundary]:
+    """Every cache-keying function, keyed by fully qualified name."""
+
+    def influential(callee: str, kind: str):
+        if kind != "function":
+            return None
+        summary = summaries.get(callee)
+        return summary.influencing() if summary is not None else None
+
+    boundaries: Dict[str, Boundary] = {}
+    for fq in sorted(flows):
+        flow = flows[fq]
+        if not flow.cache_calls:
+            continue
+        derivations = effective_derivations(flow, influential)
+        key_seeds: Set[str] = set()
+        for cache_call in flow.cache_calls:
+            key_seeds |= set(cache_call.key_names)
+        handles = _handles(flow)
+        key_closure = backward_closure(derivations, key_seeds)
+        params = [p for p in flow.fn.params if p not in ("self", "cls")]
+        summary = summaries.get(fq, InfluenceSummary())
+        influencing = {
+            param: set(kinds)
+            for param, kinds in summary.kinds.items()
+            if kinds and param in params
+        }
+        boundaries[fq] = Boundary(
+            fn=flow.fn,
+            record=flow.record,
+            flow=flow,
+            influencing=influencing,
+            key_params={p for p in params if p in key_closure},
+            key_closure=key_closure,
+            handles=handles,
+            derivations=derivations,
+        )
+    return boundaries

@@ -1,0 +1,189 @@
+"""``repro-flow`` console entry point.
+
+Usage::
+
+    repro-flow                         # analyze src, report findings
+    repro-flow --check-manifest        # CI gate: findings OR manifest drift fail
+    repro-flow --write-manifest        # regenerate FLOW_MANIFEST.json
+    repro-flow --format json           # machine-readable report
+    repro-flow --select RPL401         # one rule family member
+    repro-flow --list-rules            # RPL4xx catalogue with rationale
+
+Exit codes match ``repro-lint``/``repro-audit``/``repro-vec``: 0 clean,
+1 findings (or manifest drift under ``--check-manifest``), 2 usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..lint.core import FileReport, RunReport
+from ..lint.reporters import render_json, render_text
+from ..lint.rules import family_of
+from .manifest import DEFAULT_MANIFEST, build_manifest, diff_manifest, render_manifest
+from .rules import FLOW_RULES, FlowReport, flow_rule_by_identifier, run_flow
+
+__all__ = ["main"]
+
+_DEFAULT_PATHS = ["src"]
+
+
+def _split_rule_list(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    names = [part.strip() for chunk in values for part in chunk.split(",")]
+    return [name for name in names if name]
+
+
+def _render_rule_list() -> str:
+    family = family_of("RPL401")
+    lines = [f"repro-flow rules ({family}):"]
+    for rule in FLOW_RULES:
+        lines.append(f"  {rule.rule_id}  {rule.name:<26} {rule.summary}")
+        lines.append(f"          {rule.rationale}")
+    lines.append(
+        "sanction a reviewed exception on its line with `# repro-lint: "
+        "disable=<rule-id> <reason>`; sanctioned entries raise no findings "
+        "but stay in FLOW_MANIFEST.json"
+    )
+    return "\n".join(lines)
+
+
+def as_run_report(report: FlowReport) -> RunReport:
+    """Adapt a flow outcome to the lint reporters' ``RunReport`` shape."""
+    by_path: Dict[str, FileReport] = {}
+
+    def slot(path: str) -> FileReport:
+        if path not in by_path:
+            by_path[path] = FileReport(path=path, findings=[], suppressed=[])
+        return by_path[path]
+
+    for record in report.context.project.modules.values():
+        slot(record.info.path)
+    for finding in report.findings:
+        slot(finding.path).findings.append(finding)
+    for finding in report.suppressed:
+        slot(finding.path).suppressed.append(finding)
+    return RunReport(files=[by_path[path] for path in sorted(by_path)])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description=(
+            "Cache-soundness & config-flow static analysis over the repro "
+            "caching layer (see the README section 'Static analysis')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"directories to analyze (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated flow rule IDs/names to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated flow rule IDs/names to skip",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=DEFAULT_MANIFEST,
+        metavar="PATH",
+        help=f"manifest location (default: {DEFAULT_MANIFEST})",
+    )
+    parser.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help="regenerate the manifest from source and write it",
+    )
+    parser.add_argument(
+        "--check-manifest",
+        action="store_true",
+        help="fail (exit 1) when the committed manifest has drifted",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the flow rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_render_rule_list())
+        return 0
+
+    select = _split_rule_list(args.select)
+    ignore = _split_rule_list(args.ignore)
+    try:
+        for name in (select or []) + (ignore or []):
+            flow_rule_by_identifier(name)
+    except KeyError as exc:
+        print(f"repro-flow: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = args.paths if args.paths else list(_DEFAULT_PATHS)
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro-flow: error: no such path(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = run_flow(paths, select=select, ignore=ignore)
+    run_report = as_run_report(report)
+    if args.format == "json":
+        print(render_json(run_report))
+    else:
+        print(render_text(run_report, prog="repro-flow"))
+
+    status = 0 if report.ok else 1
+
+    manifest = build_manifest(report)
+    if args.write_manifest:
+        Path(args.manifest).write_text(
+            render_manifest(manifest), encoding="utf-8"
+        )
+        print(f"repro-flow: wrote {args.manifest}")
+    elif args.check_manifest:
+        drift = diff_manifest(manifest, args.manifest)
+        if drift is not None:
+            print(
+                f"repro-flow: manifest drift — {args.manifest} no longer "
+                "matches the analyzed source; regenerate with "
+                "--write-manifest and commit the result",
+                file=sys.stderr,
+            )
+            sys.stderr.write(drift)
+            status = 1
+        else:
+            print(f"repro-flow: manifest {args.manifest} is current")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

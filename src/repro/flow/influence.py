@@ -1,0 +1,232 @@
+"""Inter-procedural parameter-influence summaries (may-flow fixpoint).
+
+For every function in the project, compute which of its parameters can
+influence a trial's observable result, and *how*:
+
+- ``"return"`` — the parameter may flow into the function's returned
+  value (through local derivations, container mutation, or calls whose
+  resolved callee's own summary says the bound parameter influences
+  *its* return);
+- ``"rng"`` — the parameter may flow into an RNG stream label or seed
+  derivation (``derive_seed``, ``RngStreams.stream``, ``default_rng``,
+  ...): even when the derived seed never syntactically reaches the
+  return, it governs every draw downstream;
+- ``"engine"`` — the parameter may flow into engine/simulator/spec
+  construction (``TrialEngine(...)``, ``*Config``/``*Spec`` classes,
+  ``make_simulator``-style factories), which selects the code that
+  produces the result.
+
+Summaries start empty and grow monotonically (least fixpoint over the
+may-call structure, the same discipline as RPL202's seed-flow): each
+pass re-derives every function's kinds using the current summaries of
+its resolved callees, until nothing changes.  Callees that cannot be
+resolved (registry dispatch, engine methods, stdlib) are treated
+conservatively — every argument may influence the result.
+
+The same pass computes per-function **hazard returns**: whether a
+function may return a repr-unstable value (a set, lambda, generator,
+or bare object — RPL106's hazard set), directly or through a helper.
+RPL405 uses this to catch non-canonical values flowing into key
+material through an intervening call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from ..audit.callgraph import function_body_walk
+from ..audit.project import MODULE_BODY, Project
+from .dataflow import (
+    RETURN,
+    FunctionFlow,
+    backward_closure,
+    collect_flow,
+    effective_derivations,
+)
+
+__all__ = [
+    "ENGINE_SINK_RE",
+    "INFLUENCE_KINDS",
+    "InfluenceSummary",
+    "RNG_SINK_RE",
+    "build_flows",
+    "build_influence",
+]
+
+#: The three ways a parameter can matter to a cached result.
+INFLUENCE_KINDS = ("return", "rng", "engine")
+
+#: Call names that consume seeds or stream labels.
+RNG_SINK_RE = re.compile(
+    r"(^|\.)(derive_seed|sweep_seed|default_rng|numpy_stream|stream|"
+    r"RngStreams|Random|SeedSequence|seed)($|\.)"
+)
+
+#: Constructors/factories that select simulation behavior.
+ENGINE_SINK_RE = re.compile(
+    r"(Engine|Simulator|Config|Spec)$|(^|\.)(make|build)_\w*(engine|simulator|sim)$"
+)
+
+
+@dataclass
+class InfluenceSummary:
+    """What one function's parameters can reach."""
+
+    #: parameter -> subset of :data:`INFLUENCE_KINDS` (empty = inert).
+    kinds: Dict[str, Set[str]] = field(default_factory=dict)
+    #: description of a repr-unstable value this function may return.
+    hazard_return: Optional[str] = None
+
+    def influencing(self) -> Set[str]:
+        return {param for param, kinds in self.kinds.items() if kinds}
+
+
+def build_flows(project: Project) -> Dict[str, FunctionFlow]:
+    """Local dataflow for every real function (module bodies excluded)."""
+    flows: Dict[str, FunctionFlow] = {}
+    for record in project.modules.values():
+        for fn in record.functions.values():
+            if fn.qualname == MODULE_BODY:
+                continue
+            flows[fn.fq] = collect_flow(project, record, fn)
+    return flows
+
+
+def _sink_seeds(
+    flow: FunctionFlow,
+    summaries: Dict[str, InfluenceSummary],
+    kind: str,
+    pattern,
+) -> Set[str]:
+    """Names feeding a sink of ``kind``, directly or via callee params."""
+    seeds: Set[str] = set()
+    for call in flow.calls + [c for d in flow.derivations for c in d.calls]:
+        if pattern.search(call.callee):
+            seeds |= set(call.all_names)
+            continue
+        summary = summaries.get(call.callee)
+        if summary is None:
+            continue
+        for param, names in call.bindings:
+            if param is not None and kind in summary.kinds.get(param, set()):
+                seeds |= names
+    return seeds
+
+
+def _external_sink_seeds(flow: FunctionFlow, pattern) -> Set[str]:
+    """Names feeding *unresolved* sink calls (matched by call text)."""
+    seeds: Set[str] = set()
+    for node in function_body_walk(flow.record, flow.fn):
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = flow.record.info.resolve(node.func)
+        if canonical is None:
+            parts = flow.record.info.imports.dotted_parts(node.func)
+            canonical = ".".join(parts) if parts else None
+        if canonical is None or not pattern.search(canonical):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            seeds |= {
+                sub.id for sub in ast.walk(arg) if isinstance(sub, ast.Name)
+            }
+    return seeds
+
+
+def _influential_lookup(
+    summaries: Dict[str, InfluenceSummary],
+) -> Callable[[str, str], Optional[Set[str]]]:
+    def influential(callee: str, kind: str) -> Optional[Set[str]]:
+        if kind != "function":
+            return None  # constructed objects escape tracking
+        summary = summaries.get(callee)
+        if summary is None:
+            return None
+        return summary.influencing()
+
+    return influential
+
+
+def _summarize(
+    flow: FunctionFlow,
+    summaries: Dict[str, InfluenceSummary],
+    rng_external: Set[str],
+    engine_external: Set[str],
+) -> InfluenceSummary:
+    influential = _influential_lookup(summaries)
+    derivations = effective_derivations(flow, influential)
+    params = [p for p in flow.fn.params if p not in ("self", "cls")]
+
+    summary = InfluenceSummary(kinds={p: set() for p in params})
+    return_closure = backward_closure(derivations, {RETURN})
+    for param in params:
+        if param in return_closure:
+            summary.kinds[param].add("return")
+
+    for kind, pattern, external in (
+        ("rng", RNG_SINK_RE, rng_external),
+        ("engine", ENGINE_SINK_RE, engine_external),
+    ):
+        seeds = _sink_seeds(flow, summaries, kind, pattern) | external
+        if not seeds:
+            continue
+        closure = backward_closure(derivations, seeds)
+        for param in params:
+            if param in closure:
+                summary.kinds[param].add(kind)
+
+    # Hazard returns: a repr-unstable value reaching the return flow,
+    # built locally or produced by a helper that returns one.
+    for targets, _sources, derivation in derivations:
+        if not targets & return_closure:
+            continue
+        if derivation.hazards:
+            summary.hazard_return = derivation.hazards[0]
+            break
+        for call in derivation.calls:
+            helper = summaries.get(call.callee)
+            if helper is not None and helper.hazard_return is not None:
+                summary.hazard_return = (
+                    f"{helper.hazard_return} via helper '{call.callee}'"
+                )
+                break
+        if summary.hazard_return is not None:
+            break
+    return summary
+
+
+def build_influence(
+    project: Project, flows: Optional[Dict[str, FunctionFlow]] = None
+) -> Dict[str, InfluenceSummary]:
+    """Least-fixpoint influence summaries for every project function."""
+    if flows is None:
+        flows = build_flows(project)
+    # External (unresolved) sink name sets are summary-independent.
+    rng_external = {
+        fq: _external_sink_seeds(flow, RNG_SINK_RE)
+        for fq, flow in flows.items()
+    }
+    engine_external = {
+        fq: _external_sink_seeds(flow, ENGINE_SINK_RE)
+        for fq, flow in flows.items()
+    }
+    summaries: Dict[str, InfluenceSummary] = {}
+    for _round in range(20):
+        changed = False
+        for fq in sorted(flows):
+            updated = _summarize(
+                flows[fq], summaries, rng_external[fq], engine_external[fq]
+            )
+            current = summaries.get(fq)
+            if (
+                current is None
+                or current.kinds != updated.kinds
+                or current.hazard_return != updated.hazard_return
+            ):
+                summaries[fq] = updated
+                changed = True
+        if not changed:
+            break
+    return summaries

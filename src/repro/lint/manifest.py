@@ -1,0 +1,53 @@
+"""Shared manifest drift-gate machinery for every analyzer tier.
+
+Each whole-program tool (``repro-audit``, ``repro-vec``, ``repro-flow``)
+commits a deterministic JSON ledger of its account of the source —
+sanctioned effects, hot paths, key-material exceptions — and gates CI
+on it: ``--check-manifest`` re-derives the payload from source and
+fails with a unified diff when the committed copy has drifted.  The
+rendering and diffing halves of that contract are identical across
+tiers, so they live here once; each tier keeps only its own
+``build_manifest`` (what goes *in* the ledger is tier-specific).
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["diff_manifest", "render_manifest"]
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Byte-stable serialization (what gets committed)."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def diff_manifest(
+    manifest: Dict[str, Any], path: Union[str, Path]
+) -> Optional[str]:
+    """Unified diff committed-vs-derived, or None when they match.
+
+    A missing committed manifest diffs against the empty file, so the
+    first ``--check-manifest`` run tells the operator exactly what to
+    commit rather than crashing.
+    """
+    manifest_path = Path(path)
+    expected = render_manifest(manifest)
+    actual = (
+        manifest_path.read_text(encoding="utf-8")
+        if manifest_path.exists()
+        else ""
+    )
+    if actual == expected:
+        return None
+    return "".join(
+        difflib.unified_diff(
+            actual.splitlines(keepends=True),
+            expected.splitlines(keepends=True),
+            fromfile=f"{manifest_path} (committed)",
+            tofile=f"{manifest_path} (derived from source)",
+        )
+    )

@@ -20,7 +20,7 @@ from .state import GlobalStateRule
 
 __all__ = ["FAMILIES", "RULES", "Rule", "family_of", "rule_by_identifier"]
 
-#: The three static-analysis tiers sharing the RPL namespace (plus the
+#: The four static-analysis tiers sharing the RPL namespace (plus the
 #: shared parse-error band).  Keyed by rule-ID prefix; every tool's
 #: ``--list-rules`` and the README table derive their framing from here
 #: so the tiers stay described in one place.
@@ -28,6 +28,7 @@ FAMILIES = {
     "RPL1": "determinism lint, per-file (repro-lint)",
     "RPL2": "purity audit, whole-program (repro-audit)",
     "RPL3": "numeric & hot-path analysis (repro-vec)",
+    "RPL4": "cache-soundness & config-flow analysis (repro-flow)",
     "RPL9": "parse errors, shared by every tier",
 }
 

@@ -18,11 +18,9 @@ must land in the same commit as the manifest update acknowledging it.
 
 from __future__ import annotations
 
-import difflib
-import json
-from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List
 
+from ..lint.manifest import diff_manifest, render_manifest
 from .rules import LOOP_RULE_IDS, VecReport
 
 __all__ = [
@@ -71,36 +69,3 @@ def build_manifest(report: VecReport) -> Dict[str, Any]:
         "hot_functions": sorted(report.context.hot),
         "sanctioned_loops": sanctioned,
     }
-
-
-def render_manifest(manifest: Dict[str, Any]) -> str:
-    """Byte-stable serialization (what gets committed)."""
-    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-
-
-def diff_manifest(
-    manifest: Dict[str, Any], path: Union[str, Path]
-) -> Optional[str]:
-    """Unified diff committed-vs-derived, or None when they match.
-
-    A missing committed manifest diffs against the empty file, so the
-    first ``--check-manifest`` run tells the operator exactly what to
-    commit rather than crashing.
-    """
-    manifest_path = Path(path)
-    expected = render_manifest(manifest)
-    actual = (
-        manifest_path.read_text(encoding="utf-8")
-        if manifest_path.exists()
-        else ""
-    )
-    if actual == expected:
-        return None
-    return "".join(
-        difflib.unified_diff(
-            actual.splitlines(keepends=True),
-            expected.splitlines(keepends=True),
-            fromfile=f"{manifest_path} (committed)",
-            tofile=f"{manifest_path} (derived from source)",
-        )
-    )

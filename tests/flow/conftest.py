@@ -1,0 +1,24 @@
+"""Shared helpers for the flow analyzer test suite."""
+
+import re
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9_,\s]+)")
+
+
+def expected_findings(tree):
+    """All ``# expect:`` markers in a tree: {(file name, line, rule id)}."""
+    expected = set()
+    for path in sorted(Path(tree).rglob("*.py")):
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _EXPECT_RE.search(text)
+            if not match:
+                continue
+            for rule_id in match.group(1).split(","):
+                expected.add((path.name, lineno, rule_id.strip()))
+    return expected

@@ -1,0 +1,25 @@
+"""RPL401 bad tree: ``mode`` shapes the result but never enters the key."""
+
+
+def simulate(seed, mode):
+    value = seed * 2
+    if mode == "fast":
+        value += 1
+    return {"value": value, "mode": mode}
+
+
+def run_model(
+    experiment_id,
+    seed,
+    mode,  # expect: RPL401
+    cache=None,
+):
+    config = {"seed": seed}
+    if cache is not None:
+        hit = cache.get(experiment_id, config, seed)
+        if hit is not None:
+            return hit
+    result = simulate(seed, mode)
+    if cache is not None:
+        cache.put(experiment_id, config, seed, result)
+    return result

@@ -1,0 +1,49 @@
+"""RPL401 good tree: the closest look-alikes that must stay silent.
+
+``run_model`` keys every influencing parameter; ``run_labeled`` takes a
+parameter that flows somewhere, just never into the result.
+"""
+
+
+def simulate(seed, mode):
+    value = seed * 2
+    if mode == "fast":
+        value += 1
+    return {"value": value, "mode": mode}
+
+
+def run_model(
+    experiment_id,
+    seed,
+    mode,
+    cache=None,
+):
+    config = {"seed": seed, "mode": mode}
+    if cache is not None:
+        hit = cache.get(experiment_id, config, seed)
+        if hit is not None:
+            return hit
+    result = simulate(seed, mode)
+    if cache is not None:
+        cache.put(experiment_id, config, seed, result)
+    return result
+
+
+def run_labeled(
+    experiment_id,
+    seed,
+    label,
+    cache=None,
+):
+    banner = "run %s" % label
+    trace = [banner]
+    trace.append(banner)
+    config = {"seed": seed}
+    if cache is not None:
+        hit = cache.get(experiment_id, config, seed)
+        if hit is not None:
+            return hit
+    result = {"value": seed * 2}
+    if cache is not None:
+        cache.put(experiment_id, config, seed, result)
+    return result

@@ -1,0 +1,22 @@
+"""RPL402 bad tree: a hand-maintained digest path misses a field."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    size: int
+    steps: int
+    window: int  # expect: RPL402
+
+    def to_dict(self):
+        return {"size": self.size, "steps": self.steps}
+
+    def canonical_json(self):
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def digest(self):
+        payload = self.canonical_json().encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,40 @@
+"""RPL402 good tree: digest paths that cover every declared field.
+
+``DynamicSpec`` enumerates fields with ``dataclasses.fields`` (complete
+by construction, the ScenarioSpec pattern); ``ManualSpec`` mentions
+every field by hand.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class DynamicSpec:
+    size: int
+    steps: int
+    window: int
+
+    def to_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def canonical_json(self):
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def digest(self):
+        payload = self.canonical_json().encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class ManualSpec:
+    size: int
+    steps: int
+
+    def to_dict(self):
+        return {"size": self.size, "steps": self.steps}
+
+    def digest(self):
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,3 @@
+"""The cache's code-version surface — missing the kernel module."""
+
+FINGERPRINT_MODULES = ("rpl403_bad.experiments",)  # expect: RPL403

@@ -1,0 +1,14 @@
+"""RPL403 good tree: the package prefix covers every reachable module."""
+
+from .kernels import propagate
+
+
+def run_table(seed=0, fast=False):
+    rounds = 2 if fast else 5
+    reached = propagate(seed, rounds)
+    return {"schema": 1, "reached": reached}
+
+
+REGISTRY = {
+    "table": run_table,
+}

@@ -1,0 +1,3 @@
+"""The cache's code-version surface — a prefix covering the package."""
+
+FINGERPRINT_MODULES = ("rpl403_good",)

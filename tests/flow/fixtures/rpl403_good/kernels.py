@@ -1,0 +1,8 @@
+"""Kernel module; covered by the package-prefix fingerprint entry."""
+
+
+def propagate(seed, rounds):
+    state = seed
+    for _ in range(rounds):
+        state = (state * 1103515245 + 12345) % (2**31)
+    return state

@@ -1,0 +1,26 @@
+"""RPL404 bad tree: signature gates that silently drop the override."""
+
+import inspect
+
+
+def run_plain(seed):
+    return {"value": seed * 2}
+
+
+REGISTRY = {
+    "plain": run_plain,
+}
+
+
+def forward(artifact, seed, engine):
+    run = REGISTRY[artifact]
+    kwargs = {"seed": seed}
+    if "engine" in inspect.signature(run).parameters:  # expect: RPL404
+        kwargs["engine"] = engine
+    return run(**kwargs)
+
+
+def configure(run, seed, engine):
+    if "engine" not in inspect.signature(run).parameters:  # expect: RPL404
+        engine = None
+    return run(seed, engine)

@@ -1,0 +1,47 @@
+"""RPL404 good tree: gates that raise, and a gate that cannot drift.
+
+``forward`` raises when the dispatched callable lacks the parameter
+(either membership polarity); ``forward_all_take_it`` is silent but
+every registered artifact accepts the parameter, so nothing can be
+dropped.
+"""
+
+import inspect
+
+
+def run_a(seed, engine=None):
+    return {"value": seed, "engine": engine}
+
+
+def run_b(seed, engine=None):
+    return {"value": seed + 1, "engine": engine}
+
+
+REGISTRY = {
+    "a": run_a,
+    "b": run_b,
+}
+
+
+def forward(run, seed, engine):
+    kwargs = {"seed": seed}
+    if engine is not None:
+        if "engine" not in inspect.signature(run).parameters:
+            raise ValueError("engine override not supported")
+        kwargs["engine"] = engine
+    return run(**kwargs)
+
+
+def configure(run, seed, engine):
+    if "engine" in inspect.signature(run).parameters:
+        return run(seed, engine=engine)
+    else:
+        raise ValueError("engine override not supported")
+
+
+def forward_all_take_it(artifact, seed, engine):
+    run = REGISTRY[artifact]
+    kwargs = {"seed": seed}
+    if "engine" in inspect.signature(run).parameters:
+        kwargs["engine"] = engine
+    return run(**kwargs)

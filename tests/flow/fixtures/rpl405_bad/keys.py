@@ -1,0 +1,16 @@
+"""RPL405 bad tree: repr-unstable values reaching key material indirectly."""
+
+
+def helper_tag(nodes):
+    return set(nodes)
+
+
+def lookup_direct(cache, experiment_id, nodes, seed):
+    config = {"nodes": {n for n in nodes}}  # expect: RPL405
+    return cache.get(experiment_id, config, seed)
+
+
+def lookup_via_helper(cache, experiment_id, nodes, seed):
+    tag = helper_tag(nodes)  # expect: RPL405
+    config = {"tag": tag}
+    return cache.get(experiment_id, config, seed)

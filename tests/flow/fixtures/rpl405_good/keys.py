@@ -1,0 +1,24 @@
+"""RPL405 good tree: canonical key material, hazards kept off the key.
+
+``lookup`` encodes the tag as a sorted tuple before it reaches the key;
+``summarize`` builds a set, but only its *count* flows anywhere, and
+the set never touches key material.
+"""
+
+
+def canonical_tag(nodes):
+    return tuple(sorted(nodes))
+
+
+def lookup(cache, experiment_id, nodes, seed):
+    tag = canonical_tag(nodes)
+    config = {"tag": tag}
+    return cache.get(experiment_id, config, seed)
+
+
+def summarize(cache, experiment_id, nodes, seed):
+    reached = {n for n in nodes if n >= 0}
+    count = len(reached)
+    payload = {"count": count}
+    cache.put(experiment_id, {"nodes": tuple(nodes)}, seed, payload)
+    return payload

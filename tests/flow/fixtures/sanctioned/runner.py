@@ -1,0 +1,24 @@
+"""Sanctioned tree: the RPL401 bad shape, reviewed and line-sanctioned."""
+
+
+def simulate(seed, jobs):
+    width = max(1, jobs)
+    chunks = [seed + 1 for _ in range(width)]
+    return {"value": sum(chunks) // width + seed}
+
+
+def run_model(
+    experiment_id,
+    seed,
+    jobs,  # repro-lint: disable=RPL401 jobs only fans out trials; results identical
+    cache=None,
+):
+    config = {"seed": seed}
+    if cache is not None:
+        hit = cache.get(experiment_id, config, seed)
+        if hit is not None:
+            return hit
+    result = simulate(seed, jobs)
+    if cache is not None:
+        cache.put(experiment_id, config, seed, result)
+    return result

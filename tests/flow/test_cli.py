@@ -1,0 +1,84 @@
+"""``repro-flow`` CLI contract: exit codes, formats, the manifest gate."""
+
+import json
+
+from repro.flow import build_manifest, render_manifest, run_flow
+from repro.flow.cli import main
+
+from .conftest import FIXTURES
+
+
+class TestListRules:
+    def test_catalogue_names_every_rule(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "RPL401",
+            "RPL402",
+            "RPL403",
+            "RPL404",
+            "RPL405",
+        ):
+            assert rule_id in out
+        assert "sanction" in out
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "rpl401_good")]) == 0
+        capsys.readouterr()
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "rpl402_bad")]) == 1
+        out = capsys.readouterr().out
+        assert "RPL402" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--select", "RPL777", str(FIXTURES)]) == 2
+        capsys.readouterr()
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main([str(FIXTURES / "no_such_tree")]) == 2
+        capsys.readouterr()
+
+    def test_select_skips_other_passes(self, capsys):
+        assert main(["--select", "RPL401", str(FIXTURES / "rpl402_bad")]) == 0
+        capsys.readouterr()
+
+
+class TestJsonFormat:
+    def test_findings_serialize(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "rpl405_bad")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        rule_ids = {finding["rule"] for finding in payload["findings"]}
+        assert rule_ids == {"RPL405"}
+        assert payload["summary"]["by_rule"]["RPL405"] == 2
+
+
+class TestManifestGate:
+    def test_write_then_check_roundtrips(self, tmp_path, capsys):
+        manifest = tmp_path / "FLOW_MANIFEST.json"
+        tree = str(FIXTURES / "sanctioned")
+        assert main([tree, "--manifest", str(manifest), "--write-manifest"]) == 0
+        capsys.readouterr()
+        assert main([tree, "--manifest", str(manifest), "--check-manifest"]) == 0
+        out = capsys.readouterr().out
+        assert "is current" in out
+
+    def test_drift_fails_the_gate_with_a_diff(self, tmp_path, capsys):
+        manifest = tmp_path / "FLOW_MANIFEST.json"
+        tree = str(FIXTURES / "sanctioned")
+        report = run_flow([tree])
+        payload = build_manifest(report)
+        payload["sanctioned"] = []
+        manifest.write_text(render_manifest(payload), encoding="utf-8")
+        assert main([tree, "--manifest", str(manifest), "--check-manifest"]) == 1
+        captured = capsys.readouterr()
+        assert "manifest drift" in captured.err
+        assert "RPL401" in captured.err
+
+    def test_missing_manifest_fails_the_gate(self, tmp_path, capsys):
+        manifest = tmp_path / "FLOW_MANIFEST.json"
+        tree = str(FIXTURES / "sanctioned")
+        assert main([tree, "--manifest", str(manifest), "--check-manifest"]) == 1
+        capsys.readouterr()

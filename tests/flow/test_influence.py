@@ -1,0 +1,125 @@
+"""Unit tests for the flow machinery under the RPL4xx rules.
+
+Exercises the local dataflow model, the inter-procedural influence
+fixpoint, boundary accounting, and digest-class discovery directly —
+the rules' fixture tests check outcomes; these check the mechanics.
+"""
+
+from repro.audit.project import Project
+from repro.flow import (
+    backward_closure,
+    build_flows,
+    build_influence,
+    find_boundaries,
+    find_digest_classes,
+)
+
+from .conftest import FIXTURES
+
+
+def _analyze(tree):
+    project = Project.load([FIXTURES / tree], suppressions="line")
+    flows = build_flows(project)
+    summaries = build_influence(project, flows)
+    return project, flows, summaries
+
+
+class TestInfluenceSummaries:
+    def test_params_reaching_the_return_get_the_return_kind(self):
+        _project, _flows, summaries = _analyze("rpl401_bad")
+        simulate = summaries["rpl401_bad.runner.simulate"]
+        assert "return" in simulate.kinds["seed"]
+        assert "return" in simulate.kinds["mode"]
+
+    def test_influence_propagates_through_resolved_calls(self):
+        _project, _flows, summaries = _analyze("rpl401_bad")
+        run_model = summaries["rpl401_bad.runner.run_model"]
+        assert "return" in run_model.kinds["mode"]
+
+    def test_inert_param_stays_inert(self):
+        _project, _flows, summaries = _analyze("rpl401_good")
+        run_labeled = summaries["rpl401_good.runner.run_labeled"]
+        assert run_labeled.kinds["label"] == set()
+
+    def test_hazard_returning_helper_is_flagged(self):
+        _project, _flows, summaries = _analyze("rpl405_bad")
+        helper = summaries["rpl405_bad.keys.helper_tag"]
+        assert helper.hazard_return is not None
+        assert "set" in helper.hazard_return
+
+    def test_canonical_helper_has_no_hazard_return(self):
+        _project, _flows, summaries = _analyze("rpl405_good")
+        helper = summaries["rpl405_good.keys.canonical_tag"]
+        assert helper.hazard_return is None
+
+
+class TestBoundaries:
+    def test_key_params_and_handles(self):
+        _project, flows, summaries = _analyze("rpl401_bad")
+        boundaries = find_boundaries(flows, summaries)
+        boundary = boundaries["rpl401_bad.runner.run_model"]
+        assert boundary.key_params == {"experiment_id", "seed"}
+        assert "cache" in boundary.handles
+        assert boundary.unkeyed() == ["mode"]
+
+    def test_keyed_boundary_has_nothing_unkeyed(self):
+        _project, flows, summaries = _analyze("rpl401_good")
+        boundaries = find_boundaries(flows, summaries)
+        boundary = boundaries["rpl401_good.runner.run_model"]
+        assert "mode" in boundary.key_params
+        assert boundary.unkeyed() == []
+
+    def test_cache_hit_path_contributes_no_influence(self):
+        """``return cache.get(...)`` must not make every key param
+        count as result-influencing — the hit's content is governed by
+        the key itself."""
+        _project, _flows, summaries = _analyze("rpl405_good")
+        lookup = summaries["rpl405_good.keys.lookup"]
+        assert "return" not in lookup.kinds["experiment_id"]
+
+    def test_put_payload_is_not_key_material(self):
+        _project, flows, _summaries = _analyze("rpl405_good")
+        flow = flows["rpl405_good.keys.summarize"]
+        put = next(c for c in flow.cache_calls if c.desc == ".put()")
+        assert "payload" not in put.key_names
+        assert "nodes" in put.key_names
+
+
+class TestBackwardClosure:
+    def test_transitive_sources_join_the_closure(self):
+        _project, flows, summaries = _analyze("rpl401_bad")
+        boundary = find_boundaries(flows, summaries)[
+            "rpl401_bad.runner.run_model"
+        ]
+        closure = backward_closure(boundary.derivations, {"config"})
+        assert "seed" in closure
+        assert "mode" not in closure
+
+
+class TestDigestClasses:
+    def test_manual_digest_missing_field(self):
+        project = Project.load([FIXTURES / "rpl402_bad"], suppressions="line")
+        (digest_cls,) = find_digest_classes(project)
+        assert digest_cls.cls.name == "SweepSpec"
+        assert not digest_cls.dynamic
+        assert digest_cls.missing() == ["window"]
+
+    def test_dynamic_enumeration_is_complete_by_construction(self):
+        project = Project.load(
+            [FIXTURES / "rpl402_good"], suppressions="line"
+        )
+        by_name = {d.cls.name: d for d in find_digest_classes(project)}
+        assert by_name["DynamicSpec"].dynamic
+        assert by_name["DynamicSpec"].missing() == []
+        assert not by_name["ManualSpec"].dynamic
+        assert by_name["ManualSpec"].missing() == []
+
+    def test_closure_spans_the_serialization_chain(self):
+        project = Project.load([FIXTURES / "rpl402_bad"], suppressions="line")
+        (digest_cls,) = find_digest_classes(project)
+        names = {fn.qualname for fn in digest_cls.closure}
+        assert names == {
+            "SweepSpec.digest",
+            "SweepSpec.canonical_json",
+            "SweepSpec.to_dict",
+        }

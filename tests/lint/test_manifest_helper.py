@@ -1,0 +1,61 @@
+"""The shared drift-gate helper every manifest-bearing tier reuses.
+
+``repro.audit.manifest``, ``repro.vec.manifest``, and
+``repro.flow.manifest`` must all render and diff through
+``repro.lint.manifest`` — one implementation of the byte-exact
+contract (sorted keys, two-space indent, trailing newline, unified
+diff against the committed file) instead of three copies drifting
+apart.
+"""
+
+from repro.lint.manifest import diff_manifest, render_manifest
+
+
+class TestRenderManifest:
+    def test_deterministic_canonical_json(self):
+        payload = {"b": [2, 1], "a": {"z": 1, "y": 2}, "version": 1}
+        rendered = render_manifest(payload)
+        assert rendered == render_manifest(dict(reversed(list(payload.items()))))
+        assert rendered.endswith("\n")
+        assert rendered.index('"a"') < rendered.index('"b"')
+
+    def test_round_trips_through_json(self):
+        import json
+
+        payload = {"version": 1, "entries": ["x", "y"]}
+        assert json.loads(render_manifest(payload)) == payload
+
+
+class TestDiffManifest:
+    def test_matching_file_yields_none(self, tmp_path):
+        payload = {"version": 1}
+        target = tmp_path / "M.json"
+        target.write_text(render_manifest(payload), encoding="utf-8")
+        assert diff_manifest(payload, target) is None
+
+    def test_drift_is_a_labeled_unified_diff(self, tmp_path):
+        target = tmp_path / "M.json"
+        target.write_text(render_manifest({"version": 1}), encoding="utf-8")
+        drift = diff_manifest({"version": 2}, target)
+        assert drift is not None
+        assert f"{target} (committed)" in drift
+        assert f"{target} (derived from source)" in drift
+
+    def test_missing_file_diffs_against_empty(self, tmp_path):
+        drift = diff_manifest({"version": 1}, tmp_path / "absent.json")
+        assert drift is not None
+        assert "+{" in drift
+
+
+class TestSharedAcrossTiers:
+    def test_every_tier_uses_the_one_implementation(self):
+        from repro.audit import manifest as audit_manifest
+        from repro.flow import manifest as flow_manifest
+        from repro.vec import manifest as vec_manifest
+
+        assert audit_manifest.render_manifest is render_manifest
+        assert vec_manifest.render_manifest is render_manifest
+        assert flow_manifest.render_manifest is render_manifest
+        assert audit_manifest.diff_manifest is diff_manifest
+        assert vec_manifest.diff_manifest is diff_manifest
+        assert flow_manifest.diff_manifest is diff_manifest
